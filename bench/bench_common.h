@@ -1,0 +1,75 @@
+// Shared scaffolding for the figure-regeneration binaries.
+//
+// Every figure bench accepts the same flags:
+//   --n=<int>          total overlay nodes N        (default 10000)
+//   --sos=<int>        SOS nodes n                  (default 100)
+//   --filters=<int>    filter count                 (default 10)
+//   --pb=<double>      break-in success P_B         (default 0.5)
+//   --mc-trials=<int>  Monte Carlo trials per point (default varies; 0 =
+//                      analytical curves only for the paper figures)
+//   --mc-walks=<int>   client walks per trial       (default 10)
+//   --seed=<uint>      RNG seed
+//   --csv=<path>       additionally write the figure's table as CSV
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "common/cli.h"
+#include "experiments/figures.h"
+
+namespace sos::bench {
+
+inline experiments::Params params_from_args(const common::Args& args,
+                                            int default_mc_trials) {
+  experiments::Params params;
+  params.total_overlay =
+      static_cast<int>(args.get_int("n", params.total_overlay));
+  params.sos_nodes = static_cast<int>(args.get_int("sos", params.sos_nodes));
+  params.filters = static_cast<int>(args.get_int("filters", params.filters));
+  params.p_break = args.get_double("pb", params.p_break);
+  params.mc_trials =
+      static_cast<int>(args.get_int("mc-trials", default_mc_trials));
+  params.mc_walks = static_cast<int>(args.get_int("mc-walks", params.mc_walks));
+  params.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(params.seed)));
+  return params;
+}
+
+/// Runs one figure generator with standard flag handling; returns the
+/// process exit code.
+template <typename Generator>
+int run_figure_bench(int argc, char** argv, int default_mc_trials,
+                     Generator&& generator) {
+  try {
+    const common::Args args{argc, argv};
+    const auto params = params_from_args(args, default_mc_trials);
+    const std::string csv_path = args.get_string("csv", "");
+    const auto unused = args.unused_keys();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "unknown flag(s):");
+      for (const auto& key : unused) std::fprintf(stderr, " --%s", key.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    const auto figure = generator(params);
+    const std::string text = experiments::render_figure(figure);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (!csv_path.empty()) {
+      std::ofstream out{csv_path};
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+        return 1;
+      }
+      out << figure.table.to_csv();
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace sos::bench

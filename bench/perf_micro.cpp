@@ -1,0 +1,155 @@
+// Microbenchmarks: cost of evaluating the analytical models, building
+// topologies, executing attacks, routing walks and Chord lookups. These are
+// the primitives every figure sweep is made of, so their cost bounds how
+// fine-grained a parameter sweep can be.
+#include <benchmark/benchmark.h>
+
+#include "attack/one_burst_attacker.h"
+#include "attack/successive_attacker.h"
+#include "common/rng.h"
+#include "core/exact_models.h"
+#include "core/one_burst_model.h"
+#include "core/successive_model.h"
+#include "overlay/chord.h"
+#include "sim/monte_carlo.h"
+#include "sosnet/sos_overlay.h"
+
+namespace {
+
+using namespace sos;  // NOLINT: bench-local brevity
+
+core::SosDesign bench_design(int layers = 3) {
+  return core::SosDesign::make(10000, 100, layers, 10,
+                               core::MappingPolicy::one_to_five());
+}
+
+core::SuccessiveAttack bench_attack() {
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 200;
+  attack.congestion_budget = 2000;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return attack;
+}
+
+void BM_OneBurstModel(benchmark::State& state) {
+  const auto design = bench_design(static_cast<int>(state.range(0)));
+  const core::OneBurstAttack attack{2000, 2000, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::OneBurstModel::p_success(design, attack));
+  }
+}
+BENCHMARK(BM_OneBurstModel)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_SuccessiveModel(benchmark::State& state) {
+  const auto design = bench_design(3);
+  auto attack = bench_attack();
+  attack.rounds = static_cast<int>(state.range(0));
+  attack.break_in_budget = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::SuccessiveModel::p_success(design, attack));
+  }
+}
+BENCHMARK(BM_SuccessiveModel)->Arg(1)->Arg(3)->Arg(10);
+
+void BM_ExactRandomCongestionDP(benchmark::State& state) {
+  const auto design = bench_design(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ExactRandomCongestionModel::p_success(design, 2000));
+  }
+}
+BENCHMARK(BM_ExactRandomCongestionDP)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_TopologyBuild(benchmark::State& state) {
+  const auto design = bench_design(3);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sosnet::SosOverlay overlay{design, seed++};
+    benchmark::DoNotOptimize(overlay.network().size());
+  }
+}
+BENCHMARK(BM_TopologyBuild);
+
+void BM_OneBurstAttackExecution(benchmark::State& state) {
+  const auto design = bench_design(3);
+  const attack::OneBurstAttacker attacker{core::OneBurstAttack{2000, 2000, 0.5}};
+  sosnet::SosOverlay overlay{design, 7};
+  common::Rng rng{11};
+  for (auto _ : state) {
+    overlay.reset_health();
+    benchmark::DoNotOptimize(attacker.execute(overlay, rng));
+  }
+}
+BENCHMARK(BM_OneBurstAttackExecution);
+
+void BM_SuccessiveAttackExecution(benchmark::State& state) {
+  const auto design = bench_design(3);
+  auto config = bench_attack();
+  config.break_in_budget = 2000;
+  config.rounds = static_cast<int>(state.range(0));
+  const attack::SuccessiveAttacker attacker{config};
+  sosnet::SosOverlay overlay{design, 7};
+  common::Rng rng{11};
+  for (auto _ : state) {
+    overlay.reset_health();
+    benchmark::DoNotOptimize(attacker.execute(overlay, rng));
+  }
+}
+BENCHMARK(BM_SuccessiveAttackExecution)->Arg(1)->Arg(5);
+
+void BM_RoutingWalk(benchmark::State& state) {
+  const auto design = bench_design(3);
+  sosnet::SosOverlay overlay{design, 7};
+  common::Rng rng{11};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay.route_message(rng));
+  }
+}
+BENCHMARK(BM_RoutingWalk);
+
+void BM_ChordRingBuild(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  overlay::Network network{nodes, 13};
+  for (auto _ : state) {
+    overlay::ChordRing ring{network.ids()};
+    benchmark::DoNotOptimize(ring.size());
+  }
+}
+BENCHMARK(BM_ChordRingBuild)->Arg(1000)->Arg(10000);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  overlay::Network network{nodes, 13};
+  const overlay::ChordRing ring{network.ids()};
+  common::Rng rng{17};
+  for (auto _ : state) {
+    const int from = static_cast<int>(rng.next_below(ring.size()));
+    const overlay::NodeId key{rng.next()};
+    benchmark::DoNotOptimize(ring.lookup(from, key));
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(1000)->Arg(10000);
+
+void BM_MonteCarloTrialBatch(benchmark::State& state) {
+  const auto design = bench_design(3);
+  const attack::SuccessiveAttacker attacker{bench_attack()};
+  sim::MonteCarloConfig config;
+  config.trials = 8;
+  config.walks_per_trial = 10;
+  config.threads = 1;
+  for (auto _ : state) {
+    config.seed += 1;
+    benchmark::DoNotOptimize(sim::run_monte_carlo(
+        design,
+        [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+          return attacker.execute(overlay, rng);
+        },
+        config));
+  }
+}
+BENCHMARK(BM_MonteCarloTrialBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace

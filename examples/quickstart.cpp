@@ -1,0 +1,80 @@
+// Quickstart: build a generalized SOS architecture, attack it both ways
+// (analytically and on a simulated overlay), and print what happened.
+//
+//   ./quickstart [--layers=4] [--mapping=one-to-two] [--nt=200] [--nc=2000]
+//                [--rounds=3] [--pe=0.2] [--trials=100]
+#include <cstdio>
+#include <exception>
+
+#include "attack/successive_attacker.h"
+#include "common/cli.h"
+#include "core/successive_model.h"
+#include "sim/monte_carlo.h"
+
+using namespace sos;  // NOLINT: example brevity
+
+int main(int argc, char** argv) try {
+  const common::Args args{argc, argv};
+
+  // 1. Describe the architecture: N overlay nodes, n SOS nodes arranged in
+  //    L layers with a mapping degree, guarded by a filter ring.
+  const auto design = core::SosDesign::make(
+      /*total_overlay_nodes=*/static_cast<int>(args.get_int("n", 10000)),
+      /*sos_nodes=*/static_cast<int>(args.get_int("sos", 100)),
+      /*layers=*/static_cast<int>(args.get_int("layers", 4)),
+      /*filter_count=*/static_cast<int>(args.get_int("filters", 10)),
+      core::MappingPolicy::parse(args.get_string("mapping", "one-to-two")),
+      core::NodeDistribution::parse(args.get_string("dist", "even")));
+  std::printf("architecture : %s\n", design.summary().c_str());
+
+  // 2. Describe the intelligent attack (Section 3.2 successive model).
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = static_cast<int>(args.get_int("nt", 200));
+  attack.congestion_budget = static_cast<int>(args.get_int("nc", 2000));
+  attack.break_in_success = args.get_double("pb", 0.5);
+  attack.prior_knowledge = args.get_double("pe", 0.2);
+  attack.rounds = static_cast<int>(args.get_int("rounds", 3));
+  std::printf("attack       : %s PE=%.2f PB=%.2f\n\n",
+              attack.summary().c_str(), attack.prior_knowledge,
+              attack.break_in_success);
+
+  // 3. Analytical prediction (the paper's average-case model).
+  const auto model = core::SuccessiveModel::evaluate(design, attack);
+  std::printf("analytical P_S = %.4f\n", model.p_success());
+  std::printf("  expected broken-in nodes : %.1f\n", model.broken_total);
+  std::printf("  expected disclosed nodes : %.1f\n", model.disclosed_total);
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const bool filters = i + 1 == model.layers.size();
+    std::printf("  %s: bad=%.2f (broken %.2f, congested %.2f), hop P=%.4f\n",
+                filters ? "filters"
+                        : ("layer " + std::to_string(i + 1)).c_str(),
+                model.layers[i].bad(), model.layers[i].broken,
+                model.layers[i].congested, model.path.per_hop[i]);
+  }
+
+  // 4. Monte Carlo on the concrete overlay (ground truth).
+  const attack::SuccessiveAttacker attacker{attack};
+  sim::MonteCarloConfig config;
+  config.trials = static_cast<int>(args.get_int("trials", 100));
+  config.walks_per_trial = 10;
+  const auto mc = sim::run_monte_carlo(
+      design,
+      [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+        return attacker.execute(overlay, rng);
+      },
+      config);
+  std::printf("\nmonte carlo P_S = %.4f  (95%% CI [%.4f, %.4f], %llu walks)\n",
+              mc.p_success, mc.ci.lo, mc.ci.hi,
+              static_cast<unsigned long long>(mc.walks));
+  std::printf("  mean broken-in SOS nodes %.1f (model %.1f; %.1f incl. "
+              "bystanders)\n",
+              mc.mean_broken_sos, model.broken_total, mc.mean_broken);
+  std::printf("  mean congested SOS nodes %.1f (+%.1f filters), disclosed "
+              "%.1f (model %.1f)\n",
+              mc.mean_congested_sos, mc.mean_congested_filters,
+              mc.mean_disclosed, model.disclosed_total);
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every figure and stores CSVs + full text output under results/.
+#
+#   scripts/run_all.sh [build-dir] [results-dir] [extra bench flags...]
+#
+# Example: scripts/run_all.sh build results --mc-trials=60
+set -euo pipefail
+
+build_dir="${1:-build}"
+results_dir="${2:-results}"
+shift $(( $# >= 2 ? 2 : $# )) || true
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found; build first:" >&2
+  echo "  cmake -B $build_dir -G Ninja && cmake --build $build_dir" >&2
+  exit 1
+fi
+
+mkdir -p "$results_dir"
+for bench in "$build_dir"/bench/*; do
+  [[ -x "$bench" && -f "$bench" ]] || continue
+  name="$(basename "$bench")"
+  if [[ "$name" == perf_micro ]]; then
+    echo "== $name"
+    "$bench" "$@" | tee "$results_dir/$name.txt" >/dev/null || true
+    continue
+  fi
+  echo "== $name"
+  "$bench" --csv="$results_dir/$name.csv" "$@" | tee "$results_dir/$name.txt" \
+    | grep -E '\[(PASS|FAIL)\]' || true
+done
+
+echo
+echo "results written to $results_dir/"
+grep -h '\[FAIL\]' "$results_dir"/*.txt 2>/dev/null && exit 1
+echo "all qualitative checks PASS"

@@ -1,0 +1,24 @@
+// Single break-in attempt semantics shared by every intelligent attacker.
+//
+// An attempt marks the node as attacked in the attacker's books, succeeds
+// with probability P_B, and on success (a) flips the node to broken-in and
+// (b) hands its neighbor table to the attacker: next-layer SOS nodes are
+// disclosed, and for Layer-L victims the filter contacts are disclosed.
+// Innocent bystanders can be broken into too — they just have nothing to
+// disclose.
+#pragma once
+
+#include "attack/attack_outcome.h"
+#include "attack/knowledge.h"
+#include "common/rng.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::attack {
+
+/// Returns true when the break-in succeeded. No-op (returns false) if the
+/// node was already broken into; congested nodes can still be broken into.
+bool attempt_break_in(sosnet::SosOverlay& overlay, int node, double p_break,
+                      AttackerKnowledge& knowledge, common::Rng& rng,
+                      AttackOutcome& outcome);
+
+}  // namespace sos::attack

@@ -1,0 +1,89 @@
+#include "attack/congestion.h"
+
+#include <utility>
+#include <vector>
+
+namespace sos::attack {
+
+namespace {
+
+/// Target of the congestion phase: either an overlay node or a filter.
+struct Target {
+  bool is_filter = false;
+  int index = -1;
+};
+
+}  // namespace
+
+bool congest_node(sosnet::SosOverlay& overlay, int node,
+                  AttackOutcome& outcome) {
+  if (overlay.network().health(node) != overlay::NodeHealth::kGood)
+    return false;
+  overlay.network().set_health(node, overlay::NodeHealth::kCongested);
+  ++outcome.congested_nodes;
+  const int layer = overlay.topology().layer_of(node);
+  if (layer >= 0)
+    ++outcome.congested_per_layer[static_cast<std::size_t>(layer)];
+  return true;
+}
+
+void execute_congestion_phase(sosnet::SosOverlay& overlay,
+                              const AttackerKnowledge& knowledge,
+                              int congestion_budget, common::Rng& rng,
+                              AttackOutcome& outcome) {
+  // Assemble the disclosed target list (N_D).
+  std::vector<Target> targets;
+  for (int node = 0; node < overlay.network().size(); ++node) {
+    if (!knowledge.disclosed(node)) continue;
+    if (overlay.network().health(node) == overlay::NodeHealth::kBrokenIn)
+      continue;  // already controlled; not worth congesting
+    targets.push_back(Target{false, node});
+  }
+  for (int filter = 0; filter < overlay.filter_count(); ++filter)
+    if (knowledge.filter_disclosed(filter))
+      targets.push_back(Target{true, filter});
+  outcome.disclosed_at_congestion = static_cast<int>(targets.size());
+
+  int budget = congestion_budget;
+  if (budget < static_cast<int>(targets.size())) {
+    // Scarce budget: uniform subset of the disclosed targets (Eq. 9).
+    rng.shuffle(targets);
+    targets.resize(static_cast<std::size_t>(budget));
+  }
+
+  for (const auto& target : targets) {
+    if (budget == 0) break;
+    if (target.is_filter) {
+      if (!overlay.filter_congested(target.index)) {
+        overlay.set_filter_congested(target.index, true);
+        ++outcome.congested_filters;
+        --budget;
+      }
+    } else if (congest_node(overlay, target.index, outcome)) {
+      --budget;
+    }
+  }
+
+  if (budget == 0) return;
+
+  // Spill-over: random good, undisclosed overlay nodes (Eq. 8's second
+  // term). Enumerate the pool once — budgets here are a sizable fraction of
+  // N, so rejection sampling would degenerate.
+  std::vector<int> pool;
+  pool.reserve(static_cast<std::size_t>(overlay.network().size()));
+  for (int node = 0; node < overlay.network().size(); ++node) {
+    if (knowledge.disclosed(node)) continue;
+    if (!overlay.network().is_good(node)) continue;
+    pool.push_back(node);
+  }
+  if (static_cast<int>(pool.size()) <= budget) {
+    for (const int node : pool) congest_node(overlay, node, outcome);
+    return;
+  }
+  const auto picks = rng.sample_without_replacement(
+      pool.size(), static_cast<std::uint64_t>(budget));
+  for (const auto pick : picks)
+    congest_node(overlay, pool[static_cast<std::size_t>(pick)], outcome);
+}
+
+}  // namespace sos::attack

@@ -1,0 +1,31 @@
+// The congestion phase shared by both intelligent attack models
+// (Eqs. 8-9 / Algorithm 1 phase 2, executed on the concrete overlay).
+//
+// Priority: congest every disclosed-but-not-broken node and every disclosed
+// filter first; if budget remains, spend it uniformly at random on good,
+// undisclosed overlay nodes (filters are never congested blind, footnote 2).
+// If the budget cannot cover all disclosed targets, congest a uniform
+// subset of them.
+#pragma once
+
+#include "attack/attack_outcome.h"
+#include "attack/knowledge.h"
+#include "common/rng.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::attack {
+
+/// Executes the phase, mutating overlay health and accumulating counters
+/// into `outcome` (congested_nodes / congested_filters / per-layer tallies /
+/// disclosed_at_congestion).
+void execute_congestion_phase(sosnet::SosOverlay& overlay,
+                              const AttackerKnowledge& knowledge,
+                              int congestion_budget, common::Rng& rng,
+                              AttackOutcome& outcome);
+
+/// Helper shared with the attackers: congests one overlay node (no-op for
+/// broken-in or already-congested nodes); returns true when state changed.
+bool congest_node(sosnet::SosOverlay& overlay, int node,
+                  AttackOutcome& outcome);
+
+}  // namespace sos::attack

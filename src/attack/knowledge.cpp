@@ -1,0 +1,49 @@
+#include "attack/knowledge.h"
+
+#include <stdexcept>
+
+namespace sos::attack {
+
+AttackerKnowledge::AttackerKnowledge(int node_count, int filter_count)
+    : attempted_(static_cast<std::size_t>(node_count), false),
+      disclosed_(static_cast<std::size_t>(node_count), false),
+      filter_disclosed_(static_cast<std::size_t>(filter_count), false) {
+  if (node_count < 1)
+    throw std::invalid_argument("AttackerKnowledge: empty overlay");
+  if (filter_count < 0)
+    throw std::invalid_argument("AttackerKnowledge: negative filter count");
+}
+
+void AttackerKnowledge::mark_attempted(int node) {
+  auto ref = attempted_.at(static_cast<std::size_t>(node));
+  if (ref) return;
+  attempted_[static_cast<std::size_t>(node)] = true;
+  ++attempted_count_;
+  if (disclosed_[static_cast<std::size_t>(node)]) --pending_count_;
+}
+
+bool AttackerKnowledge::disclose(int node) {
+  if (disclosed_.at(static_cast<std::size_t>(node))) return false;
+  disclosed_[static_cast<std::size_t>(node)] = true;
+  ++disclosed_count_;
+  if (!attempted_[static_cast<std::size_t>(node)]) ++pending_count_;
+  return true;
+}
+
+bool AttackerKnowledge::disclose_filter(int filter) {
+  if (filter_disclosed_.at(static_cast<std::size_t>(filter))) return false;
+  filter_disclosed_[static_cast<std::size_t>(filter)] = true;
+  ++disclosed_filter_count_;
+  return true;
+}
+
+std::vector<int> AttackerKnowledge::pending() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(pending_count_));
+  for (std::size_t node = 0; node < disclosed_.size(); ++node)
+    if (disclosed_[node] && !attempted_[node])
+      out.push_back(static_cast<int>(node));
+  return out;
+}
+
+}  // namespace sos::attack

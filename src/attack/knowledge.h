@@ -1,0 +1,60 @@
+// What the attacker knows, node by node.
+//
+// Both intelligent attack models maintain the same bookkeeping: which
+// overlay nodes have been *attempted* (break-in launched, successful or
+// not — the attacker never attacks the same node twice) and which have been
+// *disclosed* (identified as SOS members, via prior knowledge or a captured
+// neighbor table). Filters are tracked separately because they can only be
+// discovered through Layer-L captures and can never be broken into.
+#pragma once
+
+#include <vector>
+
+namespace sos::attack {
+
+class AttackerKnowledge {
+ public:
+  AttackerKnowledge(int node_count, int filter_count);
+
+  int node_count() const noexcept { return static_cast<int>(attempted_.size()); }
+  int filter_count() const noexcept {
+    return static_cast<int>(filter_disclosed_.size());
+  }
+
+  bool attempted(int node) const {
+    return attempted_.at(static_cast<std::size_t>(node));
+  }
+  void mark_attempted(int node);
+
+  bool disclosed(int node) const {
+    return disclosed_.at(static_cast<std::size_t>(node));
+  }
+  /// Idempotent; returns true when this call newly disclosed the node.
+  bool disclose(int node);
+
+  bool filter_disclosed(int filter) const {
+    return filter_disclosed_.at(static_cast<std::size_t>(filter));
+  }
+  bool disclose_filter(int filter);
+
+  /// Disclosed nodes that have never been attempted (Algorithm 1's X_j).
+  std::vector<int> pending() const;
+  int pending_count() const noexcept { return pending_count_; }
+
+  int attempted_count() const noexcept { return attempted_count_; }
+  int disclosed_count() const noexcept { return disclosed_count_; }
+  int disclosed_filter_count() const noexcept {
+    return disclosed_filter_count_;
+  }
+
+ private:
+  std::vector<bool> attempted_;
+  std::vector<bool> disclosed_;
+  std::vector<bool> filter_disclosed_;
+  int attempted_count_ = 0;
+  int disclosed_count_ = 0;
+  int disclosed_filter_count_ = 0;
+  int pending_count_ = 0;
+};
+
+}  // namespace sos::attack

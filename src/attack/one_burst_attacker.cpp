@@ -1,0 +1,37 @@
+#include "attack/one_burst_attacker.h"
+
+#include "attack/break_in.h"
+#include "attack/congestion.h"
+#include "attack/knowledge.h"
+
+namespace sos::attack {
+
+AttackOutcome OneBurstAttacker::execute(sosnet::SosOverlay& overlay,
+                                        common::Rng& rng) const {
+  config_.validate(overlay.network().size());
+
+  AttackOutcome outcome;
+  const int layers = overlay.design().layers();
+  outcome.broken_per_layer.assign(static_cast<std::size_t>(layers), 0);
+  outcome.congested_per_layer.assign(static_cast<std::size_t>(layers), 0);
+  outcome.rounds_executed = 1;
+
+  AttackerKnowledge knowledge{overlay.network().size(),
+                              overlay.filter_count()};
+
+  // Break-in phase: N_T distinct uniformly random overlay nodes, all
+  // attempted before any disclosure is exploited.
+  const auto victims = rng.sample_without_replacement(
+      static_cast<std::uint64_t>(overlay.network().size()),
+      static_cast<std::uint64_t>(config_.break_in_budget));
+  for (const auto victim : victims) {
+    attempt_break_in(overlay, static_cast<int>(victim),
+                     config_.break_in_success, knowledge, rng, outcome);
+  }
+
+  execute_congestion_phase(overlay, knowledge, config_.congestion_budget, rng,
+                           outcome);
+  return outcome;
+}
+
+}  // namespace sos::attack

@@ -1,0 +1,29 @@
+// The one-burst intelligent attacker of Section 3.1, executed against a
+// concrete overlay: N_T uniformly random break-in attempts in one round
+// (capturing neighbor tables with probability P_B each), then the standard
+// disclosure-guided congestion phase.
+#pragma once
+
+#include "attack/attack_outcome.h"
+#include "common/rng.h"
+#include "core/attack_config.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::attack {
+
+class OneBurstAttacker {
+ public:
+  explicit OneBurstAttacker(core::OneBurstAttack config)
+      : config_(config) {}
+
+  const core::OneBurstAttack& config() const noexcept { return config_; }
+
+  /// Mutates overlay health; call overlay.reset_health() to reuse the
+  /// topology.
+  AttackOutcome execute(sosnet::SosOverlay& overlay, common::Rng& rng) const;
+
+ private:
+  core::OneBurstAttack config_;
+};
+
+}  // namespace sos::attack

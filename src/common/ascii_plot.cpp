@@ -1,0 +1,152 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace sos::common {
+
+namespace {
+
+constexpr std::string_view kGlyphs = "*o+x#@%&$~";
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  double span() const { return hi - lo; }
+};
+
+Range widen(Range r) {
+  if (r.span() <= 0.0) {
+    const double pad = (r.lo == 0.0) ? 1.0 : std::fabs(r.lo) * 0.1;
+    return Range{r.lo - pad, r.hi + pad};
+  }
+  return r;
+}
+
+}  // namespace
+
+AsciiPlot::AsciiPlot(PlotOptions options) : options_(options) {
+  if (options_.width < 8 || options_.height < 4)
+    throw std::invalid_argument("AsciiPlot: canvas too small");
+}
+
+void AsciiPlot::add_series(Series series) {
+  if (series.xs.size() != series.ys.size())
+    throw std::invalid_argument("AsciiPlot: xs/ys size mismatch");
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiPlot::render() const {
+  Range xr{std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+  Range yr = xr;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      xr.lo = std::min(xr.lo, s.xs[i]);
+      xr.hi = std::max(xr.hi, s.xs[i]);
+      yr.lo = std::min(yr.lo, s.ys[i]);
+      yr.hi = std::max(yr.hi, s.ys[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    xr = Range{0.0, 1.0};
+    yr = Range{0.0, 1.0};
+  }
+  if (options_.fix_y01) yr = Range{0.0, 1.0};
+  xr = widen(xr);
+  yr = widen(yr);
+
+  const int w = options_.width;
+  const int h = options_.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  const auto to_col = [&](double x) {
+    const double f = (x - xr.lo) / xr.span();
+    return static_cast<int>(std::lround(f * (w - 1)));
+  };
+  const auto to_row = [&](double y) {
+    const double f = (y - yr.lo) / yr.span();
+    // row 0 is the top of the canvas
+    return (h - 1) - static_cast<int>(std::lround(f * (h - 1)));
+  };
+  const auto put = [&](int row, int col, char glyph) {
+    if (row < 0 || row >= h || col < 0 || col >= w) return;
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const char glyph = kGlyphs[si % kGlyphs.size()];
+    // connecting segments first (drawn with '.'), points on top
+    for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      if (!std::isfinite(s.ys[i]) || !std::isfinite(s.ys[i + 1])) continue;
+      const int c0 = to_col(s.xs[i]);
+      const int c1 = to_col(s.xs[i + 1]);
+      const int steps = std::max(1, std::abs(c1 - c0));
+      for (int t = 0; t <= steps; ++t) {
+        const double frac = static_cast<double>(t) / steps;
+        const double x = s.xs[i] + frac * (s.xs[i + 1] - s.xs[i]);
+        const double y = s.ys[i] + frac * (s.ys[i + 1] - s.ys[i]);
+        const int row = to_row(y);
+        const int col = to_col(x);
+        auto& cell =
+            grid[static_cast<std::size_t>(std::clamp(row, 0, h - 1))]
+                [static_cast<std::size_t>(std::clamp(col, 0, w - 1))];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.ys[i])) continue;
+      put(to_row(s.ys[i]), to_col(s.xs[i]), glyph);
+    }
+  }
+
+  std::string out;
+  if (!options_.title.empty()) out += "  " + options_.title + "\n";
+  if (!options_.y_label.empty()) out += "  y: " + options_.y_label + "\n";
+
+  const std::size_t label_width = 8;
+  for (int row = 0; row < h; ++row) {
+    std::string label;
+    // y tick labels at top, middle, bottom rows
+    if (row == 0 || row == h - 1 || row == (h - 1) / 2) {
+      const double frac = static_cast<double>(h - 1 - row) / (h - 1);
+      label = format_double(yr.lo + frac * yr.span(), 3);
+    }
+    out += pad_left(label, label_width) + " |" +
+           grid[static_cast<std::size_t>(row)] + "\n";
+  }
+  out += pad_left("", label_width) + " +" + std::string(static_cast<std::size_t>(w), '-') +
+         "\n";
+  std::string xticks(static_cast<std::size_t>(w), ' ');
+  const std::string x_lo = format_double(xr.lo, 2);
+  const std::string x_mid = format_double(xr.lo + xr.span() / 2.0, 2);
+  const std::string x_hi = format_double(xr.hi, 2);
+  xticks.replace(0, x_lo.size(), x_lo);
+  if (w / 2 + static_cast<int>(x_mid.size()) < w)
+    xticks.replace(static_cast<std::size_t>(w) / 2, x_mid.size(), x_mid);
+  if (x_hi.size() <= static_cast<std::size_t>(w))
+    xticks.replace(static_cast<std::size_t>(w) - x_hi.size(), x_hi.size(),
+                   x_hi);
+  out += pad_left("", label_width) + "  " + xticks + "\n";
+  if (!options_.x_label.empty())
+    out += pad_left("", label_width) + "  x: " + options_.x_label + "\n";
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out += pad_left("", label_width) + "  ";
+    out += kGlyphs[si % kGlyphs.size()];
+    out += " = " + series_[si].label + "\n";
+  }
+  return out;
+}
+
+}  // namespace sos::common

@@ -1,0 +1,45 @@
+// Terminal line charts — the reproduction's stand-in for the paper's plotting
+// toolkit. Each figure bench renders its P_S curves directly into the
+// terminal so the figure "shape" (who wins, where the crossover is) can be
+// inspected without external tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sos::common {
+
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct PlotOptions {
+  int width = 72;    // plot-area columns (excludes y-axis labels)
+  int height = 20;   // plot-area rows
+  bool fix_y01 = false;  // force y range to [0, 1] (P_S plots)
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders multi-series scatter/line data onto a character grid. Series are
+/// drawn with distinct glyphs and connected with linear interpolation;
+/// overlapping points keep the later series' glyph.
+class AsciiPlot {
+ public:
+  explicit AsciiPlot(PlotOptions options = {});
+
+  void add_series(Series series);
+  std::size_t series_count() const noexcept { return series_.size(); }
+
+  /// Full rendering: title, y-axis scale, grid, x-axis scale, legend.
+  std::string render() const;
+
+ private:
+  PlotOptions options_;
+  std::vector<Series> series_;
+};
+
+}  // namespace sos::common

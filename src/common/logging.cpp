@@ -1,0 +1,70 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace sos::common {
+
+namespace {
+
+std::atomic<int> g_threshold{-1};  // -1 = uninitialized
+std::mutex g_emit_mutex;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SOS_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string v{env};
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  int current = g_threshold.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = static_cast<int>(level_from_env());
+    g_threshold.store(current, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(current);
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+LogLine::~LogLine() {
+  if (static_cast<int>(level_) < static_cast<int>(log_threshold())) return;
+  detail::emit(level_, stream_.str());
+}
+
+}  // namespace sos::common

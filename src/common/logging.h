@@ -1,0 +1,46 @@
+// Tiny leveled logger. Simulation code logs through this so tests can mute
+// output and benches can surface progress without pulling in a dependency.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sos::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo, and
+/// respects the SOS_LOG environment variable (debug|info|warn|error|off) at
+/// first use.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style one-shot log line: LogLine(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define SOS_LOG_DEBUG() ::sos::common::LogLine(::sos::common::LogLevel::kDebug)
+#define SOS_LOG_INFO() ::sos::common::LogLine(::sos::common::LogLevel::kInfo)
+#define SOS_LOG_WARN() ::sos::common::LogLine(::sos::common::LogLevel::kWarn)
+#define SOS_LOG_ERROR() ::sos::common::LogLine(::sos::common::LogLevel::kError)
+
+}  // namespace sos::common

@@ -1,0 +1,122 @@
+#include "common/mathx.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sos::common {
+
+double log_binomial(double n, double k) {
+  assert(k >= 0.0 && k <= n);
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double binomial(double n, double k) {
+  if (k < 0.0 || k > n) return 0.0;
+  return std::exp(log_binomial(n, k));
+}
+
+double prob_all_in_subset(double x, double y, int z) {
+  assert(z >= 0);
+  assert(static_cast<double>(z) <= x + 1e-9);
+  if (z == 0) return 1.0;
+  if (y <= 0.0) return 0.0;
+  if (y >= x) return 1.0;
+  double prob = 1.0;
+  for (int t = 0; t < z; ++t) {
+    const double num = y - static_cast<double>(t);
+    const double den = x - static_cast<double>(t);
+    if (num <= 0.0) return 0.0;
+    assert(den > 0.0);
+    prob *= num / den;
+  }
+  return clamp01(prob);
+}
+
+double hypergeometric_pmf(int population, int marked, int draws, int k) {
+  assert(population >= 0 && marked >= 0 && draws >= 0);
+  assert(marked <= population && draws <= population);
+  if (k < 0 || k > marked || k > draws) return 0.0;
+  if (draws - k > population - marked) return 0.0;
+  const double log_p = log_binomial(marked, k) +
+                       log_binomial(population - marked, draws - k) -
+                       log_binomial(population, draws);
+  return std::exp(log_p);
+}
+
+double pow_one_minus(double p, double n) {
+  if (n <= 0.0) return 1.0;
+  if (p >= 1.0) return 0.0;
+  if (p <= 0.0) return 1.0;
+  return std::exp(n * std::log1p(-p));
+}
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+double clamp_non_negative(double v) { return std::max(0.0, v); }
+
+double clamp_to(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+std::vector<int> apportion(int total, const std::vector<double>& weights,
+                           bool at_least_one) {
+  if (total < 0) throw std::invalid_argument("apportion: negative total");
+  const std::size_t n = weights.size();
+  std::vector<int> out(n, 0);
+  if (n == 0 || total == 0) return out;
+
+  double weight_sum = 0.0;
+  std::size_t positive = 0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("apportion: negative weight");
+    weight_sum += w;
+    if (w > 0.0) ++positive;
+  }
+  if (weight_sum <= 0.0) throw std::invalid_argument("apportion: zero weights");
+
+  int floor_base = 0;
+  if (at_least_one && total >= static_cast<int>(positive)) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (weights[i] > 0.0) out[i] = 1;
+    floor_base = static_cast<int>(positive);
+  }
+
+  const int remaining = total - floor_base;
+  std::vector<double> remainder(n, 0.0);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0) continue;
+    const double share = remaining * weights[i] / weight_sum;
+    const int whole = static_cast<int>(std::floor(share));
+    out[i] += whole;
+    assigned += whole;
+    remainder[i] = share - whole;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (remainder[a] != remainder[b])
+                       return remainder[a] > remainder[b];
+                     return weights[a] > weights[b];
+                   });
+  for (std::size_t idx = 0; assigned < remaining; ++idx) {
+    const std::size_t i = order[idx % n];
+    if (weights[i] <= 0.0) continue;
+    ++out[i];
+    ++assigned;
+  }
+  return out;
+}
+
+bool nearly_equal(double a, double b, double abs_tol, double rel_tol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+}  // namespace sos::common

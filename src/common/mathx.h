@@ -1,0 +1,54 @@
+// Numeric helpers for the average-case SOS analysis.
+//
+// The paper's equations manipulate *fractional* set sizes (expected numbers of
+// nodes), so every combinatorial quantity needs a continuous extension that is
+// exact at the integer points. Everything here is pure and header-declared so
+// the analytical models stay dependency-free.
+#pragma once
+
+#include <vector>
+
+namespace sos::common {
+
+/// Natural log of the binomial coefficient C(n, k) via lgamma.
+/// Requires 0 <= k <= n (doubles; continuous extension for non-integers).
+double log_binomial(double n, double k);
+
+/// C(n, k) computed in the log domain; returns 0 for k < 0 or k > n.
+double binomial(double n, double k);
+
+/// The paper's P(x, y, z): probability that a uniformly chosen z-subset of x
+/// nodes falls entirely inside a given y-subset, i.e. C(y,z)/C(x,z) when
+/// y >= z and 0 otherwise.
+///
+/// y may be fractional (an expected count); the continuous extension used is
+///   prod_{t=0}^{z-1} (y - t) / (x - t)
+/// which equals C(y,z)/C(x,z) at integer y and degrades smoothly in between.
+/// z must be a non-negative integer with z <= x. Result is clamped to [0, 1].
+double prob_all_in_subset(double x, double y, int z);
+
+/// Exact hypergeometric pmf: P[K = k] where K counts marked items in a
+/// uniform draw of `draws` from a population with `marked` marked items.
+double hypergeometric_pmf(int population, int marked, int draws, int k);
+
+/// (1 - p)^n for fractional n, numerically stable for tiny p via expm1/log1p.
+double pow_one_minus(double p, double n);
+
+/// Clamp helpers used throughout the models.
+double clamp01(double v);
+double clamp_non_negative(double v);
+double clamp_to(double v, double lo, double hi);
+
+/// Largest-remainder (Hamilton) apportionment: distributes `total` integer
+/// units proportionally to non-negative `weights`. The result sums exactly to
+/// `total`; ties broken by larger weight then lower index. Every entry with a
+/// positive weight receives at least one unit when total >= #positive-weights
+/// and `at_least_one` is set.
+std::vector<int> apportion(int total, const std::vector<double>& weights,
+                           bool at_least_one);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool nearly_equal(double a, double b, double abs_tol = 1e-9,
+                  double rel_tol = 1e-9);
+
+}  // namespace sos::common

@@ -1,0 +1,62 @@
+// Attack-side parameters shared by the analytical models and the simulator.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sos::core {
+
+/// One-burst intelligent DDoS attack (Section 3.1): a single randomized
+/// break-in round over the whole overlay followed by disclosure-guided
+/// congestion.
+struct OneBurstAttack {
+  int break_in_budget = 0;        // N_T: break-in attempts
+  int congestion_budget = 0;      // N_C: nodes the attacker can congest
+  double break_in_success = 0.5;  // P_B
+
+  void validate(int total_overlay_nodes) const {
+    if (break_in_budget < 0)
+      throw std::invalid_argument("OneBurstAttack: N_T must be >= 0");
+    if (congestion_budget < 0)
+      throw std::invalid_argument("OneBurstAttack: N_C must be >= 0");
+    if (break_in_budget > total_overlay_nodes)
+      throw std::invalid_argument("OneBurstAttack: N_T exceeds N");
+    if (congestion_budget > total_overlay_nodes)
+      throw std::invalid_argument("OneBurstAttack: N_C exceeds N");
+    if (break_in_success < 0.0 || break_in_success > 1.0)
+      throw std::invalid_argument("OneBurstAttack: P_B must be in [0,1]");
+  }
+
+  std::string summary() const {
+    return "NT=" + std::to_string(break_in_budget) +
+           " NC=" + std::to_string(congestion_budget);
+  }
+};
+
+/// Successive intelligent DDoS attack (Section 3.2 / Algorithm 1): break-in
+/// resources spent over R rounds, seeded with prior knowledge of a fraction
+/// P_E of the first layer, followed by the same congestion phase.
+struct SuccessiveAttack {
+  int break_in_budget = 0;        // N_T
+  int congestion_budget = 0;      // N_C
+  double break_in_success = 0.5;  // P_B
+  double prior_knowledge = 0.0;   // P_E: fraction of layer 1 known upfront
+  int rounds = 1;                 // R
+
+  void validate(int total_overlay_nodes) const {
+    OneBurstAttack{break_in_budget, congestion_budget, break_in_success}
+        .validate(total_overlay_nodes);
+    if (prior_knowledge < 0.0 || prior_knowledge > 1.0)
+      throw std::invalid_argument("SuccessiveAttack: P_E must be in [0,1]");
+    if (rounds < 1)
+      throw std::invalid_argument("SuccessiveAttack: R must be >= 1");
+  }
+
+  std::string summary() const {
+    return "NT=" + std::to_string(break_in_budget) +
+           " NC=" + std::to_string(congestion_budget) +
+           " R=" + std::to_string(rounds);
+  }
+};
+
+}  // namespace sos::core

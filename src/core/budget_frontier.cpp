@@ -1,0 +1,58 @@
+#include "core/budget_frontier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/successive_model.h"
+
+namespace sos::core {
+
+std::vector<BudgetSplit> BudgetFrontier::sweep(const SosDesign& design,
+                                               const AttackBudget& budget,
+                                               int steps) {
+  design.validate();
+  if (steps < 2)
+    throw std::invalid_argument("BudgetFrontier: need at least 2 grid points");
+  if (budget.total < 0.0 || budget.break_in_cost <= 0.0 ||
+      budget.congestion_cost <= 0.0)
+    throw std::invalid_argument("BudgetFrontier: bad budget");
+
+  std::vector<BudgetSplit> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int step = 0; step < steps; ++step) {
+    BudgetSplit split;
+    split.fraction = static_cast<double>(step) / (steps - 1);
+    const double break_in_units = split.fraction * budget.total;
+    const double congestion_units = budget.total - break_in_units;
+    split.break_in_budget = std::min(
+        design.total_overlay_nodes,
+        static_cast<int>(std::floor(break_in_units / budget.break_in_cost)));
+    split.congestion_budget =
+        std::min(design.total_overlay_nodes,
+                 static_cast<int>(
+                     std::floor(congestion_units / budget.congestion_cost)));
+
+    SuccessiveAttack attack;
+    attack.break_in_budget = split.break_in_budget;
+    attack.congestion_budget = split.congestion_budget;
+    attack.break_in_success = budget.break_in_success;
+    attack.prior_knowledge = budget.prior_knowledge;
+    attack.rounds = budget.rounds;
+    split.p_success = SuccessiveModel::p_success(design, attack);
+    out.push_back(split);
+  }
+  return out;
+}
+
+BudgetSplit BudgetFrontier::worst_case(const SosDesign& design,
+                                       const AttackBudget& budget,
+                                       int steps) {
+  const auto curve = sweep(design, budget, steps);
+  return *std::min_element(curve.begin(), curve.end(),
+                           [](const BudgetSplit& a, const BudgetSplit& b) {
+                             return a.p_success < b.p_success;
+                           });
+}
+
+}  // namespace sos::core

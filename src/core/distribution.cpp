@@ -1,0 +1,81 @@
+#include "core/distribution.h"
+
+#include <stdexcept>
+
+#include "common/mathx.h"
+#include "common/strings.h"
+
+namespace sos::core {
+
+NodeDistribution NodeDistribution::even() {
+  return NodeDistribution{Kind::kEven, "even"};
+}
+
+NodeDistribution NodeDistribution::increasing() {
+  return NodeDistribution{Kind::kIncreasing, "increasing"};
+}
+
+NodeDistribution NodeDistribution::decreasing() {
+  return NodeDistribution{Kind::kDecreasing, "decreasing"};
+}
+
+NodeDistribution NodeDistribution::custom(std::vector<double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("NodeDistribution::custom: empty weights");
+  for (double w : weights)
+    if (!(w > 0.0))
+      throw std::invalid_argument(
+          "NodeDistribution::custom: weights must be positive");
+  return NodeDistribution{Kind::kCustom, "custom", std::move(weights)};
+}
+
+NodeDistribution NodeDistribution::parse(const std::string& text) {
+  const std::string t = common::trim(text);
+  if (t == "even") return even();
+  if (t == "increasing") return increasing();
+  if (t == "decreasing") return decreasing();
+  throw std::invalid_argument("NodeDistribution::parse: bad policy '" + t +
+                              "'");
+}
+
+std::vector<int> NodeDistribution::layer_sizes(int total_nodes,
+                                               int layers) const {
+  if (layers < 1)
+    throw std::invalid_argument("NodeDistribution: layers must be >= 1");
+  if (total_nodes < layers)
+    throw std::invalid_argument(
+        "NodeDistribution: need at least one node per layer");
+
+  if (kind_ == Kind::kCustom) {
+    if (static_cast<int>(weights_.size()) != layers)
+      throw std::invalid_argument(
+          "NodeDistribution: custom weight count != layers");
+    return common::apportion(total_nodes, weights_, /*at_least_one=*/true);
+  }
+
+  if (kind_ == Kind::kEven || layers == 1) {
+    return common::apportion(total_nodes, std::vector<double>(layers, 1.0),
+                             /*at_least_one=*/true);
+  }
+
+  // Increasing/decreasing: the first layer is pinned to n/L (load balancing
+  // with clients, per the paper); the remaining layers split the rest with
+  // ratio 1:2:...:L-1 (increasing) or L-1:...:1 (decreasing).
+  const int first = std::max(1, total_nodes / layers);
+  const int rest = total_nodes - first;
+  std::vector<double> weights(static_cast<std::size_t>(layers) - 1);
+  for (int i = 0; i < layers - 1; ++i) {
+    weights[static_cast<std::size_t>(i)] =
+        (kind_ == Kind::kIncreasing) ? static_cast<double>(i + 1)
+                                     : static_cast<double>(layers - 1 - i);
+  }
+  std::vector<int> tail =
+      common::apportion(rest, weights, /*at_least_one=*/true);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(layers));
+  out.push_back(first);
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+}  // namespace sos::core

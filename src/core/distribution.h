@@ -1,0 +1,48 @@
+// Node-distribution policies (the paper's n_i design feature, Fig. 6b).
+//
+// Given n SOS nodes and L layers:
+//   even:        n/L per layer;
+//   increasing:  first layer fixed at n/L, remaining layers share the rest
+//                with weights 1 : 2 : ... : L-1;
+//   decreasing:  first layer fixed at n/L, remaining layers share the rest
+//                with weights L-1 : L-2 : ... : 1;
+//   custom:      caller-supplied weights over all L layers.
+// All policies use largest-remainder rounding and guarantee every layer gets
+// at least one node (required: an empty layer disconnects the overlay).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sos::core {
+
+class NodeDistribution {
+ public:
+  static NodeDistribution even();
+  static NodeDistribution increasing();
+  static NodeDistribution decreasing();
+  static NodeDistribution custom(std::vector<double> weights);
+
+  /// Parses "even", "increasing" or "decreasing".
+  static NodeDistribution parse(const std::string& text);
+
+  /// Layer sizes n_1..n_L; sums exactly to total_nodes, every entry >= 1.
+  /// Requires total_nodes >= layers >= 1 (and layers matching the weight
+  /// count for custom distributions).
+  std::vector<int> layer_sizes(int total_nodes, int layers) const;
+
+  std::string label() const { return label_; }
+
+ private:
+  enum class Kind { kEven, kIncreasing, kDecreasing, kCustom };
+
+  NodeDistribution(Kind kind, std::string label,
+                   std::vector<double> weights = {})
+      : kind_(kind), label_(std::move(label)), weights_(std::move(weights)) {}
+
+  Kind kind_;
+  std::string label_;
+  std::vector<double> weights_;
+};
+
+}  // namespace sos::core

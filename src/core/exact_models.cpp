@@ -1,0 +1,97 @@
+#include "core/exact_models.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/mathx.h"
+
+namespace sos::core {
+
+using common::clamp01;
+using common::log_binomial;
+using common::prob_all_in_subset;
+
+double ExactRandomCongestionModel::p_success(const SosDesign& design,
+                                             int congestion_budget) {
+  design.validate();
+  const int big_n = design.total_overlay_nodes;
+  if (congestion_budget < 0 || congestion_budget > big_n)
+    throw std::invalid_argument(
+        "ExactRandomCongestionModel: N_C out of range");
+
+  const int layers = design.layers();
+  const int sos = design.sos_node_count();
+  const int innocents = big_n - sos;
+
+  // W_i(s) = sum over (c_1..c_i) with sum c = s of
+  //          prod_{t<=i} C(n_t, c_t) * (1 - C(c_t, m_t)/C(n_t, m_t)).
+  // Magnitudes stay below C(n, s) <= 2^n, safe in double for n ~ few hundred.
+  std::vector<double> weights{1.0};
+  for (int i = 1; i <= layers; ++i) {
+    const int size = design.layer_size(i);
+    const int degree = design.degree_into(i);
+    std::vector<double> next(weights.size() + static_cast<std::size_t>(size),
+                             0.0);
+    for (std::size_t s = 0; s < weights.size(); ++s) {
+      if (weights[s] == 0.0) continue;
+      for (int c = 0; c <= size; ++c) {
+        const double good_hop =
+            1.0 - prob_all_in_subset(size, static_cast<double>(c), degree);
+        if (good_hop == 0.0) continue;
+        const double combos = std::exp(log_binomial(size, c));
+        next[s + static_cast<std::size_t>(c)] += weights[s] * combos * good_hop;
+      }
+    }
+    weights = std::move(next);
+  }
+
+  const double log_total = log_binomial(big_n, congestion_budget);
+  double p_success = 0.0;
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    if (weights[s] == 0.0) continue;
+    const int inside = static_cast<int>(s);
+    const int outside = congestion_budget - inside;
+    if (outside < 0 || outside > innocents) continue;
+    const double log_rest = log_binomial(innocents, outside);
+    p_success += weights[s] * std::exp(log_rest - log_total);
+  }
+  return clamp01(p_success);
+}
+
+double OriginalSosModel::p_success(const SosDesign& design,
+                                   int congestion_budget) {
+  design.validate();
+  if (!(design.mapping == MappingPolicy::one_to_all()))
+    throw std::invalid_argument(
+        "OriginalSosModel: requires one-to-all mapping");
+  const int big_n = design.total_overlay_nodes;
+  if (congestion_budget < 0 || congestion_budget > big_n)
+    throw std::invalid_argument("OriginalSosModel: N_C out of range");
+  const int layers = design.layers();
+  if (layers > 20)
+    throw std::invalid_argument("OriginalSosModel: L too large for 2^L sum");
+
+  // Inclusion-exclusion over "layer entirely congested" events.
+  const double log_total = log_binomial(big_n, congestion_budget);
+  double p_blocked = 0.0;
+  for (unsigned mask = 1; mask < (1u << layers); ++mask) {
+    int nodes_in_subset = 0;
+    int bits = 0;
+    for (int i = 0; i < layers; ++i) {
+      if (mask & (1u << i)) {
+        nodes_in_subset += design.layer_size(i + 1);
+        ++bits;
+      }
+    }
+    if (nodes_in_subset > congestion_budget) continue;
+    const double log_ways =
+        log_binomial(big_n - nodes_in_subset,
+                     congestion_budget - nodes_in_subset);
+    const double prob = std::exp(log_ways - log_total);
+    p_blocked += (bits % 2 == 1) ? prob : -prob;
+  }
+  return clamp01(1.0 - p_blocked);
+}
+
+}  // namespace sos::core

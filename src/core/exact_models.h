@@ -1,0 +1,45 @@
+// Exact (non-average-case) reference models for the pure random-congestion
+// regime (N_T = 0).
+//
+// The paper argues that exhaustively enumerating attacked-node combinations
+// costs Theta((n/L)^{2L}) and settles for an average-case analysis. For the
+// *random congestion* sub-case, however, the per-layer congested counts
+// (c_1, ..., c_L) follow a multivariate hypergeometric law, and
+//   P_S = E[ prod_i (1 - P(n_i, c_i, m_i)) ]
+// factors through a layer-by-layer dynamic program in O(L * n * n) — so the
+// expectation can be computed exactly. These models quantify how much the
+// paper's "plug in the mean s_i" approximation distorts P_S (it is exact in
+// neither direction a priori because P(n, s, m) is non-linear in s).
+//
+// Both models leave the filter layer untouched: under pure random congestion
+// filters are never hit (footnote 2), so P_{L+1} = 1.
+#pragma once
+
+#include "core/design.h"
+
+namespace sos::core {
+
+class ExactRandomCongestionModel {
+ public:
+  /// Exact E[P_S] when `congestion_budget` overlay nodes out of N are
+  /// congested uniformly at random (no break-ins). Still uses the expected
+  /// per-hop success 1 - C(c_i, m_i)/C(n_i, m_i) given the congested counts
+  /// (randomness of neighbor-table contents), but takes the exact
+  /// expectation over the joint law of (c_1, ..., c_L).
+  static double p_success(const SosDesign& design, int congestion_budget);
+};
+
+/// The original SOS architecture of Keromytis et al. (the paper's baseline
+/// [1]): L layers with one-to-all mapping, random congestion. With
+/// one-to-all, a path exists iff no layer is entirely congested, so P_S has
+/// a closed inclusion-exclusion form over the 2^L layer subsets:
+///   P_S = 1 - sum_{S != {}} (-1)^{|S|+1} C(N - n_S, N_C - n_S) / C(N, N_C).
+class OriginalSosModel {
+ public:
+  /// Exact P_S. Requires design.mapping == one-to-all (the formula counts a
+  /// layer as blocking only when *all* of it is congested). The paper's
+  /// original architecture is design L=3; any L is accepted.
+  static double p_success(const SosDesign& design, int congestion_budget);
+};
+
+}  // namespace sos::core

@@ -1,0 +1,75 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace sos::core {
+
+MappingPolicy MappingPolicy::fixed(int count) {
+  if (count < 1)
+    throw std::invalid_argument("MappingPolicy::fixed: count must be >= 1");
+  return MappingPolicy{Kind::kFixed, count, 0.0};
+}
+
+MappingPolicy MappingPolicy::fraction(double f) {
+  if (!(f > 0.0) || f > 1.0)
+    throw std::invalid_argument(
+        "MappingPolicy::fraction: fraction must be in (0, 1]");
+  return MappingPolicy{Kind::kFraction, 0, f};
+}
+
+MappingPolicy MappingPolicy::parse(const std::string& text) {
+  const std::string t = common::trim(text);
+  if (t == "one-to-one") return one_to_one();
+  if (t == "one-to-two") return one_to_two();
+  if (t == "one-to-five") return one_to_five();
+  if (t == "one-to-half") return one_to_half();
+  if (t == "one-to-all") return one_to_all();
+  try {
+    if (t.find('.') != std::string::npos) return fraction(std::stod(t));
+    return fixed(std::stoi(t));
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("MappingPolicy::parse: bad policy '" + t +
+                                "'");
+  }
+}
+
+int MappingPolicy::degree_for(int layer_size) const {
+  if (layer_size < 1)
+    throw std::invalid_argument("MappingPolicy: empty target layer");
+  switch (kind_) {
+    case Kind::kFixed:
+      return std::min(count_, layer_size);
+    case Kind::kFraction: {
+      const int d = static_cast<int>(
+          std::ceil(fraction_ * static_cast<double>(layer_size)));
+      return std::clamp(d, 1, layer_size);
+    }
+    case Kind::kAll:
+      return layer_size;
+  }
+  throw std::logic_error("MappingPolicy: unknown kind");
+}
+
+std::string MappingPolicy::label() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      if (count_ == 1) return "one-to-one";
+      if (count_ == 2) return "one-to-two";
+      if (count_ == 5) return "one-to-five";
+      return "one-to-" + std::to_string(count_);
+    case Kind::kFraction:
+      if (fraction_ == 0.5) return "one-to-half";
+      return "one-to-" + common::format_double(fraction_, 2) + "frac";
+    case Kind::kAll:
+      return "one-to-all";
+  }
+  return "unknown";
+}
+
+}  // namespace sos::core

@@ -1,0 +1,61 @@
+// Mapping-degree policies (the paper's m_i design feature).
+//
+// A node in Layer i-1 keeps m_i neighbors in Layer i; clients keep m_1
+// contacts in Layer 1 and Layer-L nodes keep m_{L+1} filter contacts. The
+// paper studies one-to-one, one-to-two, one-to-five, one-to-half and
+// one-to-all mappings; this type expresses all of them (plus arbitrary fixed
+// counts and fractions) as a single policy evaluated against the size of the
+// *next* layer.
+#pragma once
+
+#include <string>
+
+namespace sos::core {
+
+class MappingPolicy {
+ public:
+  enum class Kind {
+    kFixed,     // exactly k neighbors (capped by layer size)
+    kFraction,  // ceil(fraction * layer size), at least 1
+    kAll,       // every node of the next layer
+  };
+
+  /// Paper's named policies.
+  static MappingPolicy one_to_one() { return fixed(1); }
+  static MappingPolicy one_to_two() { return fixed(2); }
+  static MappingPolicy one_to_five() { return fixed(5); }
+  static MappingPolicy one_to_half() { return fraction(0.5); }
+  static MappingPolicy one_to_all() { return MappingPolicy{Kind::kAll, 0, 0.0}; }
+
+  /// Exactly `count` neighbors (>= 1), capped by the target layer's size.
+  static MappingPolicy fixed(int count);
+
+  /// ceil(f * layer_size) neighbors, f in (0, 1].
+  static MappingPolicy fraction(double f);
+
+  /// Parses "one-to-one", "one-to-two", "one-to-five", "one-to-half",
+  /// "one-to-all", a bare integer ("7"), or a fraction ("0.25").
+  /// Throws std::invalid_argument on anything else.
+  static MappingPolicy parse(const std::string& text);
+
+  Kind kind() const noexcept { return kind_; }
+
+  /// Number of next-layer neighbors for a target layer of `layer_size`
+  /// nodes. Always in [1, layer_size] for layer_size >= 1.
+  int degree_for(int layer_size) const;
+
+  /// Human-readable label ("one-to-five", "one-to-0.25", ...).
+  std::string label() const;
+
+  friend bool operator==(const MappingPolicy&, const MappingPolicy&) = default;
+
+ private:
+  MappingPolicy(Kind kind, int count, double frac)
+      : kind_(kind), count_(count), fraction_(frac) {}
+
+  Kind kind_;
+  int count_;
+  double fraction_;
+};
+
+}  // namespace sos::core

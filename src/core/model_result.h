@@ -1,0 +1,31 @@
+// Shared output shape for the analytical models. All quantities are
+// *expected* (average-case) set sizes, so they are doubles; layer index 0
+// corresponds to the paper's Layer 1 and the last entry to the filter layer.
+#pragma once
+
+#include <vector>
+
+#include "core/path_probability.h"
+
+namespace sos::core {
+
+struct LayerOutcome {
+  double attempted = 0.0;             // h_i: break-in attempts (succ + unsucc)
+  double broken = 0.0;                // b_i: successfully broken into
+  double disclosed_unattacked = 0.0;  // d_i^N at end of break-in phase
+  double disclosed_attempted = 0.0;   // d_i^A (+ u^D in the successive model)
+  double leftover_disclosed = 0.0;    // f_i (successive model, terminal round)
+  double congested = 0.0;             // c_i
+  double bad() const { return broken + congested; }
+};
+
+struct ModelResult {
+  std::vector<LayerOutcome> layers;  // size L+1
+  double broken_total = 0.0;         // N_B
+  double disclosed_total = 0.0;      // N_D (disclosed, not broken into)
+  PathProbability path;              // P_i per hop and P_S
+
+  double p_success() const { return path.success; }
+};
+
+}  // namespace sos::core

@@ -1,0 +1,107 @@
+#include "core/one_burst_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/mathx.h"
+
+namespace sos::core {
+
+using common::clamp_non_negative;
+using common::clamp_to;
+using common::pow_one_minus;
+
+ModelResult OneBurstModel::evaluate(const SosDesign& design,
+                                    const OneBurstAttack& attack) {
+  design.validate();
+  attack.validate(design.total_overlay_nodes);
+
+  const int layers = design.layers();
+  const auto big_n = static_cast<double>(design.total_overlay_nodes);
+  const auto budget_t = static_cast<double>(attack.break_in_budget);
+  const auto budget_c = static_cast<double>(attack.congestion_budget);
+  const double p_break = attack.break_in_success;
+
+  ModelResult result;
+  result.layers.assign(static_cast<std::size_t>(layers) + 1, LayerOutcome{});
+
+  // Break-in phase: N_T attempts spread uniformly over the N overlay nodes.
+  // h_i = (n_i / N) N_T, b_i = P_B h_i. Filters are unreachable (h=b=0).
+  for (int i = 1; i <= layers; ++i) {
+    auto& layer = result.layers[static_cast<std::size_t>(i - 1)];
+    const auto size = static_cast<double>(design.layer_size(i));
+    layer.attempted = size / big_n * budget_t;
+    layer.broken = p_break * design.hardening_factor(i) * layer.attempted;
+    result.broken_total += layer.broken;
+  }
+
+  // Disclosure: a broken-in Layer-(i-1) node reveals its m_i neighbors.
+  // Eq. (5): z_i = n_i (1 - (1 - m_i/n_i)^{b_{i-1}} (1 - h_i/n_i));
+  // Eq. (6): d_i^N = z_i - h_i;
+  // Eq. (7): d_i^A = (h_i - b_i)(1 - (1 - m_i/n_i)^{b_{i-1}}).
+  // Layer 1 cannot be disclosed (no layer routes into it).
+  for (int i = 2; i <= layers + 1; ++i) {
+    auto& layer = result.layers[static_cast<std::size_t>(i - 1)];
+    const auto& below = result.layers[static_cast<std::size_t>(i - 2)];
+    const auto size = static_cast<double>(design.layer_size(i));
+    const auto degree = static_cast<double>(design.degree_into(i));
+    const double miss = pow_one_minus(degree / size, below.broken);
+    const double z =
+        size * (1.0 - miss * (1.0 - layer.attempted / size));
+    layer.disclosed_unattacked = clamp_non_negative(z - layer.attempted);
+    layer.disclosed_attempted =
+        clamp_non_negative(layer.attempted - layer.broken) * (1.0 - miss);
+    result.disclosed_total +=
+        layer.disclosed_unattacked + layer.disclosed_attempted;
+  }
+
+  // Congestion phase. n_disclosed = N_D; filters' share is excluded from the
+  // random spill-over pool (they can only be congested upon disclosure).
+  const double n_disclosed = result.disclosed_total;
+  auto& filter_layer = result.layers[static_cast<std::size_t>(layers)];
+  const double filter_disclosed =
+      filter_layer.disclosed_unattacked + filter_layer.disclosed_attempted;
+
+  if (budget_c >= n_disclosed) {
+    // Eq. (8): congest every disclosed node, spill the rest uniformly over
+    // the remaining good, undisclosed overlay nodes.
+    const double spare = budget_c - n_disclosed;
+    const double pool = big_n - result.broken_total -
+                        (n_disclosed - filter_disclosed);
+    // When N_C approaches N the spare budget can exceed the congestable
+    // pool (broken-in nodes are not re-attacked); cap the spill fraction so
+    // no layer exceeds its good-node count.
+    const double spill_fraction =
+        pool > 0.0 ? std::min(1.0, spare / pool) : 1.0;
+    for (int i = 1; i <= layers; ++i) {
+      auto& layer = result.layers[static_cast<std::size_t>(i - 1)];
+      const auto size = static_cast<double>(design.layer_size(i));
+      const double targeted =
+          layer.disclosed_unattacked + layer.disclosed_attempted;
+      const double untouched =
+          clamp_non_negative(size - layer.broken - targeted);
+      layer.congested =
+          clamp_to(targeted + spill_fraction * untouched, 0.0, size);
+    }
+    filter_layer.congested = clamp_to(
+        filter_disclosed, 0.0, static_cast<double>(design.filter_count));
+  } else {
+    // Eq. (9): congest a uniform N_C-subset of the N_D disclosed nodes.
+    const double ratio = n_disclosed > 0.0 ? budget_c / n_disclosed : 0.0;
+    for (int i = 1; i <= layers + 1; ++i) {
+      auto& layer = result.layers[static_cast<std::size_t>(i - 1)];
+      const auto size = static_cast<double>(design.layer_size(i));
+      layer.congested = clamp_to(
+          ratio * (layer.disclosed_unattacked + layer.disclosed_attempted),
+          0.0, size);
+    }
+  }
+
+  std::vector<double> bad;
+  bad.reserve(result.layers.size());
+  for (const auto& layer : result.layers) bad.push_back(layer.bad());
+  result.path = path_probability(design, bad);
+  return result;
+}
+
+}  // namespace sos::core

@@ -1,0 +1,32 @@
+// Average-case analytical model for the one-burst attack (Section 3.1,
+// Eqs. 1-9).
+//
+// The attacker spends all N_T break-in attempts uniformly at random over the
+// N overlay nodes in a single round, then congests: first every node whose
+// identity the break-ins disclosed (and that it failed to break into), then
+// random overlay nodes with whatever congestion budget remains. Filters can
+// only be congested upon disclosure (footnote 2) and can never be broken
+// into.
+#pragma once
+
+#include "core/attack_config.h"
+#include "core/design.h"
+#include "core/model_result.h"
+
+namespace sos::core {
+
+class OneBurstModel {
+ public:
+  /// Evaluates Eqs. (1)-(9) for the given design/attack. Throws
+  /// std::invalid_argument if either is malformed.
+  static ModelResult evaluate(const SosDesign& design,
+                              const OneBurstAttack& attack);
+
+  /// Just P_S (the common case in sweeps).
+  static double p_success(const SosDesign& design,
+                          const OneBurstAttack& attack) {
+    return evaluate(design, attack).p_success();
+  }
+};
+
+}  // namespace sos::core

@@ -1,0 +1,32 @@
+#include "core/path_probability.h"
+
+#include <stdexcept>
+
+#include "common/mathx.h"
+
+namespace sos::core {
+
+PathProbability path_probability(const SosDesign& design,
+                                 const std::vector<double>& bad_per_layer) {
+  const int hops = design.layers() + 1;
+  if (static_cast<int>(bad_per_layer.size()) != hops)
+    throw std::invalid_argument(
+        "path_probability: expected L+1 bad-node entries");
+
+  PathProbability out;
+  out.per_hop.reserve(static_cast<std::size_t>(hops));
+  for (int i = 1; i <= hops; ++i) {
+    const auto size = static_cast<double>(design.layer_size(i));
+    const double bad = common::clamp_to(
+        bad_per_layer[static_cast<std::size_t>(i - 1)], 0.0, size);
+    const int degree = design.degree_into(i);
+    const double p_blocked = common::prob_all_in_subset(size, bad, degree);
+    const double p_hop = common::clamp01(1.0 - p_blocked);
+    out.per_hop.push_back(p_hop);
+    out.success *= p_hop;
+  }
+  out.success = common::clamp01(out.success);
+  return out;
+}
+
+}  // namespace sos::core

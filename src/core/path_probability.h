@@ -1,0 +1,26 @@
+// Eq. (1): P_S = prod_{i=1}^{L+1} (1 - P(n_i, s_i, m_i)).
+//
+// Shared by every analytical model: given the (possibly fractional) number of
+// bad nodes per layer, compute the per-hop forwarding probabilities and the
+// end-to-end path-availability probability.
+#pragma once
+
+#include <vector>
+
+#include "core/design.h"
+
+namespace sos::core {
+
+struct PathProbability {
+  /// P_i for i = 1..L+1 (index 0 -> hop into Layer 1, last -> into filters).
+  std::vector<double> per_hop;
+  /// P_S, the product of per-hop probabilities, clamped to [0, 1].
+  double success = 1.0;
+};
+
+/// bad_per_layer must have L+1 entries (layers 1..L then filters); entries
+/// are clamped into [0, layer size] before use.
+PathProbability path_probability(const SosDesign& design,
+                                 const std::vector<double>& bad_per_layer);
+
+}  // namespace sos::core

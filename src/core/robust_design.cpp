@@ -1,0 +1,42 @@
+#include "core/robust_design.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sos::core {
+
+std::vector<RobustCandidate> robust_design_search(
+    const RobustSearchSpace& space, const AttackBudget& budget,
+    int split_steps) {
+  if (space.max_layers < 1)
+    throw std::invalid_argument("robust_design_search: max_layers < 1");
+  if (space.mappings.empty() || space.distributions.empty())
+    throw std::invalid_argument("robust_design_search: empty search space");
+
+  std::vector<RobustCandidate> out;
+  for (int layers = 1; layers <= space.max_layers; ++layers) {
+    if (space.sos_nodes < layers) break;
+    for (const auto& mapping : space.mappings) {
+      for (const auto& dist : space.distributions) {
+        if (layers == 1 && dist.label() != space.distributions.front().label())
+          continue;  // all distributions coincide at L = 1
+        RobustCandidate candidate{
+            SosDesign::make(space.total_overlay_nodes, space.sos_nodes,
+                            layers, space.filter_count, mapping, dist),
+            mapping.label(), dist.label(), BudgetSplit{}};
+        candidate.worst = BudgetFrontier::worst_case(candidate.design, budget,
+                                                     split_steps);
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RobustCandidate& a, const RobustCandidate& b) {
+                     if (a.worst.p_success != b.worst.p_success)
+                       return a.worst.p_success > b.worst.p_success;
+                     return a.design.layers() < b.design.layers();
+                   });
+  return out;
+}
+
+}  // namespace sos::core

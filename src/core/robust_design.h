@@ -1,0 +1,49 @@
+// Minimax design search: the defender commits to an architecture first, a
+// rational attacker then picks the worst budget split (core/budget_frontier).
+//
+// The paper's conclusion — tune (L, m_i, n_i) to the expected attack —
+// presumes the attack is known. Against an adaptive adversary the right
+// objective is the worst case: maximize min-over-splits P_S. This search
+// grids the paper's design space and ranks architectures by that number.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/budget_frontier.h"
+#include "core/design.h"
+
+namespace sos::core {
+
+struct RobustCandidate {
+  SosDesign design;
+  std::string mapping_label;
+  std::string distribution_label;
+  BudgetSplit worst;  // the attacker's best response against this design
+
+  double guaranteed_p_success() const { return worst.p_success; }
+};
+
+struct RobustSearchSpace {
+  int total_overlay_nodes = 10000;
+  int sos_nodes = 100;
+  int filter_count = 10;
+  int max_layers = 8;
+  /// Mappings/distributions to enumerate; defaults cover the paper's set.
+  std::vector<MappingPolicy> mappings{
+      MappingPolicy::one_to_one(), MappingPolicy::one_to_two(),
+      MappingPolicy::one_to_five(), MappingPolicy::one_to_half(),
+      MappingPolicy::one_to_all()};
+  std::vector<NodeDistribution> distributions{
+      NodeDistribution::even(), NodeDistribution::increasing(),
+      NodeDistribution::decreasing()};
+};
+
+/// Every (L, mapping, distribution) candidate with its worst-case split,
+/// sorted best-first by guaranteed P_S (ties: fewer layers first — cheaper
+/// latency). Degenerate combinations (distribution on L = 1) are skipped.
+std::vector<RobustCandidate> robust_design_search(
+    const RobustSearchSpace& space, const AttackBudget& budget,
+    int split_steps = 21);
+
+}  // namespace sos::core

@@ -1,0 +1,129 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/successive_model.h"
+
+namespace sos::core {
+
+namespace {
+
+double p_of(const SosDesign& design, const SuccessiveAttack& attack) {
+  return SuccessiveModel::p_success(design, attack);
+}
+
+int bump_10_percent(int value) {
+  return value + std::max(1, value / 10);
+}
+
+}  // namespace
+
+const SensitivityEntry* SensitivityReport::best_design_move() const {
+  const SensitivityEntry* best = nullptr;
+  for (const auto& entry : design_moves)
+    if (entry.delta > 0.0 && (best == nullptr || entry.delta > best->delta))
+      best = &entry;
+  return best;
+}
+
+const SensitivityEntry* SensitivityReport::worst_attack_knob() const {
+  const SensitivityEntry* worst = nullptr;
+  for (const auto& entry : attack_knobs)
+    if (worst == nullptr || entry.delta < worst->delta) worst = &entry;
+  return worst;
+}
+
+SensitivityReport analyze_sensitivity(const SosDesign& design,
+                                      const SuccessiveAttack& attack,
+                                      const NodeDistribution& distribution) {
+  design.validate();
+  attack.validate(design.total_overlay_nodes);
+
+  SensitivityReport report;
+  report.base = p_of(design, attack);
+
+  const auto add_attack = [&](std::string label,
+                              const SuccessiveAttack& variant) {
+    SensitivityEntry entry;
+    entry.parameter = std::move(label);
+    entry.base = report.base;
+    entry.perturbed = p_of(design, variant);
+    entry.delta = entry.perturbed - entry.base;
+    report.attack_knobs.push_back(std::move(entry));
+  };
+
+  {
+    auto variant = attack;
+    variant.break_in_budget = std::min(design.total_overlay_nodes,
+                                       bump_10_percent(attack.break_in_budget));
+    add_attack("N_T +10%", variant);
+  }
+  {
+    auto variant = attack;
+    variant.congestion_budget = std::min(
+        design.total_overlay_nodes, bump_10_percent(attack.congestion_budget));
+    add_attack("N_C +10%", variant);
+  }
+  {
+    auto variant = attack;
+    variant.break_in_success =
+        std::min(1.0, attack.break_in_success * 1.1 + 1e-3);
+    add_attack("P_B +10%", variant);
+  }
+  {
+    auto variant = attack;
+    variant.prior_knowledge =
+        std::min(1.0, attack.prior_knowledge * 1.1 + 1e-3);
+    add_attack("P_E +10%", variant);
+  }
+  {
+    auto variant = attack;
+    variant.rounds = attack.rounds + 1;
+    add_attack("R +1", variant);
+  }
+
+  const auto add_design = [&](std::string label, const SosDesign& variant) {
+    SensitivityEntry entry;
+    entry.parameter = std::move(label);
+    entry.base = report.base;
+    entry.perturbed = p_of(variant, attack);
+    entry.delta = entry.perturbed - entry.base;
+    report.design_moves.push_back(std::move(entry));
+  };
+
+  const int layers = design.layers();
+  const int sos_nodes = design.sos_node_count();
+  const auto rebuild = [&](int new_layers, MappingPolicy mapping,
+                           const NodeDistribution& dist) {
+    return SosDesign::make(design.total_overlay_nodes, sos_nodes, new_layers,
+                           design.filter_count, mapping, dist);
+  };
+
+  if (layers > 1)
+    add_design("L -> " + std::to_string(layers - 1),
+               rebuild(layers - 1, design.mapping, distribution));
+  if (sos_nodes >= layers + 1)
+    add_design("L -> " + std::to_string(layers + 1),
+               rebuild(layers + 1, design.mapping, distribution));
+
+  // One-notch mapping moves: the nearest named policies around the current
+  // first-layer degree.
+  const int degree = design.degree_into(1);
+  if (degree > 1)
+    add_design("mapping -> fixed " + std::to_string(degree - 1),
+               rebuild(layers, MappingPolicy::fixed(degree - 1), distribution));
+  add_design("mapping -> fixed " + std::to_string(degree + 1),
+             rebuild(layers, MappingPolicy::fixed(degree + 1), distribution));
+
+  for (const auto& dist :
+       {NodeDistribution::even(), NodeDistribution::increasing(),
+        NodeDistribution::decreasing()}) {
+    if (dist.label() == distribution.label() || layers == 1) continue;
+    add_design("distribution -> " + dist.label(),
+               rebuild(layers, design.mapping, dist));
+  }
+  return report;
+}
+
+}  // namespace sos::core

@@ -1,0 +1,257 @@
+#include "core/successive_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/mathx.h"
+
+namespace sos::core {
+
+using common::clamp_non_negative;
+using common::clamp_to;
+using common::pow_one_minus;
+
+namespace {
+
+/// Mutable per-layer accumulators across rounds (expected set sizes).
+struct LayerAccum {
+  double attempted = 0.0;            // sum_k h_{i,k}
+  double broken = 0.0;               // sum_k b_{i,k}
+  double unsuccessful_known = 0.0;   // sum_k u^D_{i,k}
+  double disclosed_attempted = 0.0;  // sum_k d^A_{i,k}
+  double leftover = 0.0;             // sum_k f_{i,k} (terminal round only)
+  double pending = 0.0;              // d^N_{i,j-1}: disclosed, to attack next
+};
+
+}  // namespace
+
+SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
+                                       const SuccessiveAttack& attack,
+                                       const SuccessiveOptions& options) {
+  design.validate();
+  attack.validate(design.total_overlay_nodes);
+
+  const int layers = design.layers();
+  const auto count = static_cast<std::size_t>(layers);
+  const auto big_n = static_cast<double>(design.total_overlay_nodes);
+  const double p_break = attack.break_in_success;
+  const double alpha =
+      static_cast<double>(attack.break_in_budget) / attack.rounds;
+
+  std::vector<LayerAccum> acc(count);
+  // Prior knowledge (P_E) acts as a "round 0" disclosure of first-layer
+  // nodes (Section 3.2.2).
+  acc[0].pending =
+      attack.prior_knowledge * static_cast<double>(design.layer_size(1));
+
+  double filters_disclosed = 0.0;          // D_f: cumulative filter disclosure
+  double beta = static_cast<double>(attack.break_in_budget);
+  double non_sos_attempted = 0.0;  // random attempts that hit innocent nodes
+
+  SuccessiveTrace trace_out;
+
+  for (int round = 1; round <= attack.rounds; ++round) {
+    SuccessiveRound snap;
+    snap.index = round;
+    snap.beta_before = beta;
+    snap.attempted_disclosed.assign(count, 0.0);
+    snap.attempted_random.assign(count, 0.0);
+    snap.broken.assign(count, 0.0);
+    snap.disclosed_new.assign(count + 1, 0.0);
+    snap.disclosed_attempted.assign(count, 0.0);
+    snap.leftover.assign(count, 0.0);
+
+    const double known = std::accumulate(
+        acc.begin(), acc.end(), 0.0,
+        [](double sum, const LayerAccum& a) { return sum + a.pending; });
+    snap.known = known;
+
+    // -- Regime selection (Algorithm 1) ---------------------------------
+    double random_budget = 0.0;
+    double disclosed_share = 1.0;  // fraction of pending nodes attacked
+    if (known >= beta) {
+      snap.case_id = 4;
+      disclosed_share = known > 0.0 ? beta / known : 0.0;
+      snap.terminal = true;
+      beta = 0.0;
+    } else if (known < alpha && alpha < beta) {
+      snap.case_id = 1;
+      random_budget = alpha - known;
+      beta -= alpha;
+    } else if (beta <= alpha) {
+      snap.case_id = 2;
+      random_budget = beta - known;
+      snap.terminal = true;
+      beta = 0.0;
+    } else {
+      snap.case_id = 3;
+      beta -= known;
+    }
+    snap.random_budget = random_budget;
+    snap.beta_after = beta;
+
+    // -- Break-in attempts (Eqs. 10-17, 21-23) --------------------------
+    const double total_attempted_sos = std::accumulate(
+        acc.begin(), acc.end(), 0.0,
+        [](double sum, const LayerAccum& a) { return sum + a.attempted; });
+    double pool = big_n - known - total_attempted_sos;
+    if (!options.paper_faithful_pool) pool -= non_sos_attempted;
+
+    double sos_random_attempts = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      auto& layer = acc[i];
+      const auto size = static_cast<double>(design.layer_size(
+          static_cast<int>(i) + 1));
+      const double attacked_known = layer.pending * disclosed_share;
+      snap.attempted_disclosed[i] = attacked_known;
+      snap.leftover[i] = layer.pending - attacked_known;
+
+      double attacked_random = 0.0;
+      if (random_budget > 0.0 && pool > 0.0) {
+        const double fresh =
+            clamp_non_negative(size - layer.pending - layer.attempted);
+        attacked_random = random_budget * fresh / pool;
+      }
+      snap.attempted_random[i] = attacked_random;
+      sos_random_attempts += attacked_random;
+
+      const double attempted = attacked_known + attacked_random;
+      const double p_eff =
+          p_break * design.hardening_factor(static_cast<int>(i) + 1);
+      snap.broken[i] = p_eff * attempted;
+
+      layer.attempted += attempted;
+      layer.broken += snap.broken[i];
+      layer.unsuccessful_known += (1.0 - p_eff) * attacked_known;
+      layer.leftover += snap.leftover[i];
+      layer.pending = 0.0;  // consumed (attacked or shelved into leftover)
+    }
+    non_sos_attempted +=
+        clamp_non_negative(random_budget - sos_random_attempts);
+
+    // -- Disclosure (Eqs. 18-20, 24) -------------------------------------
+    // Break-ins at Layer i-1 reveal neighbor tables pointing into Layer i.
+    for (std::size_t i = 1; i < count; ++i) {
+      auto& layer = acc[i];
+      const auto size = static_cast<double>(design.layer_size(
+          static_cast<int>(i) + 1));
+      const auto degree = static_cast<double>(design.degree_into(
+          static_cast<int>(i) + 1));
+      const double broken_below = snap.broken[i - 1];
+      if (broken_below <= 0.0) continue;
+      const double miss = pow_one_minus(degree / size, broken_below);
+      const double touched =
+          clamp_to(layer.attempted + layer.leftover, 0.0, size);
+      const double z = size * (1.0 - miss * (1.0 - touched / size));
+      snap.disclosed_new[i] = clamp_non_negative(z - touched);
+      snap.disclosed_attempted[i] =
+          (1.0 -
+           p_break * design.hardening_factor(static_cast<int>(i) + 1)) *
+          snap.attempted_random[i] * (1.0 - miss);
+      layer.disclosed_attempted += snap.disclosed_attempted[i];
+      layer.pending = snap.disclosed_new[i];
+    }
+
+    // Filter disclosure: filters are never attacked, so "previously
+    // disclosed" plays the role the attacked set plays in Eq. (18) (see
+    // DESIGN.md choice #2 — keeps cumulative disclosure <= filter_count).
+    {
+      const auto size = static_cast<double>(design.filter_count);
+      const auto degree = static_cast<double>(design.degree_into(layers + 1));
+      const double broken_last = snap.broken[count - 1];
+      double fresh = 0.0;
+      if (broken_last > 0.0) {
+        const double miss = pow_one_minus(degree / size, broken_last);
+        const double z =
+            size * (1.0 - miss * (1.0 - filters_disclosed / size));
+        fresh = clamp_non_negative(z - filters_disclosed);
+      }
+      snap.disclosed_new[count] = fresh;
+      filters_disclosed += fresh;
+    }
+
+    trace_out.rounds.push_back(snap);
+    if (snap.terminal || beta <= 1e-12) break;
+  }
+
+  // -- Congestion phase (Eqs. 25-27) -------------------------------------
+  ModelResult result;
+  result.layers.assign(count + 1, LayerOutcome{});
+
+  const auto& last = trace_out.rounds.back();
+  double n_disclosed = filters_disclosed;
+  double n_broken = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double targeted = acc[i].unsuccessful_known +
+                            last.disclosed_new[i] +
+                            acc[i].disclosed_attempted + acc[i].leftover;
+    n_disclosed += targeted;
+    n_broken += acc[i].broken;
+  }
+  result.broken_total = n_broken;
+  result.disclosed_total = n_disclosed;
+
+  const auto budget_c = static_cast<double>(attack.congestion_budget);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& out = result.layers[i];
+    const auto size = static_cast<double>(design.layer_size(
+        static_cast<int>(i) + 1));
+    out.attempted = acc[i].attempted;
+    out.broken = clamp_to(acc[i].broken, 0.0, size);
+    out.disclosed_unattacked = last.disclosed_new[i];
+    out.disclosed_attempted =
+        acc[i].disclosed_attempted + acc[i].unsuccessful_known;
+    out.leftover_disclosed = acc[i].leftover;
+
+    const double targeted = acc[i].unsuccessful_known +
+                            last.disclosed_new[i] +
+                            acc[i].disclosed_attempted + acc[i].leftover;
+    if (budget_c >= n_disclosed) {
+      const double pool =
+          big_n - n_broken - (n_disclosed - filters_disclosed);
+      // Same spill cap as the one-burst model: the spare budget cannot
+      // congest more nodes than remain congestable.
+      const double spill_fraction =
+          pool > 0.0 ? std::min(1.0, (budget_c - n_disclosed) / pool) : 1.0;
+      const double untouched =
+          clamp_non_negative(size - acc[i].broken - targeted);
+      out.congested =
+          clamp_to(targeted + spill_fraction * untouched, 0.0, size);
+    } else {
+      const double ratio = n_disclosed > 0.0 ? budget_c / n_disclosed : 0.0;
+      out.congested = clamp_to(ratio * targeted, 0.0, size);
+    }
+  }
+  {
+    auto& filters = result.layers[count];
+    const auto size = static_cast<double>(design.filter_count);
+    filters.disclosed_unattacked = filters_disclosed;
+    filters.congested =
+        budget_c >= n_disclosed
+            ? clamp_to(filters_disclosed, 0.0, size)
+            : clamp_to(n_disclosed > 0.0
+                           ? budget_c / n_disclosed * filters_disclosed
+                           : 0.0,
+                       0.0, size);
+  }
+
+  std::vector<double> bad;
+  bad.reserve(result.layers.size());
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const auto size = static_cast<double>(design.layer_size(
+        static_cast<int>(i) + 1));
+    bad.push_back(clamp_to(result.layers[i].bad(), 0.0, size));
+  }
+  result.path = path_probability(design, bad);
+  trace_out.result = result;
+  return trace_out;
+}
+
+ModelResult SuccessiveModel::evaluate(const SosDesign& design,
+                                      const SuccessiveAttack& attack,
+                                      const SuccessiveOptions& options) {
+  return trace(design, attack, options).result;
+}
+
+}  // namespace sos::core

@@ -1,0 +1,82 @@
+// Average-case analytical model for the successive attack (Section 3.2,
+// Algorithm 1, Eqs. 10-27).
+//
+// The attacker spreads N_T break-in attempts over up to R rounds. Each round
+// it first attacks every node disclosed in the previous round (X_j), topping
+// up to alpha = N_T/R attempts with random targets when it has spare round
+// budget; successful break-ins disclose next-layer neighbor tables, feeding
+// X_{j+1}. Four per-round regimes from Algorithm 1:
+//   case 1: X_j < alpha < beta   — attack X_j + random top-up, continue;
+//   case 2: X_j < beta <= alpha  — attack X_j + random top-up of the *total*
+//                                  remaining budget beta, then stop;
+//   case 3: alpha <= X_j < beta  — attack exactly the X_j disclosed nodes;
+//   case 4: X_j >= beta          — attack a beta-subset of X_j; the rest
+//                                  (f_i) stays disclosed-but-unattacked and
+//                                  is congested later; stop.
+// The congestion phase then mirrors the one-burst model (Eqs. 25-27).
+//
+// Setting R = 1 and P_E = 0 reproduces the one-burst model exactly
+// (verified by tests).
+#pragma once
+
+#include <vector>
+
+#include "core/attack_config.h"
+#include "core/design.h"
+#include "core/model_result.h"
+
+namespace sos::core {
+
+struct SuccessiveOptions {
+  /// Eq. (11) subtracts only *SOS* break-in attempts from the random-target
+  /// pool, ignoring random attempts that landed on innocent overlay nodes.
+  /// true  = reproduce the paper's bookkeeping verbatim;
+  /// false = also subtract non-SOS attempts (slightly smaller pool). The
+  /// difference is an ablation reported by bench/ext_model_vs_montecarlo.
+  bool paper_faithful_pool = true;
+};
+
+/// Per-round snapshot of every set Algorithm 1 manipulates; sizes are
+/// expected values. Vectors indexed by layer (0 -> Layer 1); disclosed_new
+/// has one extra trailing entry for the filter layer.
+struct SuccessiveRound {
+  int index = 0;    // round j (1-based)
+  int case_id = 0;  // 1..4 per Algorithm 1
+  double known = 0.0;         // X_j
+  double beta_before = 0.0;   // break-in resources entering the round
+  double beta_after = 0.0;
+  double random_budget = 0.0; // attempts spent on random targets this round
+  std::vector<double> attempted_disclosed;  // h^D_{i,j}
+  std::vector<double> attempted_random;     // h^A_{i,j}
+  std::vector<double> broken;               // b_{i,j}
+  std::vector<double> disclosed_new;        // d^N_{i,j} (+ filters)
+  std::vector<double> disclosed_attempted;  // d^A_{i,j}
+  std::vector<double> leftover;             // f_{i,j}
+  bool terminal = false;
+};
+
+struct SuccessiveTrace {
+  std::vector<SuccessiveRound> rounds;
+  ModelResult result;
+};
+
+class SuccessiveModel {
+ public:
+  static ModelResult evaluate(const SosDesign& design,
+                              const SuccessiveAttack& attack,
+                              const SuccessiveOptions& options = {});
+
+  /// Same computation, keeping every round's intermediate sets (used by
+  /// tests, the attack-campaign example and EXPERIMENTS.md narratives).
+  static SuccessiveTrace trace(const SosDesign& design,
+                               const SuccessiveAttack& attack,
+                               const SuccessiveOptions& options = {});
+
+  static double p_success(const SosDesign& design,
+                          const SuccessiveAttack& attack,
+                          const SuccessiveOptions& options = {}) {
+    return evaluate(design, attack, options).p_success();
+  }
+};
+
+}  // namespace sos::core

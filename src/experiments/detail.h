@@ -1,0 +1,71 @@
+// Internal helpers shared by the figure generators. Not installed API.
+#pragma once
+
+#include "attack/one_burst_attacker.h"
+#include "attack/random_congestion_attacker.h"
+#include "attack/successive_attacker.h"
+#include "common/strings.h"
+#include "core/design.h"
+#include "core/one_burst_model.h"
+#include "core/successive_model.h"
+#include "experiments/figures.h"
+#include "sim/monte_carlo.h"
+
+namespace sos::experiments::detail {
+
+inline core::SosDesign make_design(
+    const Params& params, int layers, const core::MappingPolicy& mapping,
+    const core::NodeDistribution& dist = core::NodeDistribution::even()) {
+  return core::SosDesign::make(params.total_overlay, params.sos_nodes, layers,
+                               params.filters, mapping, dist);
+}
+
+inline sim::MonteCarloConfig mc_config(const Params& params) {
+  sim::MonteCarloConfig config;
+  config.trials = params.mc_trials;
+  config.walks_per_trial = params.mc_walks;
+  config.seed = params.seed;
+  return config;
+}
+
+inline sim::MonteCarloResult run_mc(const Params& params,
+                                    const core::SosDesign& design,
+                                    const core::OneBurstAttack& attack) {
+  const attack::OneBurstAttacker attacker{attack};
+  return sim::run_monte_carlo(
+      design,
+      [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+        return attacker.execute(overlay, rng);
+      },
+      mc_config(params));
+}
+
+inline sim::MonteCarloResult run_mc(
+    const Params& params, const core::SosDesign& design,
+    const core::SuccessiveAttack& attack,
+    const attack::SuccessiveAttackerOptions& options = {}) {
+  const attack::SuccessiveAttacker attacker{attack, options};
+  return sim::run_monte_carlo(
+      design,
+      [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+        return attacker.execute(overlay, rng);
+      },
+      mc_config(params));
+}
+
+inline std::string fmt(double value, int precision = 4) {
+  return common::format_double(value, precision);
+}
+
+/// Default successive attack of Section 3.2.3.
+inline core::SuccessiveAttack default_successive(const Params& params) {
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 200;
+  attack.congestion_budget = 2000;
+  attack.break_in_success = params.p_break;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return attack;
+}
+
+}  // namespace sos::experiments::detail

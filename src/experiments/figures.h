@@ -1,0 +1,52 @@
+// Generators for every data figure of the paper's evaluation plus the
+// extension experiments (see DESIGN.md section 3 for the index).
+//
+// Each generator computes the analytical curves and, when params.mc_trials
+// is positive, overlays Monte Carlo measurements on the concrete overlay so
+// the two can be compared point by point.
+#pragma once
+
+#include <cstdint>
+
+#include "experiments/figure.h"
+
+namespace sos::experiments {
+
+struct Params {
+  // System defaults from Section 3.1.2 / 3.2.3.
+  int total_overlay = 10000;  // N
+  int sos_nodes = 100;        // n
+  int filters = 10;
+  double p_break = 0.5;       // P_B
+
+  // Monte Carlo overlay (0 = analytical curves only).
+  int mc_trials = 0;
+  int mc_walks = 10;
+  std::uint64_t seed = 0x5055ULL;
+};
+
+Figure fig4a(const Params& params);  // P_S vs L, one-burst, N_T = 0
+Figure fig4b(const Params& params);  // P_S vs L, one-burst, with break-in
+Figure fig6a(const Params& params);  // P_S vs L, successive, mapping sweep
+Figure fig6b(const Params& params);  // node distribution sweep
+Figure fig7(const Params& params);   // P_S vs R under different L
+Figure fig8a(const Params& params);  // P_S vs N_T under different N, m
+Figure fig8b(const Params& params);  // P_S vs N_T under different L, m
+
+// Extensions (DESIGN.md): material the paper omits or defers.
+Figure ext_nc_sensitivity(const Params& params);
+Figure ext_model_vs_montecarlo(const Params& params);
+Figure ext_exact_vs_average(const Params& params);
+Figure ext_adaptive_attacker(const Params& params);
+Figure ext_repair_dynamics(const Params& params);
+Figure ext_chord_fidelity(const Params& params);
+Figure ext_latency_tradeoff(const Params& params);
+Figure ext_pool_bookkeeping(const Params& params);
+Figure ext_migration_defense(const Params& params);
+Figure ext_budget_split(const Params& params);
+Figure ext_protocol_semantics(const Params& params);
+Figure ext_attack_timeline(const Params& params);
+Figure ext_hardening_placement(const Params& params);
+Figure ext_mapping_profile(const Params& params);
+
+}  // namespace sos::experiments

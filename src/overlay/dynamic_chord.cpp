@@ -1,0 +1,267 @@
+#include "overlay/dynamic_chord.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sos::overlay {
+
+DynamicChord::DynamicChord(NodeId bootstrap) {
+  Entry entry;
+  entry.id = bootstrap;
+  entry.live = true;
+  entry.successor = 0;
+  entry.predecessor = 0;
+  entry.fingers.assign(kFingers, 0);
+  entries_.push_back(std::move(entry));
+  live_count_ = 1;
+}
+
+int DynamicChord::ideal_successor(NodeId key) const {
+  int best = -1;
+  std::uint64_t best_distance = 0;
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    const auto& node = entries_[slot];
+    if (!node.live) continue;
+    const std::uint64_t distance = ring_distance(key, node.id) ;
+    // distance 0 means the node's id equals the key: it owns the key.
+    if (best == -1 || distance < best_distance) {
+      best = static_cast<int>(slot);
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+int DynamicChord::owner_of(NodeId key) const { return ideal_successor(key); }
+
+int DynamicChord::first_live_successor(const Entry& node) const {
+  if (node.successor >= 0 && entry(node.successor).live)
+    return node.successor;
+  for (const int candidate : node.successor_list)
+    if (candidate >= 0 && entry(candidate).live) return candidate;
+  return -1;
+}
+
+DynamicChord::LookupResult DynamicChord::lookup(int from, NodeId key,
+                                                int max_hops) const {
+  LookupResult result;
+  if (from < 0 || from >= static_cast<int>(entries_.size()) ||
+      !entry(from).live)
+    throw std::invalid_argument("DynamicChord::lookup: bad origin");
+  if (max_hops <= 0) max_hops = live_count_ + 8;
+
+  int current = from;
+  while (true) {
+    const auto& node = entry(current);
+    // Exact hit: the current node owns its own id.
+    if (node.id == key) {
+      result.ok = true;
+      result.destination = current;
+      return result;
+    }
+    // Prefer the successor pointer; fall back through the successor list
+    // when it crashed (the keyspace of the dead span is inherited).
+    const int successor = first_live_successor(node);
+    if (successor < 0) return result;  // torn chain
+    if (in_interval_open_closed(node.id, entry(successor).id, key)) {
+      result.ok = true;
+      result.destination = successor;
+      ++result.hops;
+      return result;
+    }
+    if (result.hops >= max_hops) return result;
+
+    // Closest preceding live finger, successor as fallback.
+    int next = successor;
+    for (int k = kFingers - 1; k >= 0; --k) {
+      const int finger = node.fingers.empty() ? -1 : node.fingers[static_cast<std::size_t>(k)];
+      if (finger < 0 || !entry(finger).live) continue;
+      if (in_interval_open_open(node.id, key, entry(finger).id)) {
+        next = finger;
+        break;
+      }
+    }
+    current = next;
+    ++result.hops;
+  }
+}
+
+int DynamicChord::join(NodeId id, int gateway) {
+  if (gateway < 0 || gateway >= static_cast<int>(entries_.size()) ||
+      !entry(gateway).live)
+    throw std::invalid_argument("DynamicChord::join: bad gateway");
+  for (const auto& node : entries_)
+    if (node.live && node.id == id)
+      throw std::invalid_argument("DynamicChord::join: duplicate id");
+
+  const auto found = lookup(gateway, id);
+  if (!found.ok)
+    throw std::runtime_error("DynamicChord::join: lookup failed");
+  int successor = found.destination;
+
+  // Mid-churn, the lookup can land on a stale owner (successor lists built
+  // before a crash skip nodes that joined since). Walk predecessor pointers
+  // backward while a live node sits between the new id and the candidate —
+  // that node is a strictly better owner.
+  while (true) {
+    const int between = entry(successor).predecessor;
+    if (between < 0 || !entry(between).live) break;
+    if (!in_interval_open_open(id, entry(successor).id, entry(between).id))
+      break;
+    successor = between;
+  }
+  const int predecessor = entry(successor).predecessor;
+  const bool predecessor_ok =
+      predecessor >= 0 && entry(predecessor).live;
+
+  Entry fresh;
+  fresh.id = id;
+  fresh.live = true;
+  fresh.successor = successor;
+  fresh.predecessor = predecessor_ok ? predecessor : -1;
+  fresh.fingers.assign(kFingers, -1);
+  entries_.push_back(std::move(fresh));
+  const int slot = static_cast<int>(entries_.size()) - 1;
+
+  // Aggressive splice: the chain is correct immediately; fingers catch up
+  // during stabilization. After the backward walk the new id is guaranteed
+  // to lie in (predecessor, successor], so both updates are safe; the
+  // predecessor edge is only rewritten when it actually pointed at our
+  // successor (anything else is a stale pointer stabilize will fix).
+  entry(successor).predecessor = slot;
+  if (predecessor_ok && entry(predecessor).successor == successor)
+    entry(predecessor).successor = slot;
+  ++live_count_;
+  return slot;
+}
+
+void DynamicChord::leave(int slot) {
+  if (slot < 0 || slot >= static_cast<int>(entries_.size()) ||
+      !entry(slot).live)
+    throw std::invalid_argument("DynamicChord::leave: bad slot");
+  if (live_count_ == 1)
+    throw std::invalid_argument("DynamicChord::leave: last node cannot leave");
+
+  const int successor = entry(slot).successor;
+  const int predecessor = entry(slot).predecessor;
+  if (predecessor >= 0 && entry(predecessor).live)
+    entry(predecessor).successor = successor;
+  if (successor >= 0 && entry(successor).live)
+    entry(successor).predecessor = predecessor;
+  entry(slot).live = false;
+  entry(slot).successor = -1;
+  entry(slot).predecessor = -1;
+  entry(slot).fingers.clear();
+  entry(slot).successor_list.clear();
+  --live_count_;
+}
+
+void DynamicChord::fail(int slot) {
+  if (slot < 0 || slot >= static_cast<int>(entries_.size()) ||
+      !entry(slot).live)
+    throw std::invalid_argument("DynamicChord::fail: bad slot");
+  if (live_count_ == 1)
+    throw std::invalid_argument("DynamicChord::fail: last node cannot fail");
+  // A crash tells nobody: neighbors keep dangling pointers until the next
+  // stabilization round discovers the death.
+  entry(slot).live = false;
+  entry(slot).successor = -1;
+  entry(slot).predecessor = -1;
+  entry(slot).fingers.clear();
+  entry(slot).successor_list.clear();
+  --live_count_;
+}
+
+void DynamicChord::stabilize() {
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    auto& node = entries_[slot];
+    if (!node.live) continue;
+
+    // Crash repair: a dead successor is replaced by the first live entry of
+    // the successor list (the keyspace in between is inherited); a dead
+    // predecessor pointer is cleared so notify() can rebuild it.
+    if (node.successor < 0 || !entry(node.successor).live) {
+      node.successor = first_live_successor(node);
+      if (node.successor < 0) node.successor = static_cast<int>(slot);
+    }
+    if (node.predecessor >= 0 && !entry(node.predecessor).live)
+      node.predecessor = -1;
+
+    // stabilize(): adopt successor's predecessor when it sits between us.
+    const int successor = node.successor;
+    if (successor >= 0 && entry(successor).live) {
+      const int between = entry(successor).predecessor;
+      if (between >= 0 && entry(between).live &&
+          in_interval_open_open(node.id, entry(successor).id,
+                                entry(between).id)) {
+        node.successor = between;
+      }
+      // notify(): make sure our successor knows about us.
+      auto& succ = entry(node.successor);
+      const int pred = succ.predecessor;
+      if (pred < 0 || !entry(pred).live ||
+          in_interval_open_open(entry(pred).id, succ.id, node.id)) {
+        succ.predecessor = static_cast<int>(slot);
+      }
+    }
+
+    // fix_fingers(): recompute every finger by lookup through the overlay.
+    if (node.fingers.empty()) node.fingers.assign(kFingers, -1);
+    for (int k = 0; k < kFingers; ++k) {
+      const auto result =
+          lookup(static_cast<int>(slot), finger_start(node.id, k));
+      node.fingers[static_cast<std::size_t>(k)] =
+          result.ok ? result.destination : -1;
+    }
+  }
+
+  // Second pass: refresh successor lists by walking the (now repaired)
+  // successor chain, so the next crash burst can be absorbed.
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    auto& node = entries_[slot];
+    if (!node.live) continue;
+    node.successor_list.clear();
+    int cursor = node.successor;
+    for (int i = 0;
+         i < kSuccessorListSize && cursor >= 0 && entry(cursor).live &&
+         cursor != static_cast<int>(slot);
+         ++i) {
+      node.successor_list.push_back(cursor);
+      cursor = entry(cursor).successor;
+    }
+  }
+}
+
+bool DynamicChord::fully_converged() const {
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    const auto& node = entries_[slot];
+    if (!node.live) continue;
+    if (node.successor !=
+        ideal_successor(NodeId{node.id.value + 1}))
+      return false;
+    if (node.fingers.empty()) return false;
+    for (int k = 0; k < kFingers; ++k) {
+      if (node.fingers[static_cast<std::size_t>(k)] !=
+          ideal_successor(finger_start(node.id, k)))
+        return false;
+    }
+    // Predecessor must point back: our predecessor's successor is us.
+    const int pred = node.predecessor;
+    if (pred < 0 || !entry(pred).live ||
+        entry(pred).successor != static_cast<int>(slot))
+      return false;
+    // Successor list must mirror the ideal chain.
+    const int expected_length =
+        std::min(kSuccessorListSize, live_count_ - 1);
+    if (static_cast<int>(node.successor_list.size()) != expected_length)
+      return false;
+    int cursor = node.successor;
+    for (const int listed : node.successor_list) {
+      if (listed != cursor || !entry(cursor).live) return false;
+      cursor = entry(cursor).successor;
+    }
+  }
+  return true;
+}
+
+}  // namespace sos::overlay

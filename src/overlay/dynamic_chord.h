@@ -1,0 +1,104 @@
+// Dynamic Chord membership: join, leave, and periodic stabilization.
+//
+// ChordRing is an immutable snapshot (ideal finger tables over a fixed
+// membership); real deployments churn. DynamicChord keeps per-node state —
+// successor, predecessor, finger table — that is only eventually correct:
+// joins splice into the successor chain immediately (as in the Chord
+// protocol's join), while fingers and predecessors converge through
+// stabilize rounds (each round runs Chord's stabilize + fix_fingers once at
+// every node). Lookups work (possibly with extra hops) between rounds as
+// long as the successor chain is intact, which is exactly the property the
+// protocol guarantees.
+//
+// Node handles here are stable *slots* (indices into an internal array)
+// that never move on churn — unlike ChordRing's sorted ring indices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "overlay/node_id.h"
+
+namespace sos::overlay {
+
+class DynamicChord {
+ public:
+  static constexpr int kFingers = 64;
+  /// Successor-list length (Chord's r): tolerates up to r-1 consecutive
+  /// crash failures between stabilization rounds.
+  static constexpr int kSuccessorListSize = 4;
+
+  /// Starts with a single bootstrap node; returns its slot (0).
+  explicit DynamicChord(NodeId bootstrap);
+
+  int live_count() const noexcept { return live_count_; }
+  bool is_live(int slot) const { return entry(slot).live; }
+  NodeId id_of(int slot) const { return entry(slot).id; }
+
+  /// Joins a new node via any live gateway slot; returns the new slot.
+  /// The new node immediately knows its successor (found by routing through
+  /// the gateway) and is immediately reachable: its predecessor's successor
+  /// pointer is updated, as the aggressive variant of Chord's join does.
+  /// Fingers start empty and fill in via stabilize().
+  int join(NodeId id, int gateway);
+
+  /// Voluntary departure: neighbors are notified (successor chain repaired
+  /// immediately), the slot becomes dead.
+  void leave(int slot);
+
+  /// Crash failure: the node vanishes WITHOUT notifying anyone — its
+  /// neighbors' pointers dangle until stabilize() repairs them through the
+  /// successor lists. Lookups in between survive as long as fewer than
+  /// kSuccessorListSize consecutive ring neighbors crashed.
+  void fail(int slot);
+
+  /// One stabilization round: every live node runs stabilize() (reconcile
+  /// successor/predecessor) and fix_fingers() (recompute every finger by
+  /// lookup). After O(1) rounds post-churn the structure matches the ideal
+  /// ChordRing tables.
+  void stabilize();
+
+  struct LookupResult {
+    bool ok = false;
+    int hops = 0;
+    int destination = -1;  // slot responsible for the key
+  };
+
+  /// Greedy lookup from a live slot. Uses fingers when helpful, the
+  /// successor chain otherwise; bounded by max_hops (default: live count).
+  LookupResult lookup(int from, NodeId key, int max_hops = 0) const;
+
+  /// The live slot whose node is responsible for `key` according to the
+  /// *current successor chain* (ground truth for tests).
+  int owner_of(NodeId key) const;
+
+  /// True when every live node's successor/predecessor/fingers equal the
+  /// ideal values for the current membership (used to assert convergence).
+  bool fully_converged() const;
+
+ private:
+  struct Entry {
+    NodeId id;
+    bool live = false;
+    int successor = -1;
+    int predecessor = -1;
+    std::vector<int> fingers;         // slot or -1
+    std::vector<int> successor_list;  // next r live slots at last stabilize
+  };
+
+  /// First live entry of `slot`'s successor chain knowledge (successor
+  /// pointer, then the successor list); -1 when everything it knew died.
+  int first_live_successor(const Entry& node) const;
+
+  const Entry& entry(int slot) const { return entries_.at(static_cast<std::size_t>(slot)); }
+  Entry& entry(int slot) { return entries_.at(static_cast<std::size_t>(slot)); }
+
+  /// Ideal successor slot for a key given current membership (linear scan).
+  int ideal_successor(NodeId key) const;
+
+  std::vector<Entry> entries_;
+  int live_count_ = 0;
+};
+
+}  // namespace sos::overlay

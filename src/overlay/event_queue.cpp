@@ -1,0 +1,36 @@
+#include "overlay/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sos::overlay {
+
+void EventQueue::schedule(double when, Callback callback) {
+  if (when < now_)
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  if (!callback) throw std::invalid_argument("EventQueue: empty callback");
+  events_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the wrapper (cheap for std::function).
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.when;
+  event.callback();
+  return true;
+}
+
+void EventQueue::run_until(double horizon) {
+  while (!events_.empty() && events_.top().when <= horizon) step();
+  if (now_ < horizon) now_ = horizon;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace sos::overlay

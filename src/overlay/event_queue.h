@@ -1,0 +1,59 @@
+// Discrete-event scheduler used by the dynamic extensions (repair during an
+// on-going successive attack, staged attack rounds).
+//
+// Events fire in (time, insertion-order) order so simultaneous events are
+// deterministic. The queue owns the callbacks; run_until drains everything
+// up to and including the horizon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sos::overlay {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute time `when` (must be >= now()).
+  void schedule(double when, Callback callback);
+
+  /// Schedules relative to the current time.
+  void schedule_in(double delay, Callback callback) {
+    schedule(now_ + delay, std::move(callback));
+  }
+
+  double now() const noexcept { return now_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t pending() const noexcept { return events_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs every event with time <= horizon; now() ends at max(now, horizon).
+  void run_until(double horizon);
+
+  /// Drains the queue completely.
+  void run_all();
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t next_sequence_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace sos::overlay

@@ -1,0 +1,38 @@
+#include "overlay/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sos::overlay {
+
+Network::Network(int node_count, std::uint64_t seed) {
+  if (node_count < 1)
+    throw std::invalid_argument("Network: node_count must be >= 1");
+  ids_.reserve(static_cast<std::size_t>(node_count));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(node_count) * 2);
+  std::uint64_t salt = 0;
+  for (int i = 0; i < node_count; ++i) {
+    // Re-salt on the (astronomically unlikely) 64-bit collision so ids stay
+    // distinct — ChordRing requires it.
+    NodeId id = node_id_from_index(static_cast<std::uint64_t>(i), seed + salt);
+    while (!seen.insert(id.value).second) {
+      ++salt;
+      id = node_id_from_index(static_cast<std::uint64_t>(i), seed + salt);
+    }
+    ids_.push_back(id);
+  }
+  health_.assign(static_cast<std::size_t>(node_count), NodeHealth::kGood);
+}
+
+void Network::reset_health() {
+  std::fill(health_.begin(), health_.end(), NodeHealth::kGood);
+}
+
+int Network::count(NodeHealth health) const {
+  return static_cast<int>(
+      std::count(health_.begin(), health_.end(), health));
+}
+
+}  // namespace sos::overlay

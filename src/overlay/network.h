@@ -1,0 +1,66 @@
+// The overlay-node population the attacks operate on.
+//
+// Holds the N overlay nodes (SOS members plus innocent bystanders), their
+// ring identifiers and their health. Health is the paper's three-way state:
+// good nodes route; congested nodes are alive but unavailable (DDoS'd);
+// broken-in nodes are controlled by the attacker (they disclose neighbors
+// and are not congested on top). The attack code mutates health; the
+// routing code only reads it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/node_id.h"
+
+namespace sos::overlay {
+
+enum class NodeHealth : std::uint8_t {
+  kGood = 0,
+  kCongested = 1,
+  kBrokenIn = 2,
+};
+
+/// Only good nodes forward traffic (a broken-in node would not forward
+/// honestly and a congested one cannot).
+constexpr bool can_route(NodeHealth health) noexcept {
+  return health == NodeHealth::kGood;
+}
+
+class Network {
+ public:
+  /// Creates `node_count` nodes with well-spread distinct ring ids derived
+  /// from `seed`.
+  Network(int node_count, std::uint64_t seed);
+
+  int size() const noexcept { return static_cast<int>(health_.size()); }
+  NodeId id_of(int index) const {
+    return ids_[static_cast<std::size_t>(index)];
+  }
+
+  NodeHealth health(int index) const {
+    return health_[static_cast<std::size_t>(index)];
+  }
+  void set_health(int index, NodeHealth health) {
+    health_[static_cast<std::size_t>(index)] = health;
+  }
+  bool is_good(int index) const {
+    return can_route(health(index));
+  }
+
+  /// Restores every node to good (between Monte Carlo trials).
+  void reset_health();
+
+  int count(NodeHealth health) const;
+  int good_count() const { return count(NodeHealth::kGood); }
+  int congested_count() const { return count(NodeHealth::kCongested); }
+  int broken_in_count() const { return count(NodeHealth::kBrokenIn); }
+
+  const std::vector<NodeId>& ids() const noexcept { return ids_; }
+
+ private:
+  std::vector<NodeId> ids_;
+  std::vector<NodeHealth> health_;
+};
+
+}  // namespace sos::overlay

@@ -1,0 +1,38 @@
+#include "sim/migration.h"
+
+#include <vector>
+
+#include "attack/successive_attacker.h"
+
+namespace sos::sim {
+
+MigrationOutcome run_successive_attack_with_migration(
+    sosnet::SosOverlay& overlay, const core::SuccessiveAttack& attack,
+    const MigrationConfig& migration, common::Rng& rng) {
+  MigrationOutcome outcome;
+
+  attack::SuccessiveAttackerOptions options;
+  if (migration.migration_rate > 0.0 || migration.proactive_rate > 0.0) {
+    options.after_round = [&migration, &outcome](sosnet::SosOverlay& net,
+                                                 common::Rng& stream, int) {
+      const int layers = net.design().layers();
+      for (int layer = 0; layer < layers; ++layer) {
+        // Snapshot: replace_member mutates the membership vector in place.
+        const std::vector<int> members = net.topology().members(layer);
+        for (const int member : members) {
+          const double rate = net.network().is_good(member)
+                                  ? migration.proactive_rate
+                                  : migration.migration_rate;
+          if (!stream.bernoulli(rate)) continue;
+          if (net.migrate_member(member, stream) >= 0) ++outcome.migrated;
+        }
+      }
+    };
+  }
+
+  const attack::SuccessiveAttacker attacker{attack, options};
+  outcome.attack = attacker.execute(overlay, rng);
+  return outcome;
+}
+
+}  // namespace sos::sim

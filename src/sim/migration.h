@@ -1,0 +1,47 @@
+// Defensive role migration during a successive attack (Section 5
+// territory: reconfiguration as a repair mechanism).
+//
+// After every break-in round the defender examines its SOS members and,
+// with probability `migration_rate` per compromised member, retires the
+// node and recruits a fresh good bystander into its role (SOS's
+// secret-servlet reassignment generalized to every layer). The recruit
+// gets a fresh neighbor table and upstream tables are re-issued, so layer
+// routing capacity is restored without trusting a once-captured machine
+// again — the reconfiguration counterpart of plain repair (sim/repair.h),
+// which instead re-trusts the same node.
+#pragma once
+
+#include "attack/attack_outcome.h"
+#include "common/rng.h"
+#include "core/attack_config.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::sim {
+
+struct MigrationConfig {
+  /// Reactive: chance per *compromised* member per round of being retired
+  /// and replaced (the defender can observe compromise).
+  double migration_rate = 0.0;
+  /// Proactive: chance per *healthy* member per round of being rotated out
+  /// anyway. This is the anti-intelligence knob — the defender cannot know
+  /// which identities the attacker has disclosed, but rotating roles
+  /// invalidates that knowledge wholesale: a pending identity attacked in
+  /// the next round is just a bystander, wasting the break-in and breaking
+  /// the disclosure cascade.
+  double proactive_rate = 0.0;
+};
+
+struct MigrationOutcome {
+  attack::AttackOutcome attack;
+  int migrated = 0;  // roles handed to fresh nodes
+};
+
+/// Successive attack with the migration defense interleaved after each
+/// break-in round. The congestion phase fires as usual at the end; the
+/// attacker targets whatever identities it collected, including retired
+/// ones.
+MigrationOutcome run_successive_attack_with_migration(
+    sosnet::SosOverlay& overlay, const core::SuccessiveAttack& attack,
+    const MigrationConfig& migration, common::Rng& rng);
+
+}  // namespace sos::sim

@@ -1,0 +1,132 @@
+#include "sim/monte_carlo.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sos::sim {
+
+namespace {
+
+struct ShardAccum {
+  common::RunningStats trial_success;
+  common::RunningStats broken;
+  common::RunningStats broken_sos;
+  common::RunningStats congested;
+  common::RunningStats congested_sos;
+  common::RunningStats congested_filters;
+  common::RunningStats disclosed;
+  common::RunningStats delivery_hops;
+  std::uint64_t walks = 0;
+  std::uint64_t deliveries = 0;
+
+  void merge(const ShardAccum& other) {
+    trial_success.merge(other.trial_success);
+    broken.merge(other.broken);
+    broken_sos.merge(other.broken_sos);
+    congested.merge(other.congested);
+    congested_sos.merge(other.congested_sos);
+    congested_filters.merge(other.congested_filters);
+    disclosed.merge(other.disclosed);
+    delivery_hops.merge(other.delivery_hops);
+    walks += other.walks;
+    deliveries += other.deliveries;
+  }
+};
+
+void run_trial(const core::SosDesign& design, const AttackFn& attack,
+               const MonteCarloConfig& config, int trial, ShardAccum& accum) {
+  // Distinct deterministic streams per trial: one for the topology build,
+  // one for attack + walks.
+  const std::uint64_t trial_seed =
+      config.seed ^ common::mix64(0x7261696c5ull + static_cast<std::uint64_t>(trial));
+  sosnet::SosOverlay overlay{design, trial_seed};
+  common::Rng rng{common::mix64(trial_seed)};
+
+  const auto outcome = attack(overlay, rng);
+  int broken_sos = 0, congested_sos = 0;
+  for (const int count : outcome.broken_per_layer) broken_sos += count;
+  for (const int count : outcome.congested_per_layer) congested_sos += count;
+  accum.broken.add(outcome.broken_in);
+  accum.broken_sos.add(broken_sos);
+  accum.congested.add(outcome.congested_nodes);
+  accum.congested_sos.add(congested_sos);
+  accum.congested_filters.add(outcome.congested_filters);
+  accum.disclosed.add(outcome.disclosed_at_congestion);
+
+  int delivered = 0;
+  for (int walk = 0; walk < config.walks_per_trial; ++walk) {
+    const auto result = config.route_via_chord
+                            ? overlay.route_message_via_chord(rng)
+                            : overlay.route_message(rng);
+    if (result.delivered) {
+      ++delivered;
+      accum.delivery_hops.add(result.layer_hops);
+    }
+  }
+  accum.walks += static_cast<std::uint64_t>(config.walks_per_trial);
+  accum.deliveries += static_cast<std::uint64_t>(delivered);
+  accum.trial_success.add(static_cast<double>(delivered) /
+                          static_cast<double>(config.walks_per_trial));
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const core::SosDesign& design,
+                                 const AttackFn& attack,
+                                 const MonteCarloConfig& config) {
+  design.validate();
+  if (config.trials < 1)
+    throw std::invalid_argument("MonteCarlo: trials must be >= 1");
+  if (config.walks_per_trial < 1)
+    throw std::invalid_argument("MonteCarlo: walks_per_trial must be >= 1");
+
+  int threads = config.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads, config.trials);
+
+  std::vector<ShardAccum> shards(static_cast<std::size_t>(threads));
+  std::atomic<int> next_trial{0};
+
+  const auto worker = [&](int shard_index) {
+    auto& accum = shards[static_cast<std::size_t>(shard_index)];
+    while (true) {
+      const int trial = next_trial.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= config.trials) return;
+      run_trial(design, attack, config, trial, accum);
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& thread : pool) thread.join();
+  }
+
+  ShardAccum total;
+  for (const auto& shard : shards) total.merge(shard);
+
+  MonteCarloResult result;
+  result.p_success = total.trial_success.mean();
+  result.ci = common::mean_confidence_interval(total.trial_success);
+  result.walks = total.walks;
+  result.deliveries = total.deliveries;
+  result.mean_broken = total.broken.mean();
+  result.mean_broken_sos = total.broken_sos.mean();
+  result.mean_congested = total.congested.mean();
+  result.mean_congested_sos = total.congested_sos.mean();
+  result.mean_congested_filters = total.congested_filters.mean();
+  result.mean_disclosed = total.disclosed.mean();
+  result.mean_delivery_hops = total.delivery_hops.mean();
+  return result;
+}
+
+}  // namespace sos::sim

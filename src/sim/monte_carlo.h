@@ -1,0 +1,57 @@
+// Monte Carlo estimation of P_S on the concrete overlay — the ground truth
+// the paper's average-case analysis approximates.
+//
+// Each trial draws a fresh topology (membership + neighbor tables), runs the
+// attacker once, then measures the per-topology delivery rate with several
+// independent client walks. Trials are independent, so the sampler is
+// embarrassingly parallel; each trial gets its own deterministic RNG stream
+// derived from the config seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "attack/attack_outcome.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/design.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::sim {
+
+struct MonteCarloConfig {
+  int trials = 200;          // independent attacked topologies
+  int walks_per_trial = 10;  // client messages routed per topology
+  std::uint64_t seed = 0x5eedULL;
+  int threads = 0;           // 0 = hardware concurrency
+  bool route_via_chord = false;  // original-SOS transport fidelity mode
+};
+
+struct MonteCarloResult {
+  double p_success = 0.0;        // mean per-trial delivery rate
+  common::Interval ci;           // 95% CI on the mean (normal approx.)
+  std::uint64_t walks = 0;
+  std::uint64_t deliveries = 0;
+
+  // Averages of the attack's footprint across trials. The *_sos variants
+  // count only SOS members (comparable to the analytical per-layer sums);
+  // the plain variants include innocent bystanders.
+  double mean_broken = 0.0;
+  double mean_broken_sos = 0.0;
+  double mean_congested = 0.0;
+  double mean_congested_sos = 0.0;
+  double mean_congested_filters = 0.0;
+  double mean_disclosed = 0.0;   // N_D at congestion time
+  double mean_delivery_hops = 0.0;  // layer hops of successful walks
+};
+
+/// Attack to apply to a freshly built overlay. Must leave its footprint in
+/// the returned outcome (used for the mean_* fields).
+using AttackFn =
+    std::function<attack::AttackOutcome(sosnet::SosOverlay&, common::Rng&)>;
+
+MonteCarloResult run_monte_carlo(const core::SosDesign& design,
+                                 const AttackFn& attack,
+                                 const MonteCarloConfig& config);
+
+}  // namespace sos::sim

@@ -1,0 +1,65 @@
+#include "sim/repair.h"
+
+#include "attack/successive_attacker.h"
+#include "overlay/event_queue.h"
+
+namespace sos::sim {
+
+namespace {
+
+/// One defender sweep: every compromised node/filter is independently
+/// detected and repaired with probability repair_rate.
+void repair_sweep(sosnet::SosOverlay& overlay, const RepairConfig& repair,
+                  common::Rng& rng, RepairOutcome& outcome) {
+  if (repair.repair_rate <= 0.0) return;
+  auto& network = overlay.network();
+  for (int node = 0; node < network.size(); ++node) {
+    const auto health = network.health(node);
+    const bool repairable =
+        (health == overlay::NodeHealth::kBrokenIn && repair.repair_broken) ||
+        (health == overlay::NodeHealth::kCongested &&
+         repair.repair_congested);
+    if (!repairable) continue;
+    if (!rng.bernoulli(repair.repair_rate)) continue;
+    network.set_health(node, overlay::NodeHealth::kGood);
+    ++outcome.repaired_nodes;
+  }
+  if (!repair.repair_congested) return;
+  for (int filter = 0; filter < overlay.filter_count(); ++filter) {
+    if (!overlay.filter_congested(filter)) continue;
+    if (!rng.bernoulli(repair.repair_rate)) continue;
+    overlay.set_filter_congested(filter, false);
+    ++outcome.repaired_filters;
+  }
+}
+
+}  // namespace
+
+RepairOutcome run_successive_attack_with_repair(
+    sosnet::SosOverlay& overlay, const core::SuccessiveAttack& attack,
+    const RepairConfig& repair, common::Rng& rng) {
+  RepairOutcome outcome;
+
+  // Timeline: break-in round j happens at t = j, the defender sweeps at
+  // t = j + 0.5. The attacker hook schedules the sweep; the queue keeps the
+  // ordering deterministic.
+  overlay::EventQueue timeline;
+  attack::SuccessiveAttackerOptions options;
+  options.after_round = [&](sosnet::SosOverlay& net, common::Rng& stream,
+                            int round) {
+    timeline.schedule(static_cast<double>(round) + 0.5,
+                      [&net, &stream, &repair, &outcome] {
+                        repair_sweep(net, repair, stream, outcome);
+                      });
+    timeline.run_until(static_cast<double>(round) + 0.5);
+  };
+
+  const attack::SuccessiveAttacker attacker{attack, options};
+  outcome.attack = attacker.execute(overlay, rng);
+
+  // The defense keeps working while the congestion flood starts.
+  repair_sweep(overlay, repair, rng, outcome);
+  return outcome;
+}
+
+}  // namespace sos::sim

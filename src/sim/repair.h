@@ -1,0 +1,41 @@
+// Dynamic-repair extension (paper Section 5 future work).
+//
+// The paper's models assume no recovery during an attack and argue that
+// large R is risky for the attacker precisely because it gives the system
+// time to repair. This module quantifies that: the successive attack is
+// replayed on a discrete-event timeline (one break-in round per time unit);
+// after every round the defender independently detects-and-repairs each
+// compromised node (and congested filter) with probability `repair_rate`.
+// A repaired node routes again, but everything the attacker already learned
+// stays learned, and it never re-attacks a node.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attack_outcome.h"
+#include "common/rng.h"
+#include "core/attack_config.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::sim {
+
+struct RepairConfig {
+  double repair_rate = 0.0;  // per-node repair probability per round
+  bool repair_broken = true;     // defenders can also reclaim captured nodes
+  bool repair_congested = true;  // and scrub congestion
+};
+
+struct RepairOutcome {
+  attack::AttackOutcome attack;  // footprint after the congestion phase
+  int repaired_nodes = 0;
+  int repaired_filters = 0;
+};
+
+/// Runs a successive attack with interleaved repair on `overlay`. The
+/// congestion phase fires after the final break-in round, followed by one
+/// last repair sweep (the defense keeps working while the flood starts).
+RepairOutcome run_successive_attack_with_repair(
+    sosnet::SosOverlay& overlay, const core::SuccessiveAttack& attack,
+    const RepairConfig& repair, common::Rng& rng);
+
+}  // namespace sos::sim

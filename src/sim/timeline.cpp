@@ -1,0 +1,102 @@
+#include "sim/timeline.h"
+
+#include <vector>
+
+#include "attack/successive_attacker.h"
+
+namespace sos::sim {
+
+namespace {
+
+/// One instantaneous dashboard sample of the overlay.
+TimelinePoint sample(const sosnet::SosOverlay& overlay, double time,
+                     int probes, common::Rng& rng) {
+  TimelinePoint point;
+  point.time = time;
+  int delivered = 0;
+  for (int probe = 0; probe < probes; ++probe)
+    if (overlay.route_message(rng).delivered) ++delivered;
+  point.availability = static_cast<double>(delivered) / probes;
+  for (int layer = 0; layer < overlay.design().layers(); ++layer) {
+    const auto tally = overlay.tally(layer);
+    point.good_members += tally.good;
+    point.broken_members += tally.broken;
+    point.congested_members += tally.congested;
+  }
+  point.congested_filters = overlay.congested_filter_count();
+  return point;
+}
+
+}  // namespace
+
+TimelineResult run_attack_timeline(sosnet::SosOverlay& overlay,
+                                   const core::SuccessiveAttack& attack,
+                                   const TimelineConfig& config,
+                                   common::Rng& rng) {
+  TimelineResult result;
+  // Availability is piecewise constant between rounds, so sampling on the
+  // probe grid inside each gap is exact as long as every gap is filled
+  // *before* the next state change — hence the before_round hook.
+  double next_sample = 0.0;
+  const auto sample_until = [&](double horizon, common::Rng& stream) {
+    while (next_sample < horizon + 1e-12) {
+      result.points.push_back(sample(overlay, next_sample,
+                                     config.probes_per_sample, stream));
+      next_sample += config.probe_interval;
+    }
+  };
+
+  attack::SuccessiveAttackerOptions options;
+  options.before_round = [&](sosnet::SosOverlay&, common::Rng& stream,
+                             int round) {
+    // State: after round-1 rounds plus defense; valid strictly before
+    // round * round_interval.
+    sample_until(round * config.round_interval - config.probe_interval / 2,
+                 stream);
+  };
+  options.after_round = [&](sosnet::SosOverlay& net, common::Rng& stream,
+                            int round) {
+    if (config.repair.repair_rate > 0.0) {
+      // Reuse the repair module's semantics via a one-round sweep: each
+      // compromised node repaired independently.
+      auto& network = net.network();
+      for (int node = 0; node < network.size(); ++node) {
+        const auto health = network.health(node);
+        const bool repairable =
+            (health == overlay::NodeHealth::kBrokenIn &&
+             config.repair.repair_broken) ||
+            (health == overlay::NodeHealth::kCongested &&
+             config.repair.repair_congested);
+        if (repairable && stream.bernoulli(config.repair.repair_rate))
+          network.set_health(node, overlay::NodeHealth::kGood);
+      }
+    }
+    const double reactive = config.migration.migration_rate;
+    const double proactive = config.migration.proactive_rate;
+    if (reactive > 0.0 || proactive > 0.0) {
+      for (int layer = 0; layer < net.design().layers(); ++layer) {
+        const std::vector<int> members = net.topology().members(layer);
+        for (const int member : members) {
+          const double rate =
+              net.network().is_good(member) ? proactive : reactive;
+          if (rate > 0.0 && stream.bernoulli(rate))
+            net.migrate_member(member, stream);
+        }
+      }
+    }
+    result.congestion_time = round * config.round_interval;
+  };
+
+  const attack::SuccessiveAttacker attacker{attack, options};
+  result.attack = attacker.execute(overlay, rng);
+
+  // The congestion flood fires with the final round (Algorithm 1 phase 2
+  // follows break-in immediately); everything sampled from here on is
+  // post-flood.
+  if (next_sample < result.congestion_time)
+    next_sample = result.congestion_time;
+  sample_until(result.congestion_time + config.cooldown, rng);
+  return result;
+}
+
+}  // namespace sos::sim

@@ -1,0 +1,56 @@
+#include "sosnet/protocol.h"
+
+namespace sos::sosnet {
+
+ProtocolRouter::Attempt ProtocolRouter::attempt_from(
+    int layer, const std::vector<int>& candidates, common::Rng& rng,
+    DeliveryOutcome& outcome) const {
+  Attempt attempt;
+  const int layers = overlay_.design().layers();
+  std::vector<int> order = candidates;
+  rng.shuffle(order);
+
+  for (const int candidate : order) {
+    ++outcome.messages;
+    if (layer == layers) {
+      // Final hop: candidates are filter indices guarding the target.
+      if (overlay_.filter_congested(candidate)) {
+        attempt.elapsed += config_.timeout;
+        ++outcome.timeouts;
+        continue;
+      }
+      attempt.elapsed += 2.0 * config_.hop_delay;  // deliver + ACK
+      attempt.ok = true;
+      return attempt;
+    }
+
+    if (!overlay_.network().is_good(candidate)) {
+      // Congested or captured: silence, then the retransmission timer.
+      attempt.elapsed += config_.timeout;
+      ++outcome.timeouts;
+      continue;
+    }
+
+    const Attempt sub = attempt_from(
+        layer + 1, overlay_.topology().neighbors(candidate), rng, outcome);
+    attempt.elapsed +=
+        config_.hop_delay + sub.elapsed + config_.hop_delay;  // fwd + reply
+    if (sub.ok) {
+      attempt.ok = true;
+      return attempt;
+    }
+    if (!config_.backtrack) return attempt;  // committed; NACK ends it
+  }
+  return attempt;  // every candidate exhausted -> NACK upstream
+}
+
+DeliveryOutcome ProtocolRouter::deliver(common::Rng& rng) const {
+  DeliveryOutcome outcome;
+  const auto contacts = overlay_.topology().sample_client_contacts(rng);
+  const Attempt attempt = attempt_from(0, contacts, rng, outcome);
+  outcome.delivered = attempt.ok;
+  outcome.latency = attempt.elapsed;
+  return outcome;
+}
+
+}  // namespace sos::sosnet

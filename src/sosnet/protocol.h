@@ -1,0 +1,65 @@
+// Protocol-level delivery simulation: timeouts, failover and backtracking.
+//
+// The paper's availability metric lets a message die the moment it reaches
+// a node whose next-layer neighbors are all bad (Eq. 1 multiplies per-hop
+// probabilities). A real forwarding protocol does more work before giving
+// up: it times out on silent (congested/captured) neighbors, fails over to
+// the next table entry, and — if every entry is exhausted — NACKs upstream
+// so the *previous* node can try its own alternatives. This module
+// simulates that protocol over a SosOverlay and accounts for the latency
+// cost of every retry, yielding two things the analytical model cannot:
+// the true graph-reachability availability (with backtracking) and the
+// latency distribution under attack.
+//
+// Latency model: a forwarded message costs `hop_delay`; an ACK/NACK reply
+// costs `hop_delay` back; a silent neighbor costs a full `timeout` before
+// the sender moves on. Units are abstract (one overlay hop = 1 by default).
+#pragma once
+
+#include "common/rng.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::sosnet {
+
+struct ProtocolConfig {
+  double hop_delay = 1.0;
+  double timeout = 4.0;
+  /// true  = exhaustively backtrack (graph reachability);
+  /// false = the paper's semantics: commit to the first responsive
+  ///         neighbor, fail if its subtree fails.
+  bool backtrack = true;
+};
+
+struct DeliveryOutcome {
+  bool delivered = false;
+  double latency = 0.0;  // time until the client learns the outcome
+  int messages = 0;      // REQUESTs sent (ACK/NACK replies not counted)
+  int timeouts = 0;      // silent-neighbor timer expirations
+};
+
+class ProtocolRouter {
+ public:
+  ProtocolRouter(const SosOverlay& overlay, ProtocolConfig config)
+      : overlay_(overlay), config_(config) {}
+
+  const ProtocolConfig& config() const noexcept { return config_; }
+
+  /// One client request end to end. Neighbor orders are freshly randomized
+  /// per delivery (anycast with failover).
+  DeliveryOutcome deliver(common::Rng& rng) const;
+
+ private:
+  struct Attempt {
+    bool ok = false;
+    double elapsed = 0.0;  // time from this node's first send to its reply
+  };
+
+  /// Runs the failover loop of one node (0-based layer) over `candidates`.
+  Attempt attempt_from(int layer, const std::vector<int>& candidates,
+                       common::Rng& rng, DeliveryOutcome& outcome) const;
+
+  const SosOverlay& overlay_;
+  ProtocolConfig config_;
+};
+
+}  // namespace sos::sosnet

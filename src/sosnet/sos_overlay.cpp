@@ -1,0 +1,174 @@
+#include "sosnet/sos_overlay.h"
+
+#include <algorithm>
+
+namespace sos::sosnet {
+
+namespace {
+
+common::Rng topology_rng(std::uint64_t seed) { return common::Rng{seed}; }
+
+}  // namespace
+
+SosOverlay::SosOverlay(const core::SosDesign& design, std::uint64_t seed)
+    : network_(design.total_overlay_nodes, seed),
+      topology_([&] {
+        auto rng = topology_rng(seed ^ 0xa5a5a5a5a5a5a5a5ull);
+        return Topology{design, rng};
+      }()),
+      filter_congested_(static_cast<std::size_t>(design.filter_count), false) {}
+
+int SosOverlay::migrate_member(int member, common::Rng& rng) {
+  // Reservoir-sample a good bystander without materializing the candidate
+  // list (N is large, candidates plentiful).
+  int recruit = -1;
+  int seen = 0;
+  for (int node = 0; node < network_.size(); ++node) {
+    if (topology_.is_sos_member(node) || !network_.is_good(node)) continue;
+    ++seen;
+    if (rng.next_below(static_cast<std::uint64_t>(seen)) == 0) recruit = node;
+  }
+  if (recruit < 0) return -1;
+  topology_.replace_member(member, recruit, rng);
+  return recruit;
+}
+
+int SosOverlay::congested_filter_count() const {
+  return static_cast<int>(std::count(filter_congested_.begin(),
+                                     filter_congested_.end(), true));
+}
+
+void SosOverlay::reset_health() {
+  network_.reset_health();
+  std::fill(filter_congested_.begin(), filter_congested_.end(), false);
+}
+
+SosOverlay::LayerTally SosOverlay::tally(int layer) const {
+  LayerTally out;
+  for (const int node : topology_.members(layer)) {
+    switch (network_.health(node)) {
+      case overlay::NodeHealth::kBrokenIn:
+        ++out.broken;
+        break;
+      case overlay::NodeHealth::kCongested:
+        ++out.congested;
+        break;
+      case overlay::NodeHealth::kGood:
+        ++out.good;
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<int> SosOverlay::pick_good(const std::vector<int>& candidates,
+                                         common::Rng& rng) const {
+  int good = 0;
+  for (const int node : candidates)
+    if (network_.is_good(node)) ++good;
+  if (good == 0) return std::nullopt;
+  int skip = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(good)));
+  for (const int node : candidates) {
+    if (!network_.is_good(node)) continue;
+    if (skip-- == 0) return node;
+  }
+  return std::nullopt;  // unreachable
+}
+
+WalkResult SosOverlay::route_message(common::Rng& rng) const {
+  WalkResult result;
+  const int layers = design().layers();
+
+  const auto contacts = topology_.sample_client_contacts(rng);
+  auto current = pick_good(contacts, rng);
+  if (!current) return result;
+  ++result.layer_hops;
+  result.path.push_back(*current);
+
+  for (int layer = 0; layer < layers - 1; ++layer) {
+    current = pick_good(topology_.neighbors(*current), rng);
+    if (!current) return result;
+    ++result.layer_hops;
+    result.path.push_back(*current);
+  }
+
+  // Final hop: the Layer-L node forwards through one of its filters.
+  const auto& filters = topology_.neighbors(*current);
+  int good = 0;
+  for (const int filter : filters)
+    if (!filter_congested_[static_cast<std::size_t>(filter)]) ++good;
+  if (good == 0) return result;
+  int skip = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(good)));
+  for (const int filter : filters) {
+    if (filter_congested_[static_cast<std::size_t>(filter)]) continue;
+    if (skip-- == 0) {
+      result.filter_used = filter;
+      break;
+    }
+  }
+  ++result.layer_hops;
+  result.delivered = true;
+  return result;
+}
+
+const overlay::ChordRing& SosOverlay::chord() const {
+  if (!chord_) {
+    chord_ = std::make_unique<overlay::ChordRing>(network_.ids());
+  }
+  return *chord_;
+}
+
+WalkResult SosOverlay::route_message_via_chord(common::Rng& rng) const {
+  WalkResult result;
+  const auto& ring = chord();
+  const int layers = design().layers();
+
+  // Ring indices are id-sorted; build the inverse map (ring index ->
+  // overlay node) lazily alongside the ring.
+  if (ring_to_overlay_.empty()) {
+    ring_to_overlay_.resize(static_cast<std::size_t>(network_.size()));
+    for (int node = 0; node < network_.size(); ++node) {
+      const int ring_index = ring.successor_index(network_.id_of(node));
+      ring_to_overlay_[static_cast<std::size_t>(ring_index)] = node;
+    }
+  }
+  const auto is_alive = [this](int ring_index) {
+    return network_.is_good(
+        ring_to_overlay_[static_cast<std::size_t>(ring_index)]);
+  };
+  const auto chord_reachable = [&](int from_node, int to_node) {
+    const int from_ring = ring.successor_index(network_.id_of(from_node));
+    const auto lookup =
+        ring.lookup(from_ring, network_.id_of(to_node), is_alive);
+    if (lookup.ok) result.transport_hops += lookup.hops;
+    return lookup.ok;
+  };
+
+  const auto contacts = topology_.sample_client_contacts(rng);
+  auto current = pick_good(contacts, rng);
+  if (!current) return result;
+  ++result.layer_hops;
+  result.path.push_back(*current);
+
+  for (int layer = 0; layer < layers - 1; ++layer) {
+    const auto next = pick_good(topology_.neighbors(*current), rng);
+    if (!next) return result;
+    if (!chord_reachable(*current, *next)) return result;
+    current = next;
+    ++result.layer_hops;
+    result.path.push_back(*current);
+  }
+
+  const auto& filters = topology_.neighbors(*current);
+  for (const int filter : filters) {
+    if (!filter_congested_[static_cast<std::size_t>(filter)]) {
+      result.filter_used = filter;
+      ++result.layer_hops;
+      result.delivered = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace sos::sosnet

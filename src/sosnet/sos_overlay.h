@@ -1,0 +1,95 @@
+// SosOverlay — the runnable system: topology + node health + routing.
+//
+// Combines a concrete Topology with the overlay Network health state and a
+// filter-ring health vector, and implements the paper's distributed routing
+// walk: a client contacts one of its m_1 Layer-1 contacts; each node
+// forwards to a uniformly chosen *good* next-layer neighbor; delivery
+// succeeds when a good filter is reached. An optional Chord fidelity mode
+// additionally routes every inter-layer step through the Chord ring over
+// all N overlay nodes (the original SOS transport), so congested bystanders
+// can also break paths.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/design.h"
+#include "overlay/chord.h"
+#include "overlay/network.h"
+#include "sosnet/topology.h"
+
+namespace sos::sosnet {
+
+struct WalkResult {
+  bool delivered = false;
+  int layer_hops = 0;       // SOS-layer hops taken (client hop included)
+  int transport_hops = 0;   // Chord hops underneath (chord mode only)
+  std::vector<int> path;    // overlay node indices visited, in order
+  int filter_used = -1;     // filter index that accepted the message
+};
+
+class SosOverlay {
+ public:
+  /// Builds network, topology and neighbor tables from `seed`.
+  SosOverlay(const core::SosDesign& design, std::uint64_t seed);
+
+  const core::SosDesign& design() const noexcept { return topology_.design(); }
+  const Topology& topology() const noexcept { return topology_; }
+  /// Mutable access for defensive reconfiguration (role migration).
+  Topology& mutable_topology() noexcept { return topology_; }
+
+  /// Defensive role migration: retires `member` (keeps its health as an
+  /// ordinary bystander) and recruits a uniformly chosen *good* non-member
+  /// in its place. Returns the recruit, or -1 when no good bystander is
+  /// left.
+  int migrate_member(int member, common::Rng& rng);
+  overlay::Network& network() noexcept { return network_; }
+  const overlay::Network& network() const noexcept { return network_; }
+
+  int filter_count() const { return design().filter_count; }
+  bool filter_congested(int filter) const {
+    return filter_congested_.at(static_cast<std::size_t>(filter));
+  }
+  void set_filter_congested(int filter, bool congested) {
+    filter_congested_.at(static_cast<std::size_t>(filter)) = congested;
+  }
+  int congested_filter_count() const;
+
+  /// Restores every overlay node and filter to healthy.
+  void reset_health();
+
+  /// Per-layer health tally (0-based layer; broken/congested counts).
+  struct LayerTally {
+    int broken = 0;
+    int congested = 0;
+    int good = 0;
+  };
+  LayerTally tally(int layer) const;
+
+  /// One client message attempt through the layered overlay.
+  WalkResult route_message(common::Rng& rng) const;
+
+  /// Same walk, but every inter-layer edge must also be realizable as a
+  /// Chord lookup through alive overlay nodes. Builds the ring on first use
+  /// (it is membership-static).
+  WalkResult route_message_via_chord(common::Rng& rng) const;
+
+  /// Ring accessor (built on demand); exposed for the Chord benches.
+  const overlay::ChordRing& chord() const;
+
+ private:
+  /// Picks a uniformly random good entry of `candidates` (overlay nodes);
+  /// nullopt when all are bad.
+  std::optional<int> pick_good(const std::vector<int>& candidates,
+                               common::Rng& rng) const;
+
+  overlay::Network network_;
+  Topology topology_;
+  std::vector<bool> filter_congested_;
+  mutable std::unique_ptr<overlay::ChordRing> chord_;  // lazy
+  mutable std::vector<int> ring_to_overlay_;           // ring index -> node
+};
+
+}  // namespace sos::sosnet

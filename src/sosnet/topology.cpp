@@ -1,0 +1,117 @@
+#include "sosnet/topology.h"
+
+#include <stdexcept>
+
+namespace sos::sosnet {
+
+Topology::Topology(const core::SosDesign& design, common::Rng& rng)
+    : design_(design) {
+  design_.validate();
+  const int big_n = design_.total_overlay_nodes;
+  const int layers = design_.layers();
+
+  layer_of_.assign(static_cast<std::size_t>(big_n), -1);
+  members_.resize(static_cast<std::size_t>(layers));
+  neighbors_.resize(static_cast<std::size_t>(big_n));
+
+  // Uniformly choose which overlay nodes serve, then slice the (already
+  // random) sample into layers in order.
+  const auto chosen = rng.sample_without_replacement(
+      static_cast<std::uint64_t>(big_n),
+      static_cast<std::uint64_t>(design_.sos_node_count()));
+  std::size_t cursor = 0;
+  for (int layer = 0; layer < layers; ++layer) {
+    auto& layer_members = members_[static_cast<std::size_t>(layer)];
+    layer_members.reserve(static_cast<std::size_t>(design_.layer_size(layer + 1)));
+    for (int k = 0; k < design_.layer_size(layer + 1); ++k) {
+      const int node = static_cast<int>(chosen[cursor++]);
+      layer_of_[static_cast<std::size_t>(node)] = layer;
+      layer_members.push_back(node);
+    }
+  }
+
+  // Neighbor tables: m_{i+1} distinct random members of the next layer; the
+  // last layer points at filters instead.
+  for (int layer = 0; layer < layers; ++layer) {
+    const bool last = layer == layers - 1;
+    const int next_size = last ? design_.filter_count
+                               : design_.layer_size(layer + 2);
+    const int degree = design_.degree_into(layer + 2);
+    const auto& next_members =
+        last ? std::vector<int>{} : members_[static_cast<std::size_t>(layer + 1)];
+    for (const int node : members_[static_cast<std::size_t>(layer)]) {
+      const auto picks = rng.sample_without_replacement(
+          static_cast<std::uint64_t>(next_size),
+          static_cast<std::uint64_t>(degree));
+      auto& table = neighbors_[static_cast<std::size_t>(node)];
+      table.reserve(picks.size());
+      for (const auto pick : picks) {
+        table.push_back(last ? static_cast<int>(pick)
+                             : next_members[static_cast<std::size_t>(pick)]);
+      }
+    }
+  }
+}
+
+void Topology::replace_member(int old_node, int new_node, common::Rng& rng) {
+  const int layer = layer_of(old_node);
+  if (layer < 0)
+    throw std::invalid_argument("Topology::replace_member: not a member");
+  if (layer_of(new_node) >= 0)
+    throw std::invalid_argument(
+        "Topology::replace_member: replacement already serves");
+
+  // Swap the membership records.
+  layer_of_[static_cast<std::size_t>(old_node)] = -1;
+  layer_of_[static_cast<std::size_t>(new_node)] = layer;
+  for (int& member : members_[static_cast<std::size_t>(layer)]) {
+    if (member == old_node) {
+      member = new_node;
+      break;
+    }
+  }
+
+  // Fresh next-layer table for the recruit (same degree policy); the old
+  // node's table is revoked.
+  const int layers = design_.layers();
+  const bool last = layer == layers - 1;
+  const int next_size =
+      last ? design_.filter_count : design_.layer_size(layer + 2);
+  const int degree = design_.degree_into(layer + 2);
+  auto& table = neighbors_[static_cast<std::size_t>(new_node)];
+  table.clear();
+  const auto picks = rng.sample_without_replacement(
+      static_cast<std::uint64_t>(next_size),
+      static_cast<std::uint64_t>(degree));
+  for (const auto pick : picks) {
+    table.push_back(last ? static_cast<int>(pick)
+                         : members_[static_cast<std::size_t>(layer + 1)]
+                                   [static_cast<std::size_t>(pick)]);
+  }
+  neighbors_[static_cast<std::size_t>(old_node)].clear();
+
+  // Re-issue upstream routing state: previous-layer tables that pointed at
+  // the retired node now point at its replacement.
+  if (layer > 0) {
+    for (const int upstream : members_[static_cast<std::size_t>(layer - 1)]) {
+      for (int& entry : neighbors_[static_cast<std::size_t>(upstream)]) {
+        if (entry == old_node) entry = new_node;
+      }
+    }
+  }
+}
+
+std::vector<int> Topology::sample_client_contacts(common::Rng& rng) const {
+  const int degree = design_.degree_into(1);
+  const auto& first_layer = members_.front();
+  const auto picks = rng.sample_without_replacement(
+      static_cast<std::uint64_t>(first_layer.size()),
+      static_cast<std::uint64_t>(degree));
+  std::vector<int> contacts;
+  contacts.reserve(picks.size());
+  for (const auto pick : picks)
+    contacts.push_back(first_layer[static_cast<std::size_t>(pick)]);
+  return contacts;
+}
+
+}  // namespace sos::sosnet

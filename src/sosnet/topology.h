@@ -1,0 +1,61 @@
+// Concrete realization of a SosDesign over an overlay-node population.
+//
+// Picks which of the N overlay nodes serve in which SOS layer, and builds
+// the neighbor tables the design's mapping policy prescribes: every Layer-i
+// node knows m_{i+1} distinct nodes of Layer i+1, and every Layer-L node
+// knows m_{L+1} of the filters. Layer membership and table contents are
+// uniformly random per instantiation (fresh randomness per Monte Carlo
+// trial), which is exactly the distribution the paper's average-case
+// analysis assumes.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/design.h"
+
+namespace sos::sosnet {
+
+class Topology {
+ public:
+  /// Samples SOS membership and neighbor tables for `design` from `rng`.
+  Topology(const core::SosDesign& design, common::Rng& rng);
+
+  const core::SosDesign& design() const noexcept { return design_; }
+
+  /// 0-based layer of an overlay node, or -1 for innocent bystanders.
+  int layer_of(int node) const { return layer_of_.at(static_cast<std::size_t>(node)); }
+  bool is_sos_member(int node) const { return layer_of(node) >= 0; }
+
+  /// Overlay indices of the members of 0-based layer `layer`.
+  const std::vector<int>& members(int layer) const {
+    return members_.at(static_cast<std::size_t>(layer));
+  }
+
+  /// Next-layer neighbor table of an SOS node. For nodes in the last layer
+  /// the entries are *filter* indices in [0, filter_count); for every other
+  /// layer they are overlay node indices. Empty for non-members.
+  const std::vector<int>& neighbors(int node) const {
+    return neighbors_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Nodes of layer 0 a fresh client would contact (m_1 distinct members).
+  std::vector<int> sample_client_contacts(common::Rng& rng) const;
+
+  /// Role migration (defensive reconfiguration, Section 5 territory): hands
+  /// `old_node`'s SOS role to `new_node` (must be a non-member). The new
+  /// node inherits a *fresh* random neighbor table into the next layer, and
+  /// every previous-layer table entry pointing at old_node is rewritten to
+  /// new_node (the overlay re-issues routing state, as SOS's secret-servlet
+  /// reassignment does). old_node becomes an ordinary bystander whose
+  /// identity is worthless to an attacker.
+  void replace_member(int old_node, int new_node, common::Rng& rng);
+
+ private:
+  core::SosDesign design_;
+  std::vector<int> layer_of_;                 // size N
+  std::vector<std::vector<int>> members_;     // L layers
+  std::vector<std::vector<int>> neighbors_;   // size N (empty for innocents)
+};
+
+}  // namespace sos::sosnet

@@ -1,0 +1,148 @@
+#include "attack/one_burst_attacker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sos::attack {
+namespace {
+
+core::SosDesign design_with(core::MappingPolicy mapping, int layers = 3,
+                            int total = 2000, int sos = 60) {
+  return core::SosDesign::make(total, sos, layers, 10, mapping);
+}
+
+TEST(OneBurstAttacker, RespectsBudgetsExactly) {
+  const auto design = design_with(core::MappingPolicy::one_to_five());
+  sosnet::SosOverlay overlay{design, 1};
+  common::Rng rng{2};
+  const OneBurstAttacker attacker{core::OneBurstAttack{300, 400, 0.5}};
+  const auto outcome = attacker.execute(overlay, rng);
+
+  EXPECT_EQ(outcome.break_in_attempts, 300);
+  EXPECT_LE(outcome.broken_in, 300);
+  EXPECT_EQ(outcome.broken_in, overlay.network().broken_in_count());
+  EXPECT_EQ(outcome.congested_nodes, overlay.network().congested_count());
+  EXPECT_LE(outcome.congested_nodes + outcome.congested_filters, 400);
+  // Budget is fully spent when enough targets exist.
+  EXPECT_EQ(outcome.congested_nodes + outcome.congested_filters, 400);
+}
+
+TEST(OneBurstAttacker, ZeroBudgetsAreNoOp) {
+  const auto design = design_with(core::MappingPolicy::one_to_five());
+  sosnet::SosOverlay overlay{design, 3};
+  common::Rng rng{4};
+  const OneBurstAttacker attacker{core::OneBurstAttack{0, 0, 0.5}};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.broken_in, 0);
+  EXPECT_EQ(outcome.congested_nodes, 0);
+  EXPECT_EQ(overlay.network().good_count(), overlay.network().size());
+}
+
+TEST(OneBurstAttacker, CertainBreakInBreaksEveryAttemptedNode) {
+  const auto design = design_with(core::MappingPolicy::one_to_one());
+  sosnet::SosOverlay overlay{design, 5};
+  common::Rng rng{6};
+  const OneBurstAttacker attacker{core::OneBurstAttack{500, 0, 1.0}};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.broken_in, 500);
+}
+
+TEST(OneBurstAttacker, ImpossibleBreakInBreaksNothing) {
+  const auto design = design_with(core::MappingPolicy::one_to_one());
+  sosnet::SosOverlay overlay{design, 7};
+  common::Rng rng{8};
+  const OneBurstAttacker attacker{core::OneBurstAttack{500, 0, 0.0}};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.broken_in, 0);
+  EXPECT_EQ(outcome.disclosed_at_congestion, 0);
+}
+
+TEST(OneBurstAttacker, BrokenNodesAreNeverCongested) {
+  const auto design = design_with(core::MappingPolicy::one_to_all());
+  sosnet::SosOverlay overlay{design, 9};
+  common::Rng rng{10};
+  // Huge budgets: everything good gets congested, but broken stays broken.
+  const OneBurstAttacker attacker{core::OneBurstAttack{1000, 2000, 0.5}};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_GT(outcome.broken_in, 0);
+  EXPECT_EQ(overlay.network().broken_in_count(), outcome.broken_in);
+  EXPECT_EQ(overlay.network().size(), overlay.network().broken_in_count() +
+                                          overlay.network().congested_count() +
+                                          overlay.network().good_count());
+}
+
+TEST(OneBurstAttacker, FiltersOnlyCongestedUponDisclosure) {
+  const auto design = design_with(core::MappingPolicy::one_to_all());
+  // No break-ins: filters must stay clean no matter the congestion budget.
+  sosnet::SosOverlay overlay{design, 11};
+  common::Rng rng{12};
+  const OneBurstAttacker attacker{core::OneBurstAttack{0, 1500, 0.5}};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.congested_filters, 0);
+  EXPECT_EQ(overlay.congested_filter_count(), 0);
+}
+
+TEST(OneBurstAttacker, DisclosureFollowsBrokenLastLayerNodes) {
+  const auto design = design_with(core::MappingPolicy::one_to_all());
+  sosnet::SosOverlay overlay{design, 13};
+  common::Rng rng{14};
+  // Break into everything: all layer-3 nodes captured -> all filters known.
+  const OneBurstAttacker attacker{core::OneBurstAttack{2000, 2000, 1.0}};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.congested_filters, design.filter_count);
+}
+
+TEST(OneBurstAttacker, ScarceCongestionHitsOnlyDisclosedNodes) {
+  const auto design = design_with(core::MappingPolicy::one_to_all());
+  sosnet::SosOverlay overlay{design, 15};
+  common::Rng rng{16};
+  const OneBurstAttacker attacker{core::OneBurstAttack{400, 5, 0.5}};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_LE(outcome.congested_nodes + outcome.congested_filters, 5);
+  // Every congested overlay node must be an SOS member (only they can be
+  // disclosed) — random spill would have hit bystanders too.
+  for (int node = 0; node < overlay.network().size(); ++node) {
+    if (overlay.network().health(node) == overlay::NodeHealth::kCongested) {
+      EXPECT_TRUE(overlay.topology().is_sos_member(node));
+    }
+  }
+}
+
+TEST(OneBurstAttacker, PerLayerCountsAddUp) {
+  const auto design = design_with(core::MappingPolicy::one_to_five(), 4);
+  sosnet::SosOverlay overlay{design, 17};
+  common::Rng rng{18};
+  const OneBurstAttacker attacker{core::OneBurstAttack{800, 600, 0.5}};
+  const auto outcome = attacker.execute(overlay, rng);
+  for (int layer = 0; layer < 4; ++layer) {
+    const auto tally = overlay.tally(layer);
+    EXPECT_EQ(tally.broken, outcome.broken_per_layer[layer]);
+    EXPECT_EQ(tally.congested, outcome.congested_per_layer[layer]);
+  }
+}
+
+TEST(OneBurstAttacker, BreakInRateMatchesPB) {
+  const auto design = design_with(core::MappingPolicy::one_to_one());
+  common::RunningStats rate;
+  for (int trial = 0; trial < 60; ++trial) {
+    sosnet::SosOverlay overlay{design, 100 + static_cast<std::uint64_t>(trial)};
+    common::Rng rng{200 + static_cast<std::uint64_t>(trial)};
+    const OneBurstAttacker attacker{core::OneBurstAttack{400, 0, 0.3}};
+    const auto outcome = attacker.execute(overlay, rng);
+    rate.add(static_cast<double>(outcome.broken_in) / 400.0);
+  }
+  EXPECT_NEAR(rate.mean(), 0.3, 0.02);
+}
+
+TEST(OneBurstAttacker, RejectsOversizedBudgets) {
+  const auto design = design_with(core::MappingPolicy::one_to_one());
+  sosnet::SosOverlay overlay{design, 19};
+  common::Rng rng{20};
+  const OneBurstAttacker attacker{core::OneBurstAttack{5000, 0, 0.5}};
+  EXPECT_THROW(attacker.execute(overlay, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sos::attack

@@ -1,0 +1,193 @@
+// Direct unit tests for the break-in / congestion primitives every attacker
+// is built from (the attacker tests cover them end to end; these pin the
+// contracts).
+#include <gtest/gtest.h>
+
+#include "attack/break_in.h"
+#include "attack/congestion.h"
+#include "common/rng.h"
+
+namespace sos::attack {
+namespace {
+
+struct Fixture {
+  core::SosDesign design = core::SosDesign::make(
+      200, 30, 3, 10, core::MappingPolicy::one_to_five());
+  sosnet::SosOverlay overlay{design, 11};
+  AttackerKnowledge knowledge{200, 10};
+  AttackOutcome outcome;
+  common::Rng rng{13};
+
+  Fixture() {
+    outcome.broken_per_layer.assign(3, 0);
+    outcome.congested_per_layer.assign(3, 0);
+  }
+
+  int member(int layer, int index = 0) {
+    return overlay.topology().members(layer)[static_cast<std::size_t>(index)];
+  }
+  int bystander() {
+    for (int node = 0; node < overlay.network().size(); ++node)
+      if (!overlay.topology().is_sos_member(node)) return node;
+    return -1;
+  }
+};
+
+TEST(BreakIn, SuccessfulAttemptDisclosesNextLayer) {
+  Fixture f;
+  const int victim = f.member(0);
+  const bool success =
+      attempt_break_in(f.overlay, victim, 1.0, f.knowledge, f.rng, f.outcome);
+  ASSERT_TRUE(success);
+  EXPECT_EQ(f.overlay.network().health(victim),
+            overlay::NodeHealth::kBrokenIn);
+  EXPECT_TRUE(f.knowledge.attempted(victim));
+  EXPECT_EQ(f.outcome.broken_in, 1);
+  EXPECT_EQ(f.outcome.broken_per_layer[0], 1);
+  // Every neighbor of the victim is now disclosed.
+  for (const int neighbor : f.overlay.topology().neighbors(victim))
+    EXPECT_TRUE(f.knowledge.disclosed(neighbor));
+  EXPECT_EQ(f.knowledge.disclosed_count(),
+            static_cast<int>(f.overlay.topology().neighbors(victim).size()));
+}
+
+TEST(BreakIn, FailedAttemptOnlyMarksAttempted) {
+  Fixture f;
+  const int victim = f.member(1);
+  const bool success =
+      attempt_break_in(f.overlay, victim, 0.0, f.knowledge, f.rng, f.outcome);
+  EXPECT_FALSE(success);
+  EXPECT_TRUE(f.knowledge.attempted(victim));
+  EXPECT_TRUE(f.overlay.network().is_good(victim));
+  EXPECT_EQ(f.outcome.break_in_attempts, 1);
+  EXPECT_EQ(f.outcome.broken_in, 0);
+  EXPECT_EQ(f.knowledge.disclosed_count(), 0);
+}
+
+TEST(BreakIn, LastLayerDisclosesFiltersNotNodes) {
+  Fixture f;
+  const int victim = f.member(2);
+  ASSERT_TRUE(
+      attempt_break_in(f.overlay, victim, 1.0, f.knowledge, f.rng, f.outcome));
+  EXPECT_EQ(f.knowledge.disclosed_count(), 0);
+  EXPECT_EQ(f.knowledge.disclosed_filter_count(),
+            static_cast<int>(f.overlay.topology().neighbors(victim).size()));
+}
+
+TEST(BreakIn, BystanderDisclosesNothing) {
+  Fixture f;
+  const int victim = f.bystander();
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(
+      attempt_break_in(f.overlay, victim, 1.0, f.knowledge, f.rng, f.outcome));
+  EXPECT_EQ(f.outcome.broken_in, 1);
+  EXPECT_EQ(f.outcome.broken_per_layer[0] + f.outcome.broken_per_layer[1] +
+                f.outcome.broken_per_layer[2],
+            0);
+  EXPECT_EQ(f.knowledge.disclosed_count(), 0);
+}
+
+TEST(BreakIn, AlreadyBrokenNodeIsSkipped) {
+  Fixture f;
+  const int victim = f.member(0);
+  ASSERT_TRUE(
+      attempt_break_in(f.overlay, victim, 1.0, f.knowledge, f.rng, f.outcome));
+  EXPECT_FALSE(
+      attempt_break_in(f.overlay, victim, 1.0, f.knowledge, f.rng, f.outcome));
+  EXPECT_EQ(f.outcome.break_in_attempts, 1);  // second call is a no-op
+}
+
+TEST(BreakIn, CongestedNodeCanStillBeBrokenInto) {
+  Fixture f;
+  const int victim = f.member(0);
+  f.overlay.network().set_health(victim, overlay::NodeHealth::kCongested);
+  EXPECT_TRUE(
+      attempt_break_in(f.overlay, victim, 1.0, f.knowledge, f.rng, f.outcome));
+  EXPECT_EQ(f.overlay.network().health(victim),
+            overlay::NodeHealth::kBrokenIn);
+}
+
+TEST(Congestion, CongestNodeTransitions) {
+  Fixture f;
+  const int victim = f.member(1, 2);
+  EXPECT_TRUE(congest_node(f.overlay, victim, f.outcome));
+  EXPECT_EQ(f.overlay.network().health(victim),
+            overlay::NodeHealth::kCongested);
+  EXPECT_EQ(f.outcome.congested_per_layer[1], 1);
+  // Idempotent; never applied to broken nodes.
+  EXPECT_FALSE(congest_node(f.overlay, victim, f.outcome));
+  const int captured = f.member(0);
+  f.overlay.network().set_health(captured, overlay::NodeHealth::kBrokenIn);
+  EXPECT_FALSE(congest_node(f.overlay, captured, f.outcome));
+  EXPECT_EQ(f.outcome.congested_nodes, 1);
+}
+
+TEST(Congestion, PhaseCongestsDisclosedFirstThenSpills) {
+  Fixture f;
+  // Disclose three members and two filters.
+  f.knowledge.disclose(f.member(1, 0));
+  f.knowledge.disclose(f.member(1, 1));
+  f.knowledge.disclose(f.member(2, 0));
+  f.knowledge.disclose_filter(0);
+  f.knowledge.disclose_filter(7);
+  execute_congestion_phase(f.overlay, f.knowledge, 20, f.rng, f.outcome);
+
+  EXPECT_EQ(f.outcome.disclosed_at_congestion, 5);
+  // All disclosed targets congested...
+  EXPECT_FALSE(f.overlay.network().is_good(f.member(1, 0)));
+  EXPECT_FALSE(f.overlay.network().is_good(f.member(1, 1)));
+  EXPECT_FALSE(f.overlay.network().is_good(f.member(2, 0)));
+  EXPECT_TRUE(f.overlay.filter_congested(0));
+  EXPECT_TRUE(f.overlay.filter_congested(7));
+  // ...and the full budget was spent (spill-over onto 15 random nodes).
+  EXPECT_EQ(f.outcome.congested_nodes + f.outcome.congested_filters, 20);
+}
+
+TEST(Congestion, ScarceBudgetPicksASubsetOfDisclosed) {
+  Fixture f;
+  for (int i = 0; i < 8; ++i) f.knowledge.disclose(f.member(0, i));
+  execute_congestion_phase(f.overlay, f.knowledge, 3, f.rng, f.outcome);
+  EXPECT_EQ(f.outcome.congested_nodes, 3);
+  EXPECT_EQ(f.outcome.disclosed_at_congestion, 8);
+  // Nothing outside the disclosed set was touched.
+  EXPECT_EQ(f.overlay.network().congested_count(), 3);
+  int congested_members = 0;
+  for (int i = 0; i < 8; ++i)
+    if (!f.overlay.network().is_good(f.member(0, i))) ++congested_members;
+  EXPECT_EQ(congested_members, 3);
+}
+
+TEST(Congestion, BrokenDisclosedNodesAreNotTargets) {
+  Fixture f;
+  const int captured = f.member(1, 0);
+  f.knowledge.disclose(captured);
+  f.overlay.network().set_health(captured, overlay::NodeHealth::kBrokenIn);
+  execute_congestion_phase(f.overlay, f.knowledge, 1, f.rng, f.outcome);
+  EXPECT_EQ(f.outcome.disclosed_at_congestion, 0);
+  EXPECT_EQ(f.overlay.network().health(captured),
+            overlay::NodeHealth::kBrokenIn);
+  // Budget went to the random spill instead.
+  EXPECT_EQ(f.outcome.congested_nodes, 1);
+}
+
+TEST(Congestion, SpillNeverHitsFilters) {
+  Fixture f;
+  execute_congestion_phase(f.overlay, f.knowledge, 150, f.rng, f.outcome);
+  EXPECT_EQ(f.outcome.congested_filters, 0);
+  EXPECT_EQ(f.overlay.congested_filter_count(), 0);
+  EXPECT_EQ(f.outcome.congested_nodes, 150);
+}
+
+TEST(Congestion, BudgetLargerThanPoolCongestsEverythingCongestable) {
+  Fixture f;
+  const int captured = f.member(0);
+  f.overlay.network().set_health(captured, overlay::NodeHealth::kBrokenIn);
+  execute_congestion_phase(f.overlay, f.knowledge, 200, f.rng, f.outcome);
+  // Everything good got congested; the broken node stayed broken.
+  EXPECT_EQ(f.overlay.network().good_count(), 0);
+  EXPECT_EQ(f.overlay.network().broken_in_count(), 1);
+  EXPECT_EQ(f.outcome.congested_nodes, 199);
+}
+
+}  // namespace
+}  // namespace sos::attack

@@ -1,0 +1,72 @@
+#include "attack/random_congestion_attacker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sos::attack {
+namespace {
+
+core::SosDesign baseline_design(int total = 2000, int sos = 60) {
+  return core::SosDesign::make(total, sos, 3, 10,
+                               core::MappingPolicy::one_to_all());
+}
+
+TEST(RandomCongestionAttacker, CongestsExactlyTheBudget) {
+  sosnet::SosOverlay overlay{baseline_design(), 1};
+  common::Rng rng{2};
+  const RandomCongestionAttacker attacker{700};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.congested_nodes, 700);
+  EXPECT_EQ(overlay.network().congested_count(), 700);
+  EXPECT_EQ(outcome.broken_in, 0);
+  EXPECT_EQ(outcome.break_in_attempts, 0);
+}
+
+TEST(RandomCongestionAttacker, NeverTouchesFilters) {
+  sosnet::SosOverlay overlay{baseline_design(), 3};
+  common::Rng rng{4};
+  const RandomCongestionAttacker attacker{1999};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.congested_filters, 0);
+  EXPECT_EQ(overlay.congested_filter_count(), 0);
+}
+
+TEST(RandomCongestionAttacker, HitsSosNodesProportionally) {
+  common::RunningStats sos_hit;
+  for (int trial = 0; trial < 50; ++trial) {
+    sosnet::SosOverlay overlay{baseline_design(),
+                               10 + static_cast<std::uint64_t>(trial)};
+    common::Rng rng{90 + static_cast<std::uint64_t>(trial)};
+    const RandomCongestionAttacker attacker{500};  // 25% of the overlay
+    const auto outcome = attacker.execute(overlay, rng);
+    int sos = 0;
+    for (const int count : outcome.congested_per_layer) sos += count;
+    sos_hit.add(sos);
+  }
+  EXPECT_NEAR(sos_hit.mean(), 15.0, 2.0);  // 25% of 60 SOS nodes
+}
+
+TEST(RandomCongestionAttacker, FullBudgetCongestsEveryone) {
+  sosnet::SosOverlay overlay{baseline_design(), 5};
+  common::Rng rng{6};
+  const RandomCongestionAttacker attacker{2000};
+  attacker.execute(overlay, rng);
+  EXPECT_EQ(overlay.network().good_count(), 0);
+  // ... yet the filters survive, so the target itself stays reachable only
+  // through them; the walk still fails for lack of good SOS nodes.
+  EXPECT_FALSE(overlay.route_message(rng).delivered);
+}
+
+TEST(RandomCongestionAttacker, RejectsBadBudget) {
+  sosnet::SosOverlay overlay{baseline_design(), 7};
+  common::Rng rng{8};
+  EXPECT_THROW(RandomCongestionAttacker{-1}.execute(overlay, rng),
+               std::invalid_argument);
+  EXPECT_THROW(RandomCongestionAttacker{2001}.execute(overlay, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sos::attack

@@ -1,0 +1,180 @@
+#include "attack/successive_attacker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sos::attack {
+namespace {
+
+core::SosDesign design_with(core::MappingPolicy mapping, int layers = 3,
+                            int total = 2000, int sos = 60) {
+  return core::SosDesign::make(total, sos, layers, 10, mapping);
+}
+
+core::SuccessiveAttack attack_config(int budget_t, int budget_c, int rounds,
+                                     double prior, double p_break = 0.5) {
+  core::SuccessiveAttack config;
+  config.break_in_budget = budget_t;
+  config.congestion_budget = budget_c;
+  config.break_in_success = p_break;
+  config.prior_knowledge = prior;
+  config.rounds = rounds;
+  return config;
+}
+
+TEST(SuccessiveAttacker, NeverExceedsBreakInBudget) {
+  for (int rounds : {1, 2, 3, 7}) {
+    for (int budget : {0, 10, 100, 500}) {
+      const auto design = design_with(core::MappingPolicy::one_to_five());
+      sosnet::SosOverlay overlay{design, 1};
+      common::Rng rng{2};
+      const SuccessiveAttacker attacker{
+          attack_config(budget, 200, rounds, 0.2)};
+      const auto outcome = attacker.execute(overlay, rng);
+      EXPECT_LE(outcome.break_in_attempts, budget)
+          << "R=" << rounds << " NT=" << budget;
+      EXPECT_LE(outcome.rounds_executed, std::max(rounds, 1));
+    }
+  }
+}
+
+TEST(SuccessiveAttacker, SpendsFullBudgetWhenTargetsAbound) {
+  const auto design = design_with(core::MappingPolicy::one_to_five());
+  sosnet::SosOverlay overlay{design, 3};
+  common::Rng rng{4};
+  const SuccessiveAttacker attacker{attack_config(300, 200, 3, 0.2)};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.break_in_attempts, 300);
+}
+
+TEST(SuccessiveAttacker, PriorKnowledgeIsAttackedFirst) {
+  const auto design = design_with(core::MappingPolicy::one_to_one());
+  sosnet::SosOverlay overlay{design, 5};
+  common::Rng rng{6};
+  // P_E = 1: the whole first layer (20 nodes) is known. With budget 10 and
+  // one round the attacker can only attack 10 of them (case 4); the rest
+  // must be congested in phase 2.
+  const SuccessiveAttacker attacker{attack_config(10, 2000, 1, 1.0)};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.break_in_attempts, 10);
+  const auto tally = overlay.tally(0);
+  // Every first-layer node is either broken (successful attempt) or
+  // congested (failed attempt or never-attacked disclosure).
+  EXPECT_EQ(tally.good, 0);
+}
+
+TEST(SuccessiveAttacker, RoundsCascadeDownTheLayers) {
+  // With certain break-ins and generous per-round budget the attack reaches
+  // one layer deeper each round.
+  const auto design = design_with(core::MappingPolicy::one_to_five(), 4);
+  sosnet::SosOverlay overlay{design, 7};
+  common::Rng rng{8};
+  const SuccessiveAttacker attacker{attack_config(60, 0, 3, 0.3, 1.0)};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_GT(outcome.broken_per_layer[0], 0);
+  EXPECT_GT(outcome.broken_per_layer[1], 0);
+  EXPECT_GT(outcome.broken_per_layer[2], 0);
+  // Layer-4 disclosures arrive in round 3 and are never attacked; only the
+  // occasional *random* top-up attempt can land there.
+  EXPECT_LT(outcome.broken_per_layer[3], outcome.broken_per_layer[2]);
+  EXPECT_LE(outcome.broken_per_layer[3], 3);
+}
+
+TEST(SuccessiveAttacker, SingleRoundNoPriorEqualsOneBurstShape) {
+  // Statistical equivalence check on the attack footprint.
+  const auto design = design_with(core::MappingPolicy::one_to_five());
+  common::RunningStats broken;
+  for (int trial = 0; trial < 40; ++trial) {
+    sosnet::SosOverlay overlay{design, 50 + static_cast<std::uint64_t>(trial)};
+    common::Rng rng{80 + static_cast<std::uint64_t>(trial)};
+    const SuccessiveAttacker attacker{attack_config(400, 0, 1, 0.0)};
+    broken.add(attacker.execute(overlay, rng).broken_in);
+  }
+  EXPECT_NEAR(broken.mean(), 200.0, 15.0);  // P_B * N_T
+}
+
+TEST(SuccessiveAttacker, MoreRoundsBreakMoreSosNodes) {
+  const auto design = design_with(core::MappingPolicy::one_to_five());
+  const auto sos_broken_with_rounds = [&](int rounds) {
+    common::RunningStats stats;
+    for (int trial = 0; trial < 40; ++trial) {
+      sosnet::SosOverlay overlay{design,
+                                 900 + static_cast<std::uint64_t>(trial)};
+      common::Rng rng{30 + static_cast<std::uint64_t>(trial)};
+      const SuccessiveAttacker attacker{
+          attack_config(200, 0, rounds, 0.2)};
+      const auto outcome = attacker.execute(overlay, rng);
+      int sos = 0;
+      for (const int count : outcome.broken_per_layer) sos += count;
+      stats.add(sos);
+    }
+    return stats.mean();
+  };
+  // Multi-round attacks focus break-ins on disclosed SOS nodes instead of
+  // wasting them on bystanders.
+  EXPECT_GT(sos_broken_with_rounds(3), sos_broken_with_rounds(1) * 1.5);
+}
+
+TEST(SuccessiveAttacker, AdaptiveMonitoringDisclosesUpstreamNodes) {
+  const auto design = design_with(core::MappingPolicy::one_to_five());
+  const auto disclosed_with = [&](bool monitor) {
+    common::RunningStats stats;
+    for (int trial = 0; trial < 30; ++trial) {
+      sosnet::SosOverlay overlay{design,
+                                 700 + static_cast<std::uint64_t>(trial)};
+      common::Rng rng{41 + static_cast<std::uint64_t>(trial)};
+      SuccessiveAttackerOptions options;
+      options.monitor_predecessors = monitor;
+      options.monitor_detection = 1.0;
+      const SuccessiveAttacker attacker{attack_config(100, 0, 3, 0.2),
+                                        options};
+      stats.add(attacker.execute(overlay, rng).disclosed_at_congestion);
+    }
+    return stats.mean();
+  };
+  EXPECT_GT(disclosed_with(true), disclosed_with(false));
+}
+
+TEST(SuccessiveAttacker, AfterRoundHookFiresOncePerRound) {
+  const auto design = design_with(core::MappingPolicy::one_to_five());
+  sosnet::SosOverlay overlay{design, 9};
+  common::Rng rng{10};
+  std::vector<int> rounds_seen;
+  SuccessiveAttackerOptions options;
+  options.after_round = [&rounds_seen](sosnet::SosOverlay&, common::Rng&,
+                                       int round) {
+    rounds_seen.push_back(round);
+  };
+  const SuccessiveAttacker attacker{attack_config(300, 0, 3, 0.2), options};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(static_cast<int>(rounds_seen.size()), outcome.rounds_executed);
+  for (std::size_t i = 0; i < rounds_seen.size(); ++i)
+    EXPECT_EQ(rounds_seen[i], static_cast<int>(i) + 1);
+}
+
+TEST(SuccessiveAttacker, NoResourcesStillCongestsPriorKnowledge) {
+  const auto design = design_with(core::MappingPolicy::one_to_one());
+  sosnet::SosOverlay overlay{design, 11};
+  common::Rng rng{12};
+  const SuccessiveAttacker attacker{attack_config(0, 2000, 3, 0.5)};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.broken_in, 0);
+  // The 10 known first-layer nodes (P_E=0.5 of 20) are all congested.
+  EXPECT_GE(outcome.congested_per_layer[0], 10);
+}
+
+TEST(SuccessiveAttacker, OutcomeMatchesNetworkState) {
+  const auto design = design_with(core::MappingPolicy::one_to_half(), 4);
+  sosnet::SosOverlay overlay{design, 13};
+  common::Rng rng{14};
+  const SuccessiveAttacker attacker{attack_config(400, 600, 3, 0.2)};
+  const auto outcome = attacker.execute(overlay, rng);
+  EXPECT_EQ(outcome.broken_in, overlay.network().broken_in_count());
+  EXPECT_EQ(outcome.congested_nodes, overlay.network().congested_count());
+  EXPECT_EQ(outcome.congested_filters, overlay.congested_filter_count());
+}
+
+}  // namespace
+}  // namespace sos::attack

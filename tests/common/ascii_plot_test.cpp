@@ -1,0 +1,68 @@
+#include "common/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sos::common {
+namespace {
+
+TEST(AsciiPlot, RejectsTinyCanvasAndMismatchedSeries) {
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(AsciiPlot{tiny}, std::invalid_argument);
+  AsciiPlot plot;
+  EXPECT_THROW(plot.add_series(Series{"bad", {1.0, 2.0}, {1.0}}),
+               std::invalid_argument);
+}
+
+TEST(AsciiPlot, RendersLegendAndTitle) {
+  PlotOptions opts;
+  opts.title = "P_S vs L";
+  AsciiPlot plot{opts};
+  plot.add_series(Series{"one-to-all", {1, 2, 3}, {0.9, 0.8, 0.7}});
+  plot.add_series(Series{"one-to-one", {1, 2, 3}, {0.5, 0.55, 0.6}});
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("P_S vs L"), std::string::npos);
+  EXPECT_NE(out.find("one-to-all"), std::string::npos);
+  EXPECT_NE(out.find("one-to-one"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedY01ShowsUnitScale) {
+  PlotOptions opts;
+  opts.fix_y01 = true;
+  AsciiPlot plot{opts};
+  plot.add_series(Series{"s", {0, 1}, {0.2, 0.4}});
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_NE(out.find("0.000"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotStillRenders) {
+  AsciiPlot plot;
+  EXPECT_FALSE(plot.render().empty());
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  AsciiPlot plot;
+  plot.add_series(Series{"flat", {1, 2, 3}, {0.5, 0.5, 0.5}});
+  EXPECT_FALSE(plot.render().empty());
+}
+
+TEST(AsciiPlot, SinglePointSeries) {
+  AsciiPlot plot;
+  plot.add_series(Series{"dot", {2.0}, {0.3}});
+  EXPECT_NE(plot.render().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, NonFiniteValuesAreSkipped) {
+  AsciiPlot plot;
+  const double nan = std::nan("");
+  plot.add_series(Series{"gappy", {1, 2, 3}, {0.1, nan, 0.3}});
+  EXPECT_FALSE(plot.render().empty());
+}
+
+}  // namespace
+}  // namespace sos::common

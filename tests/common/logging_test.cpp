@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sos::common {
+namespace {
+
+TEST(Logging, ThresholdRoundTrips) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  set_log_threshold(LogLevel::kDebug);
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+  set_log_threshold(before);
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrashAndStreamAnything) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::kOff);
+  SOS_LOG_DEBUG() << "dropped " << 1;
+  SOS_LOG_INFO() << "dropped " << 2.5;
+  SOS_LOG_WARN() << "dropped " << "three";
+  SOS_LOG_ERROR() << "dropped";
+  set_log_threshold(before);
+}
+
+TEST(Logging, EmittingLevelsWork) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  SOS_LOG_INFO() << "visible " << 42;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("visible 42"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+  set_log_threshold(before);
+}
+
+}  // namespace
+}  // namespace sos::common

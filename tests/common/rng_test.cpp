@@ -1,0 +1,152 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace sos::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextInSingletonRange) {
+  Rng rng{11};
+  EXPECT_EQ(rng.next_in(3, 3), 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{13};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng{17};
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{19};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-2.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{23};
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng rng{29};
+  Rng child = rng.fork();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (rng.next() == child.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng{31};
+  for (std::uint64_t population : {1ull, 5ull, 100ull, 10000ull}) {
+    for (std::uint64_t k : {std::uint64_t{0}, population / 2, population}) {
+      const auto sample = rng.sample_without_replacement(population, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (const auto v : sample) EXPECT_LT(v, population);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulationIsPermutation) {
+  Rng rng{37};
+  const auto sample = rng.sample_without_replacement(50, 50);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(Rng, SampleWithoutReplacementCoversUniformly) {
+  Rng rng{41};
+  std::vector<int> hits(20, 0);
+  constexpr int kRounds = 20000;
+  for (int r = 0; r < kRounds; ++r)
+    for (const auto v : rng.sample_without_replacement(20, 3)) ++hits[v];
+  // Each element appears with probability 3/20 per round.
+  for (int h : hits) {
+    EXPECT_GT(h, kRounds * 3 / 20 * 0.9);
+    EXPECT_LT(h, kRounds * 3 / 20 * 1.1);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{43};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+}  // namespace
+}  // namespace sos::common

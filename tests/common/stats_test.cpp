@@ -1,0 +1,119 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sos::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng{99};
+  RunningStats whole, left, right;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.next_double() * 10 - 3;
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  b.merge(a);  // empty.merge(nonempty)
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+  RunningStats empty;
+  b.merge(empty);  // nonempty.merge(empty)
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(MeanConfidenceInterval, ShrinksWithSamples) {
+  Rng rng{7};
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 10000; ++i) large.add(rng.next_double());
+  EXPECT_GT(mean_confidence_interval(small).width(),
+            mean_confidence_interval(large).width());
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const auto ci = wilson_interval(30, 100);
+  EXPECT_LT(ci.lo, 0.3);
+  EXPECT_GT(ci.hi, 0.3);
+  EXPECT_TRUE(ci.contains(0.3));
+}
+
+TEST(WilsonInterval, BoundedAtExtremes) {
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto all = wilson_interval(50, 50);
+  EXPECT_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(WilsonInterval, NoTrialsIsVacuous) {
+  const auto ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+TEST(WilsonInterval, CoversTrueProportion) {
+  // Frequentist sanity: ~95% of intervals should contain p.
+  Rng rng{123};
+  const double p = 0.2;
+  int covered = 0;
+  constexpr int kReps = 400;
+  for (int r = 0; r < kReps; ++r) {
+    std::uint64_t hits = 0;
+    constexpr std::uint64_t kTrials = 200;
+    for (std::uint64_t t = 0; t < kTrials; ++t)
+      if (rng.bernoulli(p)) ++hits;
+    if (wilson_interval(hits, kTrials).contains(p)) ++covered;
+  }
+  EXPECT_GT(covered, kReps * 90 / 100);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_NEAR(quantile(v, 0.5), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sos::common

@@ -1,0 +1,113 @@
+#include "core/budget_frontier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/successive_model.h"
+
+namespace sos::core {
+namespace {
+
+SosDesign paper_design(int layers, MappingPolicy mapping) {
+  return SosDesign::make(10000, 100, layers, 10, mapping);
+}
+
+AttackBudget default_budget() {
+  AttackBudget budget;
+  budget.total = 4000.0;
+  budget.break_in_cost = 2.0;
+  budget.congestion_cost = 1.0;
+  return budget;
+}
+
+TEST(BudgetFrontier, SweepCoversTheGridAndRespectsBudget) {
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  const auto budget = default_budget();
+  const auto curve = BudgetFrontier::sweep(design, budget, 11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_EQ(curve.front().fraction, 0.0);
+  EXPECT_EQ(curve.back().fraction, 1.0);
+  for (const auto& split : curve) {
+    EXPECT_GE(split.p_success, 0.0);
+    EXPECT_LE(split.p_success, 1.0);
+    const double spent = split.break_in_budget * budget.break_in_cost +
+                         split.congestion_budget * budget.congestion_cost;
+    EXPECT_LE(spent, budget.total + 1e-9);
+    EXPECT_LE(split.break_in_budget, design.total_overlay_nodes);
+    EXPECT_LE(split.congestion_budget, design.total_overlay_nodes);
+  }
+}
+
+TEST(BudgetFrontier, EndpointsMatchDirectModelEvaluation) {
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  const auto budget = default_budget();
+  const auto curve = BudgetFrontier::sweep(design, budget, 5);
+
+  SuccessiveAttack congestion_only;
+  congestion_only.break_in_budget = 0;
+  congestion_only.congestion_budget = 4000;
+  congestion_only.break_in_success = budget.break_in_success;
+  congestion_only.prior_knowledge = budget.prior_knowledge;
+  congestion_only.rounds = budget.rounds;
+  EXPECT_NEAR(curve.front().p_success,
+              SuccessiveModel::p_success(design, congestion_only), 1e-12);
+
+  SuccessiveAttack break_in_only = congestion_only;
+  break_in_only.break_in_budget = 2000;  // 4000 units / cost 2
+  break_in_only.congestion_budget = 0;
+  EXPECT_NEAR(curve.back().p_success,
+              SuccessiveModel::p_success(design, break_in_only), 1e-12);
+}
+
+TEST(BudgetFrontier, WorstCaseIsTheGridMinimum) {
+  const auto design = paper_design(3, MappingPolicy::one_to_all());
+  const auto budget = default_budget();
+  const auto curve = BudgetFrontier::sweep(design, budget, 21);
+  const auto worst = BudgetFrontier::worst_case(design, budget, 21);
+  for (const auto& split : curve)
+    EXPECT_GE(split.p_success, worst.p_success - 1e-12);
+}
+
+TEST(BudgetFrontier, OriginalSosIsFragileAgainstTheOptimalSplit) {
+  // L=3 one-to-all survives the pure-congestion split untouched but is
+  // destroyed as soon as the attacker moves budget into break-ins — the
+  // paper's core criticism, stated as a frontier fact.
+  const auto design = paper_design(3, MappingPolicy::one_to_all());
+  const auto curve = BudgetFrontier::sweep(design, default_budget(), 21);
+  EXPECT_GT(curve.front().p_success, 0.99);  // f = 0: random congestion
+  const auto worst = BudgetFrontier::worst_case(design, default_budget(), 21);
+  EXPECT_LT(worst.p_success, 0.05);
+  EXPECT_GT(worst.fraction, 0.0);
+}
+
+TEST(BudgetFrontier, BalancedDesignHasHigherWorstCase) {
+  const auto budget = default_budget();
+  const auto worst_original = BudgetFrontier::worst_case(
+      paper_design(3, MappingPolicy::one_to_all()), budget);
+  const auto worst_balanced = BudgetFrontier::worst_case(
+      paper_design(4, MappingPolicy::one_to_two()), budget);
+  EXPECT_GT(worst_balanced.p_success, worst_original.p_success);
+}
+
+TEST(BudgetFrontier, RejectsBadInput) {
+  const auto design = paper_design(2, MappingPolicy::one_to_one());
+  EXPECT_THROW(BudgetFrontier::sweep(design, default_budget(), 1),
+               std::invalid_argument);
+  AttackBudget bad = default_budget();
+  bad.break_in_cost = 0.0;
+  EXPECT_THROW(BudgetFrontier::sweep(design, bad), std::invalid_argument);
+  bad = default_budget();
+  bad.total = -1.0;
+  EXPECT_THROW(BudgetFrontier::sweep(design, bad), std::invalid_argument);
+}
+
+TEST(BudgetFrontier, ZeroBudgetIsHarmless) {
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  AttackBudget budget = default_budget();
+  budget.total = 0.0;
+  budget.prior_knowledge = 0.0;
+  const auto worst = BudgetFrontier::worst_case(design, budget);
+  EXPECT_EQ(worst.p_success, 1.0);
+}
+
+}  // namespace
+}  // namespace sos::core

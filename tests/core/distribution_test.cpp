@@ -1,0 +1,102 @@
+#include "core/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sos::core {
+namespace {
+
+int sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(NodeDistribution, EvenSplitsEqually) {
+  EXPECT_EQ(NodeDistribution::even().layer_sizes(100, 4),
+            (std::vector<int>{25, 25, 25, 25}));
+}
+
+TEST(NodeDistribution, EvenHandlesRemainders) {
+  const auto sizes = NodeDistribution::even().layer_sizes(100, 3);
+  EXPECT_EQ(sum(sizes), 100);
+  for (int s : sizes) EXPECT_GE(s, 33);
+}
+
+TEST(NodeDistribution, IncreasingIsNonDecreasingPastFirstLayer) {
+  const auto sizes = NodeDistribution::increasing().layer_sizes(100, 4);
+  EXPECT_EQ(sum(sizes), 100);
+  EXPECT_EQ(sizes[0], 25);  // first layer pinned at n/L
+  for (std::size_t i = 2; i < sizes.size(); ++i)
+    EXPECT_GE(sizes[i], sizes[i - 1]);
+  // ratio 1:2:3 over the remaining 75 nodes
+  EXPECT_EQ(sizes, (std::vector<int>{25, 13, 25, 37}));
+}
+
+TEST(NodeDistribution, DecreasingIsNonIncreasingPastFirstLayer) {
+  const auto sizes = NodeDistribution::decreasing().layer_sizes(100, 4);
+  EXPECT_EQ(sum(sizes), 100);
+  EXPECT_EQ(sizes[0], 25);
+  for (std::size_t i = 2; i < sizes.size(); ++i)
+    EXPECT_LE(sizes[i], sizes[i - 1]);
+  EXPECT_EQ(sizes, (std::vector<int>{25, 37, 25, 13}));
+}
+
+TEST(NodeDistribution, IncreasingAndDecreasingMirror) {
+  const auto inc = NodeDistribution::increasing().layer_sizes(90, 5);
+  const auto dec = NodeDistribution::decreasing().layer_sizes(90, 5);
+  // Tail of one is the reverse of the other.
+  for (std::size_t i = 1; i < inc.size(); ++i)
+    EXPECT_EQ(inc[i], dec[dec.size() - i]);
+}
+
+TEST(NodeDistribution, SingleLayerGetsEverything) {
+  for (const auto& dist :
+       {NodeDistribution::even(), NodeDistribution::increasing(),
+        NodeDistribution::decreasing()}) {
+    EXPECT_EQ(dist.layer_sizes(42, 1), (std::vector<int>{42}));
+  }
+}
+
+TEST(NodeDistribution, EveryLayerNonEmptyEvenWhenTight) {
+  for (const auto& dist :
+       {NodeDistribution::even(), NodeDistribution::increasing(),
+        NodeDistribution::decreasing()}) {
+    const auto sizes = dist.layer_sizes(8, 8);
+    EXPECT_EQ(sum(sizes), 8);
+    for (int s : sizes) EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(NodeDistribution, CustomWeightsRespected) {
+  const auto sizes =
+      NodeDistribution::custom({1.0, 1.0, 2.0}).layer_sizes(40, 3);
+  EXPECT_EQ(sizes, (std::vector<int>{10, 10, 20}));
+}
+
+TEST(NodeDistribution, CustomRejectsBadWeights) {
+  EXPECT_THROW(NodeDistribution::custom({}), std::invalid_argument);
+  EXPECT_THROW(NodeDistribution::custom({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(NodeDistribution::custom({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(NodeDistribution, CustomWeightCountMustMatchLayers) {
+  const auto dist = NodeDistribution::custom({1.0, 2.0});
+  EXPECT_THROW(dist.layer_sizes(10, 3), std::invalid_argument);
+}
+
+TEST(NodeDistribution, RejectsImpossibleRequests) {
+  EXPECT_THROW(NodeDistribution::even().layer_sizes(2, 3),
+               std::invalid_argument);
+  EXPECT_THROW(NodeDistribution::even().layer_sizes(10, 0),
+               std::invalid_argument);
+}
+
+TEST(NodeDistribution, ParseAndLabels) {
+  EXPECT_EQ(NodeDistribution::parse("even").label(), "even");
+  EXPECT_EQ(NodeDistribution::parse("increasing").label(), "increasing");
+  EXPECT_EQ(NodeDistribution::parse("decreasing").label(), "decreasing");
+  EXPECT_THROW(NodeDistribution::parse("sideways"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sos::core

@@ -1,0 +1,191 @@
+#include "core/exact_models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/mathx.h"
+#include "core/one_burst_model.h"
+
+namespace sos::core {
+namespace {
+
+// Brute-force reference: enumerate every N_C-subset of the N overlay nodes
+// (SOS nodes listed first, layer by layer) and average the per-assignment
+// success product. Only viable for tiny N.
+double brute_force_random_congestion(const SosDesign& design,
+                                     int congestion_budget) {
+  const int big_n = design.total_overlay_nodes;
+  const int layers = design.layers();
+  std::vector<int> layer_of(static_cast<std::size_t>(big_n), -1);
+  int cursor = 0;
+  for (int i = 1; i <= layers; ++i)
+    for (int k = 0; k < design.layer_size(i); ++k) layer_of[cursor++] = i - 1;
+
+  double total_weight = 0.0;
+  double accum = 0.0;
+  std::vector<int> subset(static_cast<std::size_t>(congestion_budget));
+  // Iterative combination enumeration.
+  for (int i = 0; i < congestion_budget; ++i) subset[i] = i;
+  const auto evaluate_subset = [&]() {
+    std::vector<int> congested(static_cast<std::size_t>(layers), 0);
+    for (int idx : subset)
+      if (layer_of[idx] >= 0) ++congested[layer_of[idx]];
+    double p = 1.0;
+    for (int i = 1; i <= layers; ++i) {
+      const int size = design.layer_size(i);
+      const int degree = design.degree_into(i);
+      p *= 1.0 - common::prob_all_in_subset(
+                     size, static_cast<double>(congested[i - 1]), degree);
+    }
+    accum += p;
+    total_weight += 1.0;
+  };
+  if (congestion_budget == 0) {
+    return 1.0;
+  }
+  while (true) {
+    evaluate_subset();
+    int pos = congestion_budget - 1;
+    while (pos >= 0 && subset[pos] == big_n - congestion_budget + pos) --pos;
+    if (pos < 0) break;
+    ++subset[pos];
+    for (int q = pos + 1; q < congestion_budget; ++q)
+      subset[q] = subset[q - 1] + 1;
+  }
+  return accum / total_weight;
+}
+
+TEST(ExactRandomCongestion, ZeroBudgetIsPerfect) {
+  const auto design =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_five());
+  EXPECT_NEAR(ExactRandomCongestionModel::p_success(design, 0), 1.0, 1e-12);
+}
+
+TEST(ExactRandomCongestion, FullBudgetIsFatal) {
+  const auto design =
+      SosDesign::make(200, 30, 3, 10, MappingPolicy::one_to_five());
+  EXPECT_NEAR(ExactRandomCongestionModel::p_success(design, 200), 0.0, 1e-9);
+}
+
+TEST(ExactRandomCongestion, MatchesBruteForceOnTinySystems) {
+  struct Case {
+    int big_n, sos, layers, budget;
+    MappingPolicy mapping;
+  };
+  const std::vector<Case> cases{
+      {8, 4, 2, 3, MappingPolicy::one_to_one()},
+      {8, 4, 2, 3, MappingPolicy::one_to_all()},
+      {10, 6, 3, 4, MappingPolicy::one_to_one()},
+      {10, 6, 2, 5, MappingPolicy::one_to_half()},
+      {12, 6, 2, 2, MappingPolicy::one_to_two()},
+  };
+  for (const auto& c : cases) {
+    const auto design =
+        SosDesign::make(c.big_n, c.sos, c.layers, 2, c.mapping);
+    EXPECT_NEAR(ExactRandomCongestionModel::p_success(design, c.budget),
+                brute_force_random_congestion(design, c.budget), 1e-9)
+        << "N=" << c.big_n << " n=" << c.sos << " L=" << c.layers
+        << " NC=" << c.budget << " m=" << c.mapping.label();
+  }
+}
+
+TEST(ExactRandomCongestion, MonotoneInBudget) {
+  const auto design =
+      SosDesign::make(1000, 60, 3, 10, MappingPolicy::one_to_two());
+  double prev = 2.0;
+  for (int budget : {0, 100, 200, 400, 600, 800, 1000}) {
+    const double p = ExactRandomCongestionModel::p_success(design, budget);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ExactRandomCongestion, AgreesWithOriginalSosUnderOneToAll) {
+  // With one-to-all mapping the DP must reduce to the inclusion-exclusion
+  // closed form: a hop fails only when its entire layer is congested.
+  for (int layers : {1, 2, 3, 5}) {
+    const auto design =
+        SosDesign::make(500, 60, layers, 10, MappingPolicy::one_to_all());
+    for (int budget : {0, 60, 200, 400, 499}) {
+      EXPECT_NEAR(ExactRandomCongestionModel::p_success(design, budget),
+                  OriginalSosModel::p_success(design, budget), 1e-9)
+          << "L=" << layers << " NC=" << budget;
+    }
+  }
+}
+
+TEST(ExactRandomCongestion, RejectsBadBudget) {
+  const auto design =
+      SosDesign::make(100, 30, 3, 10, MappingPolicy::one_to_one());
+  EXPECT_THROW(ExactRandomCongestionModel::p_success(design, -1),
+               std::invalid_argument);
+  EXPECT_THROW(ExactRandomCongestionModel::p_success(design, 101),
+               std::invalid_argument);
+}
+
+TEST(ExactRandomCongestion, PaperScaleAverageModelIsAccurateForOneToOne) {
+  // With m = 1 the per-hop probability is linear in the congested count, so
+  // mean-plugging is exact: average-case and exact models must agree.
+  const auto design =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_one());
+  for (int budget : {500, 2000, 6000}) {
+    const double exact = ExactRandomCongestionModel::p_success(design, budget);
+    const double average =
+        OneBurstModel::p_success(design, OneBurstAttack{0, budget, 0.5});
+    EXPECT_NEAR(exact, average, 5e-3) << "NC=" << budget;
+  }
+}
+
+TEST(ExactRandomCongestion, MeanPluggingOverestimatesForHighMapping) {
+  // Key approximation artifact the exact model exposes: with one-to-all
+  // mapping the average-case model reports P_S = 1 until the *mean*
+  // congested count hits the full layer, while the exact expectation is
+  // strictly below 1 because congestion fluctuates.
+  const auto design =
+      SosDesign::make(300, 24, 8, 10, MappingPolicy::one_to_all());
+  const int budget = 200;
+  const double exact = ExactRandomCongestionModel::p_success(design, budget);
+  const double average =
+      OneBurstModel::p_success(design, OneBurstAttack{0, budget, 0.5});
+  EXPECT_LT(exact, average);
+  EXPECT_NEAR(average, 1.0, 1e-9);
+  EXPECT_LT(exact, 0.99);
+}
+
+TEST(OriginalSos, SingleLayerClosedForm) {
+  // L = 1, one-to-all: P_S = 1 - C(N - n, N_C - n)/C(N, N_C).
+  const int big_n = 400, sos = 20, budget = 300;
+  const auto design =
+      SosDesign::make(big_n, sos, 1, 10, MappingPolicy::one_to_all());
+  const double expected =
+      1.0 - std::exp(common::log_binomial(big_n - sos, budget - sos) -
+                     common::log_binomial(big_n, budget));
+  EXPECT_NEAR(OriginalSosModel::p_success(design, budget), expected, 1e-9);
+}
+
+TEST(OriginalSos, InsufficientBudgetCannotBlock) {
+  // If N_C is smaller than the smallest layer no layer can be wiped out.
+  const auto design =
+      SosDesign::make(1000, 90, 3, 10, MappingPolicy::one_to_all());
+  EXPECT_NEAR(OriginalSosModel::p_success(design, 25), 1.0, 1e-12);
+}
+
+TEST(OriginalSos, RequiresOneToAll) {
+  const auto design =
+      SosDesign::make(1000, 90, 3, 10, MappingPolicy::one_to_five());
+  EXPECT_THROW(OriginalSosModel::p_success(design, 100),
+               std::invalid_argument);
+}
+
+TEST(OriginalSos, PaperScaleBaselineIsRobustToRandomCongestion) {
+  // The SIGCOMM'02 claim the paper revisits: the original 3-layer one-to-all
+  // architecture keeps P_S ~ 1 under even heavy *random* congestion.
+  const auto design =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_all());
+  EXPECT_GT(OriginalSosModel::p_success(design, 6000), 0.999);
+}
+
+}  // namespace
+}  // namespace sos::core

@@ -1,0 +1,105 @@
+// Per-hop mapping profiles (the m_i vector generalized beyond one uniform
+// policy) — validation, wiring through every consumer, and the placement
+// question.
+#include <gtest/gtest.h>
+
+#include "attack/successive_attacker.h"
+#include "common/rng.h"
+#include "core/successive_model.h"
+#include "sim/monte_carlo.h"
+#include "sosnet/topology.h"
+
+namespace sos::core {
+namespace {
+
+SosDesign profiled_design(const std::vector<int>& degrees, int layers = 3,
+                          int total = 10000, int sos = 100) {
+  auto design =
+      SosDesign::make(total, sos, layers, 10, MappingPolicy::one_to_two());
+  for (const int degree : degrees)
+    design.mapping_profile.push_back(MappingPolicy::fixed(degree));
+  design.validate();
+  return design;
+}
+
+SuccessiveAttack default_attack(int budget_t = 2000) {
+  SuccessiveAttack attack;
+  attack.break_in_budget = budget_t;
+  attack.congestion_budget = 2000;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return attack;
+}
+
+TEST(MappingProfile, ValidationRequiresOneEntryPerHop) {
+  auto design =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_two());
+  design.mapping_profile = {MappingPolicy::fixed(2), MappingPolicy::fixed(2)};
+  EXPECT_THROW(design.validate(), std::invalid_argument);  // need L+1 = 4
+  design.mapping_profile.push_back(MappingPolicy::fixed(2));
+  design.mapping_profile.push_back(MappingPolicy::fixed(2));
+  EXPECT_NO_THROW(design.validate());
+}
+
+TEST(MappingProfile, DegreesFollowTheProfilePerHop) {
+  const auto design = profiled_design({5, 4, 2, 1});
+  EXPECT_EQ(design.degree_into(1), 5);  // client contacts
+  EXPECT_EQ(design.degree_into(2), 4);
+  EXPECT_EQ(design.degree_into(3), 2);
+  EXPECT_EQ(design.degree_into(4), 1);  // filter contacts
+}
+
+TEST(MappingProfile, UniformProfileMatchesPlainMapping) {
+  const auto plain =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_five());
+  auto profiled =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_one());
+  profiled.mapping_profile.assign(4, MappingPolicy::one_to_five());
+  profiled.validate();
+  const auto attack = default_attack();
+  EXPECT_EQ(SuccessiveModel::p_success(plain, attack),
+            SuccessiveModel::p_success(profiled, attack));
+}
+
+TEST(MappingProfile, TopologyTablesObeyTheProfile) {
+  const auto design = profiled_design({5, 4, 2, 3}, 3, 1000, 60);
+  common::Rng rng{5};
+  const sosnet::Topology topology{design, rng};
+  EXPECT_EQ(topology.sample_client_contacts(rng).size(), 5u);
+  EXPECT_EQ(topology.neighbors(topology.members(0)[0]).size(), 4u);
+  EXPECT_EQ(topology.neighbors(topology.members(1)[0]).size(), 2u);
+  EXPECT_EQ(topology.neighbors(topology.members(2)[0]).size(), 3u);
+}
+
+TEST(MappingProfile, TaperedProfileBeatsUniformAtEqualDegreeBudget) {
+  // Total degree budget 12 across the four hops: placing width at the
+  // outer hops (availability where disclosure is cheap) and narrowness at
+  // the inner hops (containment where disclosure is fatal) dominates.
+  const auto attack = default_attack();
+  const double uniform =
+      SuccessiveModel::p_success(profiled_design({3, 3, 3, 3}), attack);
+  const double tapered =
+      SuccessiveModel::p_success(profiled_design({5, 4, 2, 1}), attack);
+  const double reversed =
+      SuccessiveModel::p_success(profiled_design({1, 2, 4, 5}), attack);
+  EXPECT_GT(tapered, uniform + 0.1);
+  EXPECT_GT(uniform, reversed + 0.02);
+}
+
+TEST(MappingProfile, ModelTracksSimulatorWithProfiles) {
+  const auto design = profiled_design({5, 4, 2, 1});
+  const auto attack = default_attack(200);
+  const double p_model = SuccessiveModel::p_success(design, attack);
+  const attack::SuccessiveAttacker attacker{attack};
+  const auto mc = sim::run_monte_carlo(
+      design,
+      [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+        return attacker.execute(overlay, rng);
+      },
+      sim::MonteCarloConfig{.trials = 150, .walks_per_trial = 8, .seed = 21});
+  EXPECT_NEAR(p_model, mc.p_success, 0.10);
+}
+
+}  // namespace
+}  // namespace sos::core

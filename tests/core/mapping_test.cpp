@@ -1,0 +1,68 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace sos::core {
+namespace {
+
+TEST(MappingPolicy, NamedPoliciesDegrees) {
+  EXPECT_EQ(MappingPolicy::one_to_one().degree_for(33), 1);
+  EXPECT_EQ(MappingPolicy::one_to_two().degree_for(33), 2);
+  EXPECT_EQ(MappingPolicy::one_to_five().degree_for(33), 5);
+  EXPECT_EQ(MappingPolicy::one_to_half().degree_for(33), 17);  // ceil
+  EXPECT_EQ(MappingPolicy::one_to_all().degree_for(33), 33);
+}
+
+TEST(MappingPolicy, FixedCapsAtLayerSize) {
+  EXPECT_EQ(MappingPolicy::fixed(5).degree_for(3), 3);
+  EXPECT_EQ(MappingPolicy::one_to_five().degree_for(2), 2);
+}
+
+TEST(MappingPolicy, FractionRoundsUpAndStaysPositive) {
+  EXPECT_EQ(MappingPolicy::fraction(0.5).degree_for(1), 1);
+  EXPECT_EQ(MappingPolicy::fraction(0.01).degree_for(10), 1);
+  EXPECT_EQ(MappingPolicy::fraction(1.0).degree_for(10), 10);
+}
+
+TEST(MappingPolicy, RejectsBadConstruction) {
+  EXPECT_THROW(MappingPolicy::fixed(0), std::invalid_argument);
+  EXPECT_THROW(MappingPolicy::fraction(0.0), std::invalid_argument);
+  EXPECT_THROW(MappingPolicy::fraction(1.5), std::invalid_argument);
+}
+
+TEST(MappingPolicy, RejectsEmptyLayer) {
+  EXPECT_THROW(MappingPolicy::one_to_one().degree_for(0),
+               std::invalid_argument);
+}
+
+TEST(MappingPolicy, ParseNamedForms) {
+  EXPECT_EQ(MappingPolicy::parse("one-to-one"), MappingPolicy::one_to_one());
+  EXPECT_EQ(MappingPolicy::parse("one-to-two"), MappingPolicy::one_to_two());
+  EXPECT_EQ(MappingPolicy::parse("one-to-five"),
+            MappingPolicy::one_to_five());
+  EXPECT_EQ(MappingPolicy::parse("one-to-half"),
+            MappingPolicy::one_to_half());
+  EXPECT_EQ(MappingPolicy::parse("one-to-all"), MappingPolicy::one_to_all());
+}
+
+TEST(MappingPolicy, ParseNumericForms) {
+  EXPECT_EQ(MappingPolicy::parse("7"), MappingPolicy::fixed(7));
+  EXPECT_EQ(MappingPolicy::parse("0.25"), MappingPolicy::fraction(0.25));
+}
+
+TEST(MappingPolicy, ParseRejectsGarbage) {
+  EXPECT_THROW(MappingPolicy::parse("one-to-none"), std::invalid_argument);
+  EXPECT_THROW(MappingPolicy::parse(""), std::invalid_argument);
+}
+
+TEST(MappingPolicy, LabelsRoundTripThroughParse) {
+  for (const auto& policy :
+       {MappingPolicy::one_to_one(), MappingPolicy::one_to_two(),
+        MappingPolicy::one_to_five(), MappingPolicy::one_to_half(),
+        MappingPolicy::one_to_all()}) {
+    EXPECT_EQ(MappingPolicy::parse(policy.label()), policy);
+  }
+}
+
+}  // namespace
+}  // namespace sos::core

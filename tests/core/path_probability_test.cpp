@@ -1,0 +1,77 @@
+#include "core/path_probability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/mathx.h"
+
+namespace sos::core {
+namespace {
+
+SosDesign design_with(MappingPolicy mapping, int layers = 3) {
+  return SosDesign::make(10000, 100, layers, 10, mapping);
+}
+
+TEST(PathProbability, NoBadNodesGivesCertainSuccess) {
+  const auto design = design_with(MappingPolicy::one_to_one());
+  const auto p = path_probability(design, {0.0, 0.0, 0.0, 0.0});
+  EXPECT_EQ(p.success, 1.0);
+  for (double hop : p.per_hop) EXPECT_EQ(hop, 1.0);
+}
+
+TEST(PathProbability, FullyBadLayerBlocksEverything) {
+  const auto design = design_with(MappingPolicy::one_to_all());
+  const auto p = path_probability(design, {0.0, 33.0, 0.0, 0.0});
+  EXPECT_EQ(p.success, 0.0);
+  EXPECT_EQ(p.per_hop[1], 0.0);
+}
+
+TEST(PathProbability, OneToOneHopMatchesFraction) {
+  const auto design = design_with(MappingPolicy::one_to_one());
+  // With m=1, P_hop = 1 - s/n exactly.
+  const auto p = path_probability(design, {17.0, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(p.per_hop[0], 1.0 - 17.0 / 34.0, 1e-12);
+}
+
+TEST(PathProbability, ProductOfHops) {
+  const auto design = design_with(MappingPolicy::one_to_one());
+  const auto p = path_probability(design, {10.0, 10.0, 10.0, 2.0});
+  double expected = 1.0;
+  for (double hop : p.per_hop) expected *= hop;
+  EXPECT_NEAR(p.success, expected, 1e-12);
+}
+
+TEST(PathProbability, BadCountsAreClampedToLayerSize) {
+  const auto design = design_with(MappingPolicy::one_to_one());
+  const auto p = path_probability(design, {1000.0, -5.0, 0.0, 0.0});
+  EXPECT_EQ(p.per_hop[0], 0.0);  // clamped to full layer -> blocked
+  EXPECT_EQ(p.per_hop[1], 1.0);  // clamped to zero -> clean
+}
+
+TEST(PathProbability, HigherMappingDegreeSurvivesMoreDamage) {
+  const std::vector<double> bad{10.0, 10.0, 10.0, 0.0};
+  const auto p_one =
+      path_probability(design_with(MappingPolicy::one_to_one()), bad);
+  const auto p_five =
+      path_probability(design_with(MappingPolicy::one_to_five()), bad);
+  const auto p_all =
+      path_probability(design_with(MappingPolicy::one_to_all()), bad);
+  EXPECT_LT(p_one.success, p_five.success);
+  EXPECT_LT(p_five.success, p_all.success);
+}
+
+TEST(PathProbability, WrongVectorLengthThrows) {
+  const auto design = design_with(MappingPolicy::one_to_one());
+  EXPECT_THROW(path_probability(design, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(PathProbability, FractionalBadCountsAreSmooth) {
+  const auto design = design_with(MappingPolicy::one_to_five());
+  const double a = path_probability(design, {5.0, 0.0, 0.0, 0.0}).success;
+  const double b = path_probability(design, {5.5, 0.0, 0.0, 0.0}).success;
+  const double c = path_probability(design, {6.0, 0.0, 0.0, 0.0}).success;
+  EXPECT_GT(a, b);
+  EXPECT_GT(b, c);
+}
+
+}  // namespace
+}  // namespace sos::core

@@ -1,0 +1,80 @@
+#include "core/robust_design.h"
+
+#include <gtest/gtest.h>
+
+namespace sos::core {
+namespace {
+
+AttackBudget default_budget() {
+  AttackBudget budget;
+  budget.total = 4000.0;
+  budget.break_in_cost = 2.0;
+  budget.congestion_cost = 1.0;
+  return budget;
+}
+
+RobustSearchSpace small_space() {
+  RobustSearchSpace space;
+  space.max_layers = 5;
+  return space;
+}
+
+TEST(RobustDesign, SearchCoversTheGridWithoutDegenerates) {
+  const auto ranked = robust_design_search(small_space(), default_budget(), 9);
+  // L=1 contributes 5 mappings x 1 distribution; L=2..5 contribute 5 x 3.
+  EXPECT_EQ(ranked.size(), 5u + 4u * 15u);
+  for (const auto& candidate : ranked) {
+    EXPECT_GE(candidate.guaranteed_p_success(), 0.0);
+    EXPECT_LE(candidate.guaranteed_p_success(), 1.0);
+    EXPECT_FALSE(candidate.mapping_label.empty());
+  }
+}
+
+TEST(RobustDesign, RankedBestFirst) {
+  const auto ranked = robust_design_search(small_space(), default_budget(), 9);
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].guaranteed_p_success(),
+              ranked[i].guaranteed_p_success());
+}
+
+TEST(RobustDesign, ChampionBeatsTheOriginalSosShape) {
+  const auto ranked =
+      robust_design_search(small_space(), default_budget(), 21);
+  const auto& champion = ranked.front();
+  double original = -1.0;
+  for (const auto& candidate : ranked) {
+    if (candidate.design.layers() == 3 &&
+        candidate.mapping_label == "one-to-all" &&
+        candidate.distribution_label == "even")
+      original = candidate.guaranteed_p_success();
+  }
+  ASSERT_GE(original, 0.0);
+  EXPECT_GT(champion.guaranteed_p_success(), original + 0.1);
+  // The champion is never an extreme design: pure one-to-all collapses to
+  // break-ins, L = 1 collapses to congestion.
+  EXPECT_NE(champion.mapping_label, "one-to-all");
+  EXPECT_GT(champion.design.layers(), 1);
+}
+
+TEST(RobustDesign, WorstSplitIsRecordedPerCandidate) {
+  const auto ranked = robust_design_search(small_space(), default_budget(), 9);
+  for (const auto& candidate : ranked) {
+    const auto recomputed = BudgetFrontier::worst_case(
+        candidate.design, default_budget(), 9);
+    EXPECT_NEAR(candidate.worst.p_success, recomputed.p_success, 1e-12);
+  }
+}
+
+TEST(RobustDesign, RejectsEmptySpace) {
+  RobustSearchSpace space = small_space();
+  space.mappings.clear();
+  EXPECT_THROW(robust_design_search(space, default_budget()),
+               std::invalid_argument);
+  space = small_space();
+  space.max_layers = 0;
+  EXPECT_THROW(robust_design_search(space, default_budget()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sos::core

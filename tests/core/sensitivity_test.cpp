@@ -1,0 +1,109 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+namespace sos::core {
+namespace {
+
+SosDesign operating_point() {
+  return SosDesign::make(10000, 100, 4, 10, MappingPolicy::one_to_two());
+}
+
+SuccessiveAttack default_attack() {
+  SuccessiveAttack attack;
+  attack.break_in_budget = 200;
+  attack.congestion_budget = 2000;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return attack;
+}
+
+TEST(Sensitivity, AttackKnobsNeverHelpTheDefender) {
+  const auto report = analyze_sensitivity(operating_point(), default_attack());
+  EXPECT_GT(report.base, 0.0);
+  ASSERT_EQ(report.attack_knobs.size(), 5u);  // N_T, N_C, P_B, P_E, R
+  for (const auto& entry : report.attack_knobs) {
+    EXPECT_LE(entry.delta, 1e-9) << entry.parameter;
+    EXPECT_NEAR(entry.base, report.base, 1e-12);
+    EXPECT_NEAR(entry.delta, entry.perturbed - entry.base, 1e-12);
+  }
+}
+
+TEST(Sensitivity, DesignMovesCoverNeighborsOfTheOperatingPoint) {
+  const auto report = analyze_sensitivity(operating_point(), default_attack());
+  std::vector<std::string> labels;
+  for (const auto& entry : report.design_moves) labels.push_back(entry.parameter);
+  const auto has = [&](const std::string& label) {
+    for (const auto& l : labels)
+      if (l == label) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("L -> 3"));
+  EXPECT_TRUE(has("L -> 5"));
+  EXPECT_TRUE(has("mapping -> fixed 1"));
+  EXPECT_TRUE(has("mapping -> fixed 3"));
+  EXPECT_TRUE(has("distribution -> increasing"));
+  EXPECT_TRUE(has("distribution -> decreasing"));
+}
+
+TEST(Sensitivity, WorstAttackKnobIsIdentified) {
+  const auto report = analyze_sensitivity(operating_point(), default_attack());
+  const auto* worst = report.worst_attack_knob();
+  ASSERT_NE(worst, nullptr);
+  for (const auto& entry : report.attack_knobs)
+    EXPECT_GE(entry.delta, worst->delta - 1e-12);
+}
+
+TEST(Sensitivity, BestDesignMoveImprovesPs) {
+  // One-to-one under pure heavy congestion: adding a second neighbor is a
+  // large, obvious win the report must surface.
+  const auto design =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_one());
+  auto attack = default_attack();
+  attack.break_in_budget = 0;
+  attack.prior_knowledge = 0.0;
+  attack.congestion_budget = 6000;
+  const auto report = analyze_sensitivity(design, attack);
+  const auto* best = report.best_design_move();
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->parameter, "mapping -> fixed 2");
+  EXPECT_GT(best->perturbed, report.base + 0.2);
+}
+
+TEST(Sensitivity, DeadEndOperatingPointHasNoGoodMove) {
+  // L=3 one-to-all under heavy break-in sits at P_S = 0 and *stays* there
+  // under every one-notch move (a one-notch change of an all-mapping is
+  // still effectively an all-mapping) — the report must say so rather than
+  // invent an escape.
+  const auto design =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_all());
+  auto attack = default_attack();
+  attack.break_in_budget = 2000;
+  const auto report = analyze_sensitivity(design, attack);
+  EXPECT_LT(report.base, 1e-6);
+  EXPECT_EQ(report.best_design_move(), nullptr);
+}
+
+TEST(Sensitivity, SingleLayerHasNoShrinkMoveOrDistributionMoves) {
+  const auto design =
+      SosDesign::make(10000, 100, 1, 10, MappingPolicy::one_to_five());
+  const auto report = analyze_sensitivity(design, default_attack());
+  for (const auto& entry : report.design_moves) {
+    EXPECT_NE(entry.parameter, "L -> 0");
+    EXPECT_EQ(entry.parameter.find("distribution"), std::string::npos);
+  }
+}
+
+TEST(Sensitivity, AtTheOptimumNeighborMovesDoNotImproveMuch) {
+  // Fig. 6(a)'s optimum among the paper's *named* mappings (L=4,
+  // one-to-two): no one-notch move should beat it by a wide margin at the
+  // default attack. (The finer grid does reveal one-to-three as slightly
+  // better, +0.07 — a finding the paper's mapping set could not show.)
+  const auto report = analyze_sensitivity(operating_point(), default_attack());
+  for (const auto& entry : report.design_moves)
+    EXPECT_LT(entry.delta, 0.10) << entry.parameter;
+}
+
+}  // namespace
+}  // namespace sos::core

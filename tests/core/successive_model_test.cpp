@@ -1,0 +1,330 @@
+#include "core/successive_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/one_burst_model.h"
+
+namespace sos::core {
+namespace {
+
+SosDesign paper_design(int layers, MappingPolicy mapping,
+                       const NodeDistribution& dist = NodeDistribution::even(),
+                       int total = 10000) {
+  return SosDesign::make(total, 100, layers, 10, mapping, dist);
+}
+
+SuccessiveAttack paper_attack(int rounds = 3, double prior = 0.2,
+                              int budget_t = 200, int budget_c = 2000) {
+  SuccessiveAttack attack;
+  attack.break_in_budget = budget_t;
+  attack.congestion_budget = budget_c;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = prior;
+  attack.rounds = rounds;
+  return attack;
+}
+
+TEST(SuccessiveModel, DegeneratesToOneBurstExactly) {
+  // Section 3.2.3: P_E = 0, R = 1 must reproduce the one-burst model.
+  for (int layers : {1, 2, 3, 5, 8}) {
+    for (const auto& mapping :
+         {MappingPolicy::one_to_one(), MappingPolicy::one_to_five(),
+          MappingPolicy::one_to_half(), MappingPolicy::one_to_all()}) {
+      for (int budget_t : {0, 200, 2000}) {
+        const auto design = paper_design(layers, mapping);
+        const auto burst = OneBurstModel::evaluate(
+            design, OneBurstAttack{budget_t, 2000, 0.5});
+        const auto successive = SuccessiveModel::evaluate(
+            design, paper_attack(/*rounds=*/1, /*prior=*/0.0, budget_t));
+        ASSERT_EQ(burst.layers.size(), successive.layers.size());
+        EXPECT_NEAR(burst.p_success(), successive.p_success(), 1e-9)
+            << "L=" << layers << " NT=" << budget_t
+            << " m=" << mapping.label();
+        for (std::size_t i = 0; i < burst.layers.size(); ++i) {
+          EXPECT_NEAR(burst.layers[i].attempted,
+                      successive.layers[i].attempted, 1e-9);
+          EXPECT_NEAR(burst.layers[i].broken, successive.layers[i].broken,
+                      1e-9);
+          EXPECT_NEAR(burst.layers[i].congested,
+                      successive.layers[i].congested, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(SuccessiveModel, NoAttackIsHarmless) {
+  const auto result = SuccessiveModel::evaluate(
+      paper_design(3, MappingPolicy::one_to_five()),
+      paper_attack(3, 0.0, 0, 0));
+  EXPECT_EQ(result.p_success(), 1.0);
+}
+
+TEST(SuccessiveModel, PriorKnowledgeAloneGetsCongested) {
+  // N_T = 0 but P_E > 0: the known first-layer nodes are congested.
+  const auto design = paper_design(3, MappingPolicy::one_to_one());
+  const auto result =
+      SuccessiveModel::evaluate(design, paper_attack(3, 0.5, 0, 2000));
+  // Half of layer 1 (17 of 34) is known and congested, plus random spill.
+  EXPECT_GT(result.layers[0].congested, 17.0 - 1e-6);
+  const auto no_prior =
+      SuccessiveModel::evaluate(design, paper_attack(3, 0.0, 0, 2000));
+  EXPECT_LT(result.p_success(), no_prior.p_success());
+}
+
+TEST(SuccessiveModel, MoreRoundsHurt) {
+  // Fig. 7: P_S decreases as R increases (one-to-five mapping).
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  double prev = 2.0;
+  for (int rounds : {1, 2, 3, 5, 8, 10}) {
+    const double p = SuccessiveModel::p_success(
+        design, paper_attack(rounds, 0.2, 2000, 2000));
+    EXPECT_LE(p, prev + 1e-9) << "R=" << rounds;
+    prev = p;
+  }
+}
+
+TEST(SuccessiveModel, DeeperLayeringIsLessSensitiveToRounds) {
+  // Fig. 7 (paper defaults N_T=200, N_C=2000, one-to-five): more layers
+  // postpone the round-by-round disclosure cascade, so at moderate R the
+  // drop from R=1 is much smaller for deep layering.
+  const auto drop_for = [&](int layers) {
+    const auto design = paper_design(layers, MappingPolicy::one_to_five());
+    const double p1 =
+        SuccessiveModel::p_success(design, paper_attack(1, 0.2, 200, 2000));
+    const double p3 =
+        SuccessiveModel::p_success(design, paper_attack(3, 0.2, 200, 2000));
+    return p1 - p3;
+  };
+  EXPECT_GT(drop_for(3), drop_for(5));
+}
+
+TEST(SuccessiveModel, MonotoneInBreakInBudget) {
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  double prev = 2.0;
+  for (int budget : {0, 100, 200, 500, 1000, 2000, 4000}) {
+    const double p = SuccessiveModel::p_success(
+        design, paper_attack(3, 0.2, budget, 2000));
+    EXPECT_LE(p, prev + 1e-9) << "NT=" << budget;
+    prev = p;
+  }
+}
+
+TEST(SuccessiveModel, MonotoneInPriorKnowledge) {
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  double prev = 2.0;
+  for (double prior : {0.0, 0.1, 0.2, 0.5, 1.0}) {
+    const double p = SuccessiveModel::p_success(
+        design, paper_attack(3, prior, 200, 2000));
+    EXPECT_LE(p, prev + 1e-9) << "PE=" << prior;
+    prev = p;
+  }
+}
+
+TEST(SuccessiveModel, IncreasingDistributionWinsAtHighMapping) {
+  // Fig. 6(b) at the paper's defaults (N_T=200, N_C=2000, R=3, P_E=0.2):
+  // increasing node distribution beats even and decreasing when the mapping
+  // degree is large; layers closer to the target absorb disclosure damage.
+  const auto attack = paper_attack(3, 0.2, 200, 2000);
+  const double p_inc = SuccessiveModel::p_success(
+      paper_design(4, MappingPolicy::one_to_five(),
+                   NodeDistribution::increasing()),
+      attack);
+  const double p_even = SuccessiveModel::p_success(
+      paper_design(4, MappingPolicy::one_to_five(), NodeDistribution::even()),
+      attack);
+  const double p_dec = SuccessiveModel::p_success(
+      paper_design(4, MappingPolicy::one_to_five(),
+                   NodeDistribution::decreasing()),
+      attack);
+  EXPECT_GT(p_inc, p_even);
+  EXPECT_GT(p_even, p_dec);
+}
+
+TEST(SuccessiveModel, DistributionSensitivityShrinksWithMoreLayers) {
+  // Fig. 6(b), second observation: as L grows the distributions converge.
+  const auto attack = paper_attack(3, 0.2, 200, 2000);
+  const auto spread_for = [&](int layers) {
+    const double p_inc = SuccessiveModel::p_success(
+        paper_design(layers, MappingPolicy::one_to_five(),
+                     NodeDistribution::increasing()),
+        attack);
+    const double p_dec = SuccessiveModel::p_success(
+        paper_design(layers, MappingPolicy::one_to_five(),
+                     NodeDistribution::decreasing()),
+        attack);
+    return p_inc - p_dec;
+  };
+  EXPECT_GT(spread_for(4), spread_for(5));
+}
+
+TEST(SuccessiveModel, TraceRoundStructure) {
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  const auto trace =
+      SuccessiveModel::trace(design, paper_attack(4, 0.2, 2000, 2000));
+  ASSERT_FALSE(trace.rounds.empty());
+  EXPECT_LE(trace.rounds.size(), 4u);
+  double beta_prev = 2000.0;
+  for (const auto& round : trace.rounds) {
+    EXPECT_GE(round.case_id, 1);
+    EXPECT_LE(round.case_id, 4);
+    EXPECT_NEAR(round.beta_before, beta_prev, 1e-9);
+    EXPECT_LE(round.beta_after, round.beta_before + 1e-9);
+    beta_prev = round.beta_after;
+    // Layer 1 is never disclosed by break-ins.
+    EXPECT_EQ(round.disclosed_new[0], 0.0);
+  }
+  EXPECT_TRUE(trace.rounds.back().terminal ||
+              static_cast<int>(trace.rounds.size()) == 4 ||
+              trace.rounds.back().beta_after <= 1e-9);
+}
+
+TEST(SuccessiveModel, BreakInResourcesNeverExceeded) {
+  for (int rounds : {1, 2, 3, 5, 10}) {
+    for (int budget_t : {0, 100, 200, 1000, 2000}) {
+      const auto trace = SuccessiveModel::trace(
+          paper_design(4, MappingPolicy::one_to_five()),
+          paper_attack(rounds, 0.2, budget_t, 2000));
+      double attempts = 0.0;
+      for (const auto& round : trace.rounds) {
+        for (std::size_t i = 0; i < round.attempted_disclosed.size(); ++i)
+          attempts +=
+              round.attempted_disclosed[i] + round.attempted_random[i];
+        attempts += round.random_budget;  // non-SOS share upper bound
+      }
+      // Generous bound: SOS attempts plus the random budget double-counts
+      // the SOS share, so 2x N_T is a safe ceiling; the tight SOS-only
+      // accounting is checked below.
+      EXPECT_LE(attempts, 2.0 * budget_t + 1e-6);
+
+      double sos_attempts = 0.0;
+      for (const auto& round : trace.rounds)
+        for (std::size_t i = 0; i < round.attempted_disclosed.size(); ++i)
+          sos_attempts +=
+              round.attempted_disclosed[i] + round.attempted_random[i];
+      EXPECT_LE(sos_attempts, budget_t + 1e-6);
+    }
+  }
+}
+
+TEST(SuccessiveModel, CongestionBudgetNeverExceeded) {
+  for (int budget_c : {0, 10, 100, 2000, 8000}) {
+    const auto result = SuccessiveModel::evaluate(
+        paper_design(3, MappingPolicy::one_to_all()),
+        paper_attack(3, 0.2, 2000, budget_c));
+    double congested = 0.0;
+    for (const auto& layer : result.layers) congested += layer.congested;
+    EXPECT_LE(congested, budget_c + 1e-6) << "NC=" << budget_c;
+  }
+}
+
+TEST(SuccessiveModel, ExhaustedBudgetTerminatesEarly) {
+  // With huge prior knowledge and tiny N_T the attacker runs out of break-in
+  // resources in round 1 (Algorithm 1 case 4).
+  const auto design = paper_design(3, MappingPolicy::one_to_all());
+  auto attack = paper_attack(5, 1.0, 10, 2000);
+  const auto trace = SuccessiveModel::trace(design, attack);
+  ASSERT_EQ(trace.rounds.size(), 1u);
+  EXPECT_EQ(trace.rounds.front().case_id, 4);
+  EXPECT_TRUE(trace.rounds.front().terminal);
+  // Leftover disclosed-but-unattacked nodes are still congested later.
+  EXPECT_GT(trace.result.layers[0].leftover_disclosed, 0.0);
+  EXPECT_GT(trace.result.layers[0].congested,
+            trace.result.layers[0].leftover_disclosed - 1e-9);
+}
+
+TEST(SuccessiveModel, SingleLayerHasNoCascade) {
+  // With L = 1 nothing can be disclosed except filters; successive rounds
+  // only spread random break-ins.
+  const auto design = paper_design(1, MappingPolicy::one_to_five());
+  const auto trace =
+      SuccessiveModel::trace(design, paper_attack(3, 0.0, 2000, 0));
+  for (const auto& round : trace.rounds) {
+    EXPECT_EQ(round.disclosed_new[0], 0.0);
+    EXPECT_EQ(round.attempted_disclosed[0], 0.0);
+  }
+}
+
+TEST(SuccessiveModel, PaperFaithfulPoolOptionIsClose) {
+  // The refined pool (subtracting non-SOS attempts) must stay within a few
+  // percent of the paper's bookkeeping at the default scale.
+  const auto design = paper_design(3, MappingPolicy::one_to_five());
+  const auto attack = paper_attack(3, 0.2, 2000, 2000);
+  SuccessiveOptions faithful;
+  faithful.paper_faithful_pool = true;
+  SuccessiveOptions refined;
+  refined.paper_faithful_pool = false;
+  const double p_faithful =
+      SuccessiveModel::p_success(design, attack, faithful);
+  const double p_refined = SuccessiveModel::p_success(design, attack, refined);
+  EXPECT_NEAR(p_faithful, p_refined, 0.05);
+  // Refined pool concentrates random attempts on fewer nodes, so it can
+  // only make the attack weakly stronger.
+  EXPECT_LE(p_refined, p_faithful + 1e-9);
+}
+
+TEST(SuccessiveModel, RejectsInvalidParameters) {
+  const auto design = paper_design(3, MappingPolicy::one_to_one());
+  auto attack = paper_attack();
+  attack.rounds = 0;
+  EXPECT_THROW(SuccessiveModel::evaluate(design, attack),
+               std::invalid_argument);
+  attack = paper_attack();
+  attack.prior_knowledge = 1.5;
+  EXPECT_THROW(SuccessiveModel::evaluate(design, attack),
+               std::invalid_argument);
+  attack = paper_attack();
+  attack.break_in_budget = -5;
+  EXPECT_THROW(SuccessiveModel::evaluate(design, attack),
+               std::invalid_argument);
+}
+
+// Property sweep across the whole configuration lattice.
+struct SuccessiveParam {
+  int layers;
+  int rounds;
+  double prior;
+  int budget_t;
+  int budget_c;
+};
+
+class SuccessiveSweep : public ::testing::TestWithParam<SuccessiveParam> {};
+
+TEST_P(SuccessiveSweep, InvariantsHold) {
+  const auto [layers, rounds, prior, budget_t, budget_c] = GetParam();
+  for (const auto& mapping :
+       {MappingPolicy::one_to_one(), MappingPolicy::one_to_two(),
+        MappingPolicy::one_to_five(), MappingPolicy::one_to_half(),
+        MappingPolicy::one_to_all()}) {
+    for (const auto& dist :
+         {NodeDistribution::even(), NodeDistribution::increasing(),
+          NodeDistribution::decreasing()}) {
+      const auto design = paper_design(layers, mapping, dist);
+      const auto result = SuccessiveModel::evaluate(
+          design, paper_attack(rounds, prior, budget_t, budget_c));
+      EXPECT_GE(result.p_success(), 0.0);
+      EXPECT_LE(result.p_success(), 1.0);
+      for (int i = 1; i <= layers + 1; ++i) {
+        const auto& layer = result.layers[static_cast<std::size_t>(i - 1)];
+        EXPECT_GE(layer.broken, -1e-9);
+        EXPECT_GE(layer.congested, -1e-9);
+        EXPECT_LE(layer.bad(),
+                  static_cast<double>(design.layer_size(i)) + 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterLattice, SuccessiveSweep,
+    ::testing::Values(SuccessiveParam{1, 3, 0.2, 200, 2000},
+                      SuccessiveParam{2, 1, 0.0, 0, 0},
+                      SuccessiveParam{3, 3, 0.2, 200, 2000},
+                      SuccessiveParam{3, 10, 1.0, 2000, 8000},
+                      SuccessiveParam{4, 2, 0.5, 2000, 100},
+                      SuccessiveParam{5, 5, 0.2, 4000, 2000},
+                      SuccessiveParam{8, 3, 0.0, 200, 6000},
+                      SuccessiveParam{8, 10, 1.0, 10000, 10000}));
+
+}  // namespace
+}  // namespace sos::core

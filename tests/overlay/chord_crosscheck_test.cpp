@@ -1,0 +1,89 @@
+// Cross-validation of the two Chord implementations: a stabilized
+// DynamicChord over a membership set must agree with the ideal, immutable
+// ChordRing snapshot built from the same ids — same ownership, same finger
+// targets, comparable lookup costs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "overlay/chord.h"
+#include "overlay/dynamic_chord.h"
+
+namespace sos::overlay {
+namespace {
+
+TEST(ChordCrossCheck, StabilizedDynamicMatchesStaticSnapshot) {
+  common::Rng rng{77};
+  std::vector<NodeId> ids;
+  DynamicChord dynamic{NodeId{rng.next()}};
+  ids.push_back(dynamic.id_of(0));
+  std::vector<int> slots{0};
+  for (int i = 0; i < 99; ++i) {
+    const NodeId id{rng.next()};
+    ids.push_back(id);
+    slots.push_back(dynamic.join(id, slots[rng.pick_index(slots.size())]));
+  }
+  dynamic.stabilize();
+  ASSERT_TRUE(dynamic.fully_converged());
+
+  const ChordRing ring{ids};
+  ASSERT_EQ(ring.size(), dynamic.live_count());
+
+  // Ownership agrees for arbitrary keys (compare by node id since the two
+  // implementations use different handle spaces).
+  for (int probe = 0; probe < 2000; ++probe) {
+    const NodeId key{rng.next()};
+    const NodeId via_ring = ring.id_at(ring.successor_index(key));
+    const NodeId via_dynamic = dynamic.id_of(dynamic.owner_of(key));
+    EXPECT_EQ(via_ring, via_dynamic);
+  }
+
+  // Lookups agree end to end and stay within the same hop envelope.
+  for (int probe = 0; probe < 300; ++probe) {
+    const NodeId key{rng.next()};
+    const int slot = slots[rng.pick_index(slots.size())];
+    const auto dyn = dynamic.lookup(slot, key);
+    ASSERT_TRUE(dyn.ok);
+    EXPECT_EQ(dynamic.id_of(dyn.destination),
+              ring.id_at(ring.successor_index(key)));
+    EXPECT_LE(dyn.hops, 2 * 7 + 4);  // 2 log2(100) + slack
+  }
+}
+
+TEST(ChordCrossCheck, ChurnThenStabilizeStillMatchesRebuiltSnapshot) {
+  common::Rng rng{79};
+  DynamicChord dynamic{NodeId{rng.next()}};
+  std::vector<int> slots{0};
+  for (int i = 0; i < 60; ++i)
+    slots.push_back(dynamic.join(NodeId{rng.next()}, slots.front()));
+  dynamic.stabilize();
+
+  // Churn: fail 10, join 10, leave 5.
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t victim = 1 + rng.pick_index(slots.size() - 1);
+    dynamic.fail(slots[victim]);
+    slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  for (int i = 0; i < 10; ++i)
+    slots.push_back(dynamic.join(NodeId{rng.next()}, slots.front()));
+  dynamic.stabilize();
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t victim = 1 + rng.pick_index(slots.size() - 1);
+    dynamic.leave(slots[victim]);
+    slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  dynamic.stabilize();
+  dynamic.stabilize();
+  ASSERT_TRUE(dynamic.fully_converged());
+
+  std::vector<NodeId> surviving_ids;
+  for (const int slot : slots) surviving_ids.push_back(dynamic.id_of(slot));
+  const ChordRing ring{surviving_ids};
+  for (int probe = 0; probe < 1000; ++probe) {
+    const NodeId key{rng.next()};
+    EXPECT_EQ(ring.id_at(ring.successor_index(key)),
+              dynamic.id_of(dynamic.owner_of(key)));
+  }
+}
+
+}  // namespace
+}  // namespace sos::overlay

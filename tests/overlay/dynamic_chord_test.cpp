@@ -1,0 +1,226 @@
+#include "overlay/dynamic_chord.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sos::overlay {
+namespace {
+
+TEST(DynamicChord, SingleNodeOwnsEverything) {
+  DynamicChord ring{NodeId{100}};
+  EXPECT_EQ(ring.live_count(), 1);
+  EXPECT_EQ(ring.owner_of(NodeId{0}), 0);
+  EXPECT_EQ(ring.owner_of(NodeId{99999}), 0);
+  const auto result = ring.lookup(0, NodeId{12345});
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.destination, 0);
+}
+
+TEST(DynamicChord, JoinSplicesIntoTheChainImmediately) {
+  DynamicChord ring{NodeId{100}};
+  const int b = ring.join(NodeId{200}, 0);
+  const int c = ring.join(NodeId{300}, 0);
+  EXPECT_EQ(ring.live_count(), 3);
+  // Reachability before any stabilization: lookups from any node find the
+  // right owner through the successor chain.
+  EXPECT_EQ(ring.lookup(0, NodeId{150}).destination, b);
+  EXPECT_EQ(ring.lookup(b, NodeId{250}).destination, c);
+  EXPECT_EQ(ring.lookup(c, NodeId{350}).destination, 0);  // wraps
+  EXPECT_EQ(ring.lookup(c, NodeId{100}).destination, 0);  // exact id
+}
+
+TEST(DynamicChord, RejectsDuplicateIdsAndBadGateways) {
+  DynamicChord ring{NodeId{100}};
+  EXPECT_THROW(ring.join(NodeId{100}, 0), std::invalid_argument);
+  EXPECT_THROW(ring.join(NodeId{200}, 5), std::invalid_argument);
+  const int b = ring.join(NodeId{200}, 0);
+  ring.leave(b);
+  EXPECT_THROW(ring.join(NodeId{300}, b), std::invalid_argument);  // dead
+}
+
+TEST(DynamicChord, ConvergesAfterOneStabilizeRound) {
+  common::Rng rng{7};
+  DynamicChord ring{NodeId{rng.next()}};
+  for (int i = 0; i < 40; ++i) ring.join(NodeId{rng.next()}, 0);
+  EXPECT_FALSE(ring.fully_converged());  // fingers still empty
+  ring.stabilize();
+  EXPECT_TRUE(ring.fully_converged());
+}
+
+TEST(DynamicChord, LeaveRepairsTheChain) {
+  DynamicChord ring{NodeId{100}};
+  const int b = ring.join(NodeId{200}, 0);
+  const int c = ring.join(NodeId{300}, 0);
+  ring.stabilize();
+  ring.leave(b);
+  EXPECT_EQ(ring.live_count(), 2);
+  EXPECT_FALSE(ring.is_live(b));
+  // b's keyspace is inherited by its successor c.
+  EXPECT_EQ(ring.owner_of(NodeId{150}), c);
+  EXPECT_EQ(ring.lookup(0, NodeId{150}).destination, c);
+  ring.stabilize();
+  EXPECT_TRUE(ring.fully_converged());
+}
+
+TEST(DynamicChord, LastNodeCannotLeave) {
+  DynamicChord ring{NodeId{100}};
+  EXPECT_THROW(ring.leave(0), std::invalid_argument);
+}
+
+TEST(DynamicChord, LookupsMatchOwnerUnderChurn) {
+  common::Rng rng{11};
+  DynamicChord ring{NodeId{rng.next()}};
+  std::vector<int> live{0};
+  for (int round = 0; round < 30; ++round) {
+    // Random churn: join two, maybe drop one, stabilize occasionally.
+    for (int j = 0; j < 2; ++j) {
+      const int gateway = live[rng.pick_index(live.size())];
+      live.push_back(ring.join(NodeId{rng.next()}, gateway));
+    }
+    if (live.size() > 3 && rng.bernoulli(0.5)) {
+      const std::size_t victim = rng.pick_index(live.size());
+      ring.leave(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    if (round % 3 == 0) ring.stabilize();
+
+    // Invariant: even mid-churn, lookups from any live node agree with the
+    // ownership defined by the successor chain.
+    for (int probe = 0; probe < 10; ++probe) {
+      const NodeId key{rng.next()};
+      const int from = live[rng.pick_index(live.size())];
+      const auto result = ring.lookup(from, key);
+      ASSERT_TRUE(result.ok);
+      EXPECT_EQ(result.destination, ring.owner_of(key));
+    }
+  }
+  ring.stabilize();
+  EXPECT_TRUE(ring.fully_converged());
+}
+
+TEST(DynamicChord, StabilizedLookupsAreLogarithmic) {
+  common::Rng rng{13};
+  DynamicChord ring{NodeId{rng.next()}};
+  std::vector<int> live{0};
+  for (int i = 0; i < 255; ++i)
+    live.push_back(ring.join(NodeId{rng.next()}, live[rng.pick_index(live.size())]));
+  ring.stabilize();
+  ASSERT_TRUE(ring.fully_converged());
+
+  double total_hops = 0.0;
+  constexpr int kProbes = 300;
+  for (int probe = 0; probe < kProbes; ++probe) {
+    const auto result =
+        ring.lookup(live[rng.pick_index(live.size())], NodeId{rng.next()});
+    ASSERT_TRUE(result.ok);
+    total_hops += result.hops;
+  }
+  // log2(256) = 8; allow the usual 2x envelope on the mean.
+  EXPECT_LE(total_hops / kProbes, 16.0);
+}
+
+TEST(DynamicChord, SingleCrashIsAbsorbedBySuccessorLists) {
+  common::Rng rng{21};
+  DynamicChord ring{NodeId{rng.next()}};
+  std::vector<int> live{0};
+  for (int i = 0; i < 31; ++i) live.push_back(ring.join(NodeId{rng.next()}, 0));
+  ring.stabilize();
+  ASSERT_TRUE(ring.fully_converged());
+
+  // Crash one node: no notification happens, yet lookups from every
+  // survivor still find the (new) owner of every key.
+  const int victim = live[10];
+  ring.fail(victim);
+  live.erase(live.begin() + 10);
+  for (int probe = 0; probe < 200; ++probe) {
+    const NodeId key{rng.next()};
+    const int from = live[rng.pick_index(live.size())];
+    const auto result = ring.lookup(from, key);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.destination, ring.owner_of(key));
+  }
+  ring.stabilize();
+  EXPECT_TRUE(ring.fully_converged());
+}
+
+TEST(DynamicChord, BurstOfCrashesWithinListSizeIsSurvivable) {
+  common::Rng rng{23};
+  DynamicChord ring{NodeId{rng.next()}};
+  std::vector<int> live{0};
+  for (int i = 0; i < 63; ++i) live.push_back(ring.join(NodeId{rng.next()}, 0));
+  ring.stabilize();
+
+  // Crash a random 20% burst (spread out, so consecutive-ring runs stay
+  // below the successor-list length with high probability for this seed).
+  int crashed = 0;
+  while (crashed < 12) {
+    const std::size_t index = rng.pick_index(live.size());
+    if (live[index] == 0) continue;  // keep the bootstrap alive for joins
+    ring.fail(live[index]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    ++crashed;
+  }
+  int ok = 0, probes = 0;
+  for (int probe = 0; probe < 200; ++probe) {
+    const NodeId key{rng.next()};
+    const int from = live[rng.pick_index(live.size())];
+    const auto result = ring.lookup(from, key);
+    ++probes;
+    if (result.ok) {
+      EXPECT_EQ(result.destination, ring.owner_of(key));
+      ++ok;
+    }
+  }
+  EXPECT_GT(static_cast<double>(ok) / probes, 0.9);
+  ring.stabilize();
+  EXPECT_TRUE(ring.fully_converged());
+}
+
+TEST(DynamicChord, RepeatedCrashStabilizeCyclesConverge) {
+  common::Rng rng{29};
+  DynamicChord ring{NodeId{rng.next()}};
+  std::vector<int> live{0};
+  for (int i = 0; i < 47; ++i) live.push_back(ring.join(NodeId{rng.next()}, 0));
+  ring.stabilize();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    // Two crashes, one join, then a stabilization round.
+    for (int f = 0; f < 2 && live.size() > 2; ++f) {
+      const std::size_t index = rng.pick_index(live.size());
+      if (live[index] == 0) continue;
+      ring.fail(live[index]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    live.push_back(ring.join(NodeId{rng.next()}, live.front()));
+    ring.stabilize();
+    ring.stabilize();  // crash repair can need a notify round to settle
+    EXPECT_TRUE(ring.fully_converged()) << "cycle " << cycle;
+  }
+}
+
+TEST(DynamicChord, FailValidation) {
+  DynamicChord ring{NodeId{1}};
+  EXPECT_THROW(ring.fail(0), std::invalid_argument);  // last node
+  const int b = ring.join(NodeId{2}, 0);
+  ring.fail(b);
+  EXPECT_THROW(ring.fail(b), std::invalid_argument);  // already dead
+  EXPECT_FALSE(ring.is_live(b));
+}
+
+TEST(DynamicChord, UnstabilizedLookupsDegradeGracefully) {
+  // Without fix_fingers, lookups fall back to the successor chain: correct
+  // but linear. This is the availability-vs-maintenance trade-off Chord
+  // documents.
+  common::Rng rng{17};
+  DynamicChord ring{NodeId{rng.next()}};
+  for (int i = 0; i < 63; ++i) ring.join(NodeId{rng.next()}, 0);
+  const auto result = ring.lookup(0, NodeId{rng.next()});
+  EXPECT_TRUE(result.ok);
+  EXPECT_LE(result.hops, 64 + 8);
+}
+
+}  // namespace
+}  // namespace sos::overlay

@@ -1,0 +1,75 @@
+#include "overlay/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sos::overlay {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsKeepInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) queue.schedule(1.0, [&, i] { order.push_back(i); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue queue;
+  std::vector<double> fired;
+  for (double t : {0.5, 1.5, 2.5}) queue.schedule(t, [&, t] { fired.push_back(t); });
+  queue.run_until(1.5);
+  EXPECT_EQ(fired, (std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(queue.now(), 1.5);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventQueue queue;
+  queue.run_until(7.0);
+  EXPECT_EQ(queue.now(), 7.0);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] {
+    ++fired;
+    queue.schedule_in(1.0, [&] { ++fired; });
+  });
+  queue.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsPastAndEmptyCallbacks) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.schedule(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(6.0, EventQueue::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  queue.schedule(1.0, [] {});
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+}  // namespace
+}  // namespace sos::overlay

@@ -1,0 +1,53 @@
+#include "overlay/network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sos::overlay {
+namespace {
+
+TEST(Network, RejectsEmpty) {
+  EXPECT_THROW(Network(0, 1), std::invalid_argument);
+}
+
+TEST(Network, IdsAreDistinct) {
+  const Network network{5000, 99};
+  std::set<std::uint64_t> seen;
+  for (const auto id : network.ids()) seen.insert(id.value);
+  EXPECT_EQ(seen.size(), 5000u);
+}
+
+TEST(Network, SameSeedSameIds) {
+  const Network a{100, 7};
+  const Network b{100, 7};
+  EXPECT_EQ(a.ids(), b.ids());
+  const Network c{100, 8};
+  EXPECT_NE(a.ids(), c.ids());
+}
+
+TEST(Network, HealthLifecycle) {
+  Network network{10, 1};
+  EXPECT_EQ(network.good_count(), 10);
+  EXPECT_TRUE(network.is_good(3));
+
+  network.set_health(3, NodeHealth::kCongested);
+  network.set_health(4, NodeHealth::kBrokenIn);
+  EXPECT_FALSE(network.is_good(3));
+  EXPECT_FALSE(network.is_good(4));
+  EXPECT_EQ(network.good_count(), 8);
+  EXPECT_EQ(network.congested_count(), 1);
+  EXPECT_EQ(network.broken_in_count(), 1);
+
+  network.reset_health();
+  EXPECT_EQ(network.good_count(), 10);
+}
+
+TEST(Network, CanRouteOnlyWhenGood) {
+  EXPECT_TRUE(can_route(NodeHealth::kGood));
+  EXPECT_FALSE(can_route(NodeHealth::kCongested));
+  EXPECT_FALSE(can_route(NodeHealth::kBrokenIn));
+}
+
+}  // namespace
+}  // namespace sos::overlay

@@ -1,0 +1,124 @@
+#include "sim/migration.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace sos::sim {
+namespace {
+
+core::SosDesign small_design() {
+  return core::SosDesign::make(1000, 60, 3, 10,
+                               core::MappingPolicy::one_to_five());
+}
+
+core::SuccessiveAttack campaign() {
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 300;
+  attack.congestion_budget = 200;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 4;
+  return attack;
+}
+
+TEST(Migration, ZeroRateMigratesNothing) {
+  sosnet::SosOverlay overlay{small_design(), 1};
+  common::Rng rng{2};
+  const auto outcome = run_successive_attack_with_migration(
+      overlay, campaign(), MigrationConfig{.migration_rate = 0.0}, rng);
+  EXPECT_EQ(outcome.migrated, 0);
+}
+
+TEST(Migration, FullRateKeepsLayersCleanOfBrokenMembers) {
+  sosnet::SosOverlay overlay{small_design(), 3};
+  common::Rng rng{4};
+  const auto outcome = run_successive_attack_with_migration(
+      overlay, campaign(), MigrationConfig{.migration_rate = 1.0}, rng);
+  EXPECT_GT(outcome.migrated, 0);
+  // Every broken-in node left in the network must be a retired bystander;
+  // active members were all migrated after the final round (congestion
+  // comes later and only congests, never breaks).
+  for (int layer = 0; layer < 3; ++layer) {
+    for (const int member : overlay.topology().members(layer)) {
+      EXPECT_NE(overlay.network().health(member),
+                overlay::NodeHealth::kBrokenIn);
+    }
+  }
+}
+
+TEST(Migration, MembershipStaysConsistentUnderMigration) {
+  sosnet::SosOverlay overlay{small_design(), 5};
+  common::Rng rng{6};
+  run_successive_attack_with_migration(
+      overlay, campaign(), MigrationConfig{.migration_rate = 0.7}, rng);
+  const auto& topology = overlay.topology();
+  std::set<int> seen;
+  for (int layer = 0; layer < 3; ++layer) {
+    EXPECT_EQ(static_cast<int>(topology.members(layer).size()),
+              overlay.design().layer_size(layer + 1));
+    for (const int member : topology.members(layer)) {
+      EXPECT_TRUE(seen.insert(member).second) << "duplicate member";
+      EXPECT_EQ(topology.layer_of(member), layer);
+      // Tables still have the right degree and point at the next layer.
+      const auto& table = topology.neighbors(member);
+      EXPECT_EQ(static_cast<int>(table.size()),
+                overlay.design().degree_into(layer + 2));
+      if (layer + 1 < 3) {
+        for (const int neighbor : table)
+          EXPECT_EQ(topology.layer_of(neighbor), layer + 1);
+      }
+    }
+  }
+  // Routing still works end to end on the reconfigured topology.
+  overlay.reset_health();
+  EXPECT_TRUE(overlay.route_message(rng).delivered);
+}
+
+TEST(Migration, ProactiveRotationBeatsReactiveBeatsNothing) {
+  const auto design = small_design();
+  const auto availability = [&](MigrationConfig config) {
+    int delivered = 0, walks = 0;
+    for (int trial = 0; trial < 150; ++trial) {
+      sosnet::SosOverlay overlay{design, 70 + static_cast<std::uint64_t>(trial)};
+      common::Rng rng{90 + static_cast<std::uint64_t>(trial)};
+      run_successive_attack_with_migration(overlay, campaign(), config, rng);
+      for (int walk = 0; walk < 10; ++walk, ++walks)
+        if (overlay.route_message(rng).delivered) ++delivered;
+    }
+    return static_cast<double>(delivered) / walks;
+  };
+  const double none = availability({0.0, 0.0});
+  const double reactive = availability({1.0, 0.0});
+  const double proactive = availability({1.0, 0.5});
+  // Reactive migration restores layer health a little; proactive rotation
+  // additionally invalidates the attacker's pending intelligence and is
+  // decisively better.
+  EXPECT_GE(reactive, none - 0.02);
+  EXPECT_GT(proactive, none + 0.08);
+  EXPECT_GT(proactive, reactive + 0.05);
+}
+
+TEST(Migration, ProactiveRotationWastesAttackerBreakIns) {
+  // Pending identities rotated before the next round are bystanders when
+  // attacked, so fewer break-ins land on actual SOS members.
+  const auto design = small_design();
+  const auto sos_broken = [&](double proactive_rate) {
+    double total = 0.0;
+    for (int trial = 0; trial < 80; ++trial) {
+      sosnet::SosOverlay overlay{design,
+                                 170 + static_cast<std::uint64_t>(trial)};
+      common::Rng rng{190 + static_cast<std::uint64_t>(trial)};
+      const auto outcome = run_successive_attack_with_migration(
+          overlay, campaign(), MigrationConfig{0.0, proactive_rate}, rng);
+      for (const int count : outcome.attack.broken_per_layer) total += count;
+    }
+    return total / 80.0;
+  };
+  EXPECT_LT(sos_broken(0.8), sos_broken(0.0) * 0.8);
+}
+
+}  // namespace
+}  // namespace sos::sim

@@ -1,0 +1,86 @@
+#include "sim/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sos::sim {
+namespace {
+
+core::SosDesign small_design() {
+  return core::SosDesign::make(1000, 60, 3, 10,
+                               core::MappingPolicy::one_to_five());
+}
+
+core::SuccessiveAttack heavy_attack() {
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 300;
+  attack.congestion_budget = 300;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 4;
+  return attack;
+}
+
+TEST(Repair, ZeroRateChangesNothing) {
+  sosnet::SosOverlay overlay{small_design(), 1};
+  common::Rng rng{2};
+  const auto outcome = run_successive_attack_with_repair(
+      overlay, heavy_attack(), RepairConfig{.repair_rate = 0.0}, rng);
+  EXPECT_EQ(outcome.repaired_nodes, 0);
+  EXPECT_EQ(outcome.repaired_filters, 0);
+  EXPECT_GT(outcome.attack.broken_in, 0);
+}
+
+TEST(Repair, FullRateScrubsEverythingAfterTheLastSweep) {
+  sosnet::SosOverlay overlay{small_design(), 3};
+  common::Rng rng{4};
+  const auto outcome = run_successive_attack_with_repair(
+      overlay, heavy_attack(), RepairConfig{.repair_rate = 1.0}, rng);
+  EXPECT_GT(outcome.repaired_nodes, 0);
+  // The final sweep (rate 1) repairs every compromised node and filter.
+  EXPECT_EQ(overlay.network().good_count(), overlay.network().size());
+  EXPECT_EQ(overlay.congested_filter_count(), 0);
+}
+
+TEST(Repair, PartialRateLeavesIntermediateDamage) {
+  sosnet::SosOverlay overlay{small_design(), 5};
+  common::Rng rng{6};
+  const auto outcome = run_successive_attack_with_repair(
+      overlay, heavy_attack(), RepairConfig{.repair_rate = 0.3}, rng);
+  EXPECT_GT(outcome.repaired_nodes, 0);
+  EXPECT_LT(overlay.network().good_count(), overlay.network().size());
+}
+
+TEST(Repair, CanBeScopedToCongestionOnly) {
+  sosnet::SosOverlay overlay{small_design(), 7};
+  common::Rng rng{8};
+  RepairConfig config;
+  config.repair_rate = 1.0;
+  config.repair_broken = false;
+  run_successive_attack_with_repair(overlay, heavy_attack(), config, rng);
+  EXPECT_GT(overlay.network().broken_in_count(), 0);
+  EXPECT_EQ(overlay.network().congested_count(), 0);
+}
+
+TEST(Repair, MoreRepairMeansMoreAvailability) {
+  const auto design = small_design();
+  const auto availability_at = [&](double rate) {
+    int delivered = 0, walks = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+      sosnet::SosOverlay overlay{design,
+                                 40 + static_cast<std::uint64_t>(trial)};
+      common::Rng rng{60 + static_cast<std::uint64_t>(trial)};
+      run_successive_attack_with_repair(overlay, heavy_attack(),
+                                        RepairConfig{.repair_rate = rate},
+                                        rng);
+      for (int walk = 0; walk < 10; ++walk, ++walks)
+        if (overlay.route_message(rng).delivered) ++delivered;
+    }
+    return static_cast<double>(delivered) / walks;
+  };
+  EXPECT_GT(availability_at(0.8), availability_at(0.0));
+}
+
+}  // namespace
+}  // namespace sos::sim

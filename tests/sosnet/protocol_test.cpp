@@ -1,0 +1,192 @@
+#include "sosnet/protocol.h"
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sos::sosnet {
+namespace {
+
+core::SosDesign small_design(core::MappingPolicy mapping, int layers = 3) {
+  return core::SosDesign::make(500, 60, layers, 10, mapping);
+}
+
+TEST(ProtocolRouter, HealthyOverlayDeliversAtMinimalLatency) {
+  const SosOverlay overlay{small_design(core::MappingPolicy::one_to_five()),
+                           1};
+  const ProtocolRouter router{overlay, {}};
+  common::Rng rng{2};
+  for (int i = 0; i < 50; ++i) {
+    const auto outcome = router.deliver(rng);
+    EXPECT_TRUE(outcome.delivered);
+    EXPECT_EQ(outcome.timeouts, 0);
+    // 3 inter-node round trips (client->L1, L1->L2, L2->L3 with replies)
+    // plus the filter delivery+ACK: (L of them) * 2 + 2 hop delays.
+    EXPECT_DOUBLE_EQ(outcome.latency, 8.0);
+    EXPECT_EQ(outcome.messages, 4);  // one per hop, no retries
+  }
+}
+
+TEST(ProtocolRouter, TimeoutsAddLatencyUnderPartialCongestion) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()), 3};
+  // Congest half of layer 2.
+  const auto& members = overlay.topology().members(1);
+  for (std::size_t i = 0; i < members.size() / 2; ++i)
+    overlay.network().set_health(members[i], overlay::NodeHealth::kCongested);
+
+  const ProtocolRouter router{overlay, {}};
+  common::Rng rng{4};
+  common::RunningStats latency;
+  for (int i = 0; i < 300; ++i) {
+    const auto outcome = router.deliver(rng);
+    ASSERT_TRUE(outcome.delivered);  // one-to-all: plenty of alternatives
+    latency.add(outcome.latency);
+  }
+  EXPECT_GT(latency.mean(), 8.0);   // timeouts show up
+  EXPECT_GT(latency.max(), 12.0);   // some walks hit several dead entries
+}
+
+TEST(ProtocolRouter, BacktrackingBeatsCommitSemantics) {
+  // Congest most of layer 3 so dead-ends are common; the backtracking
+  // protocol recovers via the previous layer's alternatives.
+  const auto design = small_design(core::MappingPolicy::one_to_two());
+  int delivered_commit = 0, delivered_backtrack = 0;
+  constexpr int kTrials = 120;
+  for (int t = 0; t < kTrials; ++t) {
+    SosOverlay overlay{design, 100 + static_cast<std::uint64_t>(t)};
+    common::Rng attack_rng{500 + static_cast<std::uint64_t>(t)};
+    for (const int member : overlay.topology().members(2))
+      if (attack_rng.bernoulli(0.6))
+        overlay.network().set_health(member,
+                                     overlay::NodeHealth::kCongested);
+
+    common::Rng rng{900 + static_cast<std::uint64_t>(t)};
+    ProtocolConfig commit;
+    commit.backtrack = false;
+    if (ProtocolRouter(overlay, commit).deliver(rng).delivered)
+      ++delivered_commit;
+    ProtocolConfig backtrack;
+    if (ProtocolRouter(overlay, backtrack).deliver(rng).delivered)
+      ++delivered_backtrack;
+  }
+  EXPECT_GT(delivered_backtrack, delivered_commit);
+}
+
+TEST(ProtocolRouter, BacktrackingEqualsGraphReachability) {
+  // With backtracking, delivery succeeds iff a good path exists. Verify on
+  // heavily damaged topologies against an explicit reachability check.
+  const auto design = small_design(core::MappingPolicy::one_to_two());
+  for (int t = 0; t < 60; ++t) {
+    SosOverlay overlay{design, 300 + static_cast<std::uint64_t>(t)};
+    common::Rng attack_rng{700 + static_cast<std::uint64_t>(t)};
+    for (int layer = 0; layer < 3; ++layer)
+      for (const int member : overlay.topology().members(layer))
+        if (attack_rng.bernoulli(0.5))
+          overlay.network().set_health(member,
+                                       overlay::NodeHealth::kCongested);
+
+    // Reachability from every layer-0 good node (the client tries m_1
+    // contacts, which for one-to-two is 2 random members; to make the test
+    // deterministic, ask instead: does ANY filter-reaching path exist from
+    // the specific contacts the router drew? Easiest equivalent: full
+    // exhaustive router (backtracking) with all layer-0 members as
+    // contacts must match reachability over the whole layer graph).
+    const auto reachable = [&] {
+      std::vector<int> frontier;
+      for (const int member : overlay.topology().members(0))
+        if (overlay.network().is_good(member)) frontier.push_back(member);
+      for (int layer = 0; layer + 1 < 3; ++layer) {
+        std::vector<int> next;
+        for (const int node : frontier)
+          for (const int neighbor : overlay.topology().neighbors(node))
+            if (overlay.network().is_good(neighbor)) next.push_back(neighbor);
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+        frontier = std::move(next);
+      }
+      for (const int node : frontier)
+        for (const int filter : overlay.topology().neighbors(node))
+          if (!overlay.filter_congested(filter)) return true;
+      return false;
+    }();
+
+    // Router over many client draws: if reachable, *some* draw succeeds;
+    // if not reachable, no draw can.
+    common::Rng rng{1100 + static_cast<std::uint64_t>(t)};
+    const ProtocolRouter router{overlay, {}};
+    bool any = false;
+    for (int draw = 0; draw < 40 && !any; ++draw)
+      any = router.deliver(rng).delivered;
+    if (!reachable) {
+      EXPECT_FALSE(any) << "trial " << t;
+    }
+    // (reachable => any may still be false if the client never draws a
+    // contact on a live path; with 40 draws of 2 contacts this is rare but
+    // legal, so only the negative direction is asserted strictly.)
+  }
+}
+
+TEST(ProtocolRouter, CommitSemanticsMatchTheRandomWalk) {
+  // The paper's walk (pick a random *good* neighbor, die at a dead end) and
+  // the commit protocol (probe shuffled neighbors, commit to the first
+  // responsive one) choose next hops with identical distribution, so their
+  // delivery rates must agree statistically.
+  const auto design = small_design(core::MappingPolicy::one_to_two());
+  int walk_ok = 0, commit_ok = 0, total = 0;
+  for (int t = 0; t < 80; ++t) {
+    SosOverlay overlay{design, 2000 + static_cast<std::uint64_t>(t)};
+    common::Rng attack_rng{3000 + static_cast<std::uint64_t>(t)};
+    for (int layer = 0; layer < 3; ++layer)
+      for (const int member : overlay.topology().members(layer))
+        if (attack_rng.bernoulli(0.35))
+          overlay.network().set_health(member,
+                                       overlay::NodeHealth::kCongested);
+    common::Rng rng{4000 + static_cast<std::uint64_t>(t)};
+    ProtocolConfig commit;
+    commit.backtrack = false;
+    const ProtocolRouter router{overlay, commit};
+    for (int walk = 0; walk < 25; ++walk, ++total) {
+      if (overlay.route_message(rng).delivered) ++walk_ok;
+      if (router.deliver(rng).delivered) ++commit_ok;
+    }
+  }
+  const double walk_rate = static_cast<double>(walk_ok) / total;
+  const double commit_rate = static_cast<double>(commit_ok) / total;
+  EXPECT_NEAR(walk_rate, commit_rate, 0.04);
+}
+
+TEST(ProtocolRouter, TotalBlockadeFailsWithFullAccounting) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_one()), 5};
+  for (const int member : overlay.topology().members(1))
+    overlay.network().set_health(member, overlay::NodeHealth::kCongested);
+  const ProtocolRouter router{overlay, {}};
+  common::Rng rng{6};
+  const auto outcome = router.deliver(rng);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_GT(outcome.timeouts, 0);
+  EXPECT_GT(outcome.latency, 0.0);
+}
+
+TEST(ProtocolRouter, MessageCountGrowsWithDamage) {
+  const auto design = small_design(core::MappingPolicy::one_to_all());
+  SosOverlay clean{design, 7};
+  SosOverlay damaged{design, 7};
+  common::Rng attack_rng{8};
+  for (int layer = 0; layer < 3; ++layer)
+    for (const int member : damaged.topology().members(layer))
+      if (attack_rng.bernoulli(0.4))
+        damaged.network().set_health(member,
+                                     overlay::NodeHealth::kCongested);
+  common::Rng rng{9};
+  common::RunningStats clean_msgs, damaged_msgs;
+  for (int i = 0; i < 200; ++i) {
+    clean_msgs.add(ProtocolRouter(clean, {}).deliver(rng).messages);
+    damaged_msgs.add(ProtocolRouter(damaged, {}).deliver(rng).messages);
+  }
+  EXPECT_GT(damaged_msgs.mean(), clean_msgs.mean());
+}
+
+}  // namespace
+}  // namespace sos::sosnet

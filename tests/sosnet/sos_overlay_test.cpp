@@ -1,0 +1,150 @@
+#include "sosnet/sos_overlay.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sos::sosnet {
+namespace {
+
+core::SosDesign small_design(core::MappingPolicy mapping, int layers = 3) {
+  return core::SosDesign::make(500, 60, layers, 10, mapping);
+}
+
+TEST(SosOverlay, HealthyOverlayAlwaysDelivers) {
+  const SosOverlay overlay{small_design(core::MappingPolicy::one_to_one()), 1};
+  common::Rng rng{2};
+  for (int walk = 0; walk < 200; ++walk) {
+    const auto result = overlay.route_message(rng);
+    EXPECT_TRUE(result.delivered);
+    // client hop + (L-1) inter-layer hops + filter hop
+    EXPECT_EQ(result.layer_hops, 3 + 1);
+    EXPECT_EQ(static_cast<int>(result.path.size()), 3);
+    EXPECT_GE(result.filter_used, 0);
+  }
+}
+
+TEST(SosOverlay, WalkVisitsLayersInOrder) {
+  const SosOverlay overlay{small_design(core::MappingPolicy::one_to_five(), 4),
+                           3};
+  common::Rng rng{4};
+  const auto result = overlay.route_message(rng);
+  ASSERT_TRUE(result.delivered);
+  ASSERT_EQ(result.path.size(), 4u);
+  for (std::size_t i = 0; i < result.path.size(); ++i)
+    EXPECT_EQ(overlay.topology().layer_of(result.path[i]),
+              static_cast<int>(i));
+}
+
+TEST(SosOverlay, CongestedFirstLayerBlocksEverything) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()), 5};
+  for (const int node : overlay.topology().members(0))
+    overlay.network().set_health(node, overlay::NodeHealth::kCongested);
+  common::Rng rng{6};
+  for (int walk = 0; walk < 50; ++walk)
+    EXPECT_FALSE(overlay.route_message(rng).delivered);
+}
+
+TEST(SosOverlay, BrokenNodesDoNotRouteEither) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()), 5};
+  for (const int node : overlay.topology().members(1))
+    overlay.network().set_health(node, overlay::NodeHealth::kBrokenIn);
+  common::Rng rng{6};
+  for (int walk = 0; walk < 50; ++walk)
+    EXPECT_FALSE(overlay.route_message(rng).delivered);
+}
+
+TEST(SosOverlay, AllFiltersCongestedBlocksDelivery) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()), 7};
+  for (int filter = 0; filter < overlay.filter_count(); ++filter)
+    overlay.set_filter_congested(filter, true);
+  EXPECT_EQ(overlay.congested_filter_count(), overlay.filter_count());
+  common::Rng rng{8};
+  for (int walk = 0; walk < 50; ++walk)
+    EXPECT_FALSE(overlay.route_message(rng).delivered);
+}
+
+TEST(SosOverlay, WalkAvoidsBadNodesWhenAlternativesExist) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()), 9};
+  // Congest half of layer 1; deliveries must keep working and never pass
+  // through a congested node.
+  const auto& members = overlay.topology().members(1);
+  for (std::size_t i = 0; i < members.size() / 2; ++i)
+    overlay.network().set_health(members[i], overlay::NodeHealth::kCongested);
+  common::Rng rng{10};
+  for (int walk = 0; walk < 200; ++walk) {
+    const auto result = overlay.route_message(rng);
+    ASSERT_TRUE(result.delivered);
+    for (const int node : result.path)
+      EXPECT_TRUE(overlay.network().is_good(node));
+  }
+}
+
+TEST(SosOverlay, ResetHealthRestoresDelivery) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()), 11};
+  for (const int node : overlay.topology().members(0))
+    overlay.network().set_health(node, overlay::NodeHealth::kCongested);
+  overlay.set_filter_congested(0, true);
+  common::Rng rng{12};
+  EXPECT_FALSE(overlay.route_message(rng).delivered);
+  overlay.reset_health();
+  EXPECT_EQ(overlay.congested_filter_count(), 0);
+  EXPECT_TRUE(overlay.route_message(rng).delivered);
+}
+
+TEST(SosOverlay, TallyCountsPerLayer) {
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_five()), 13};
+  const auto& members = overlay.topology().members(1);
+  overlay.network().set_health(members[0], overlay::NodeHealth::kCongested);
+  overlay.network().set_health(members[1], overlay::NodeHealth::kBrokenIn);
+  const auto tally = overlay.tally(1);
+  EXPECT_EQ(tally.congested, 1);
+  EXPECT_EQ(tally.broken, 1);
+  EXPECT_EQ(tally.good, static_cast<int>(members.size()) - 2);
+}
+
+TEST(SosOverlay, ChordModeDeliversOnHealthyOverlay) {
+  const SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()),
+                           15};
+  common::Rng rng{16};
+  for (int walk = 0; walk < 50; ++walk) {
+    const auto result = overlay.route_message_via_chord(rng);
+    EXPECT_TRUE(result.delivered);
+    EXPECT_GE(result.transport_hops, 0);
+  }
+}
+
+TEST(SosOverlay, ChordModeIsNeverEasierThanLayerWalk) {
+  // Heavy bystander congestion: the layer walk ignores bystanders entirely;
+  // the Chord transport cannot. Compare delivery rates on identical health.
+  SosOverlay overlay{small_design(core::MappingPolicy::one_to_all()), 17};
+  common::Rng attack_rng{18};
+  int congested = 0;
+  for (int node = 0; node < overlay.network().size() && congested < 300;
+       ++node) {
+    if (overlay.topology().is_sos_member(node)) continue;
+    overlay.network().set_health(node, overlay::NodeHealth::kCongested);
+    ++congested;
+  }
+  common::Rng rng{19};
+  int plain = 0, chord = 0;
+  for (int walk = 0; walk < 300; ++walk) {
+    if (overlay.route_message(rng).delivered) ++plain;
+    if (overlay.route_message_via_chord(rng).delivered) ++chord;
+  }
+  EXPECT_EQ(plain, 300);  // bystanders are irrelevant to the layer walk
+  EXPECT_LE(chord, plain);
+}
+
+TEST(SosOverlay, DeterministicForSameSeed) {
+  const auto design = small_design(core::MappingPolicy::one_to_five());
+  const SosOverlay a{design, 21};
+  const SosOverlay b{design, 21};
+  EXPECT_EQ(a.topology().members(0), b.topology().members(0));
+  EXPECT_EQ(a.network().ids(), b.network().ids());
+  const SosOverlay c{design, 22};
+  EXPECT_NE(a.topology().members(0), c.topology().members(0));
+}
+
+}  // namespace
+}  // namespace sos::sosnet

@@ -1,0 +1,195 @@
+#include "sosnet/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace sos::sosnet {
+namespace {
+
+core::SosDesign design_with(int layers, core::MappingPolicy mapping,
+                            const core::NodeDistribution& dist =
+                                core::NodeDistribution::even()) {
+  return core::SosDesign::make(1000, 60, layers, 10, mapping, dist);
+}
+
+TEST(Topology, LayerMembershipMatchesDesign) {
+  common::Rng rng{1};
+  const auto design = design_with(3, core::MappingPolicy::one_to_five());
+  const Topology topology{design, rng};
+
+  std::set<int> all_members;
+  for (int layer = 0; layer < 3; ++layer) {
+    const auto& members = topology.members(layer);
+    EXPECT_EQ(static_cast<int>(members.size()), design.layer_size(layer + 1));
+    for (const int node : members) {
+      EXPECT_EQ(topology.layer_of(node), layer);
+      EXPECT_TRUE(topology.is_sos_member(node));
+      all_members.insert(node);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(all_members.size()), design.sos_node_count());
+}
+
+TEST(Topology, BystandersHaveNoLayerAndNoNeighbors) {
+  common::Rng rng{2};
+  const auto design = design_with(3, core::MappingPolicy::one_to_five());
+  const Topology topology{design, rng};
+  int bystanders = 0;
+  for (int node = 0; node < design.total_overlay_nodes; ++node) {
+    if (topology.is_sos_member(node)) continue;
+    ++bystanders;
+    EXPECT_EQ(topology.layer_of(node), -1);
+    EXPECT_TRUE(topology.neighbors(node).empty());
+  }
+  EXPECT_EQ(bystanders, design.total_overlay_nodes - design.sos_node_count());
+}
+
+TEST(Topology, NeighborTablesHaveMappingDegreeAndPointToNextLayer) {
+  common::Rng rng{3};
+  const auto design = design_with(3, core::MappingPolicy::one_to_five());
+  const Topology topology{design, rng};
+  for (int layer = 0; layer + 1 < 3; ++layer) {
+    for (const int node : topology.members(layer)) {
+      const auto& table = topology.neighbors(node);
+      EXPECT_EQ(static_cast<int>(table.size()), design.degree_into(layer + 2));
+      std::set<int> unique(table.begin(), table.end());
+      EXPECT_EQ(unique.size(), table.size());  // distinct entries
+      for (const int neighbor : table)
+        EXPECT_EQ(topology.layer_of(neighbor), layer + 1);
+    }
+  }
+}
+
+TEST(Topology, LastLayerPointsAtFilters) {
+  common::Rng rng{4};
+  const auto design = design_with(3, core::MappingPolicy::one_to_half());
+  const Topology topology{design, rng};
+  const int filter_degree = design.degree_into(4);
+  for (const int node : topology.members(2)) {
+    const auto& table = topology.neighbors(node);
+    EXPECT_EQ(static_cast<int>(table.size()), filter_degree);
+    for (const int filter : table) {
+      EXPECT_GE(filter, 0);
+      EXPECT_LT(filter, design.filter_count);
+    }
+  }
+}
+
+TEST(Topology, OneToAllTablesAreComplete) {
+  common::Rng rng{5};
+  const auto design = design_with(3, core::MappingPolicy::one_to_all());
+  const Topology topology{design, rng};
+  for (const int node : topology.members(0)) {
+    std::set<int> table(topology.neighbors(node).begin(),
+                        topology.neighbors(node).end());
+    std::set<int> next(topology.members(1).begin(),
+                       topology.members(1).end());
+    EXPECT_EQ(table, next);
+  }
+}
+
+TEST(Topology, ClientContactsComeFromFirstLayer) {
+  common::Rng rng{6};
+  const auto design = design_with(4, core::MappingPolicy::one_to_five());
+  const Topology topology{design, rng};
+  for (int draw = 0; draw < 20; ++draw) {
+    const auto contacts = topology.sample_client_contacts(rng);
+    EXPECT_EQ(static_cast<int>(contacts.size()), design.degree_into(1));
+    std::set<int> unique(contacts.begin(), contacts.end());
+    EXPECT_EQ(unique.size(), contacts.size());
+    for (const int node : contacts) EXPECT_EQ(topology.layer_of(node), 0);
+  }
+}
+
+TEST(Topology, DifferentSeedsGiveDifferentMembership) {
+  const auto design = design_with(3, core::MappingPolicy::one_to_five());
+  common::Rng rng_a{7}, rng_b{8};
+  const Topology a{design, rng_a};
+  const Topology b{design, rng_b};
+  EXPECT_NE(a.members(0), b.members(0));
+}
+
+TEST(Topology, ReplaceMemberSwapsRoleAndRewiresUpstream) {
+  common::Rng rng{31};
+  const auto design = design_with(3, core::MappingPolicy::one_to_five());
+  Topology topology{design, rng};
+
+  const int old_node = topology.members(1)[3];
+  int recruit = -1;
+  for (int node = 0; node < design.total_overlay_nodes; ++node) {
+    if (!topology.is_sos_member(node)) {
+      recruit = node;
+      break;
+    }
+  }
+  ASSERT_GE(recruit, 0);
+
+  // Record which layer-0 nodes pointed at the retiring member.
+  std::vector<int> upstream_pointers;
+  for (const int upstream : topology.members(0)) {
+    const auto& table = topology.neighbors(upstream);
+    if (std::count(table.begin(), table.end(), old_node) > 0)
+      upstream_pointers.push_back(upstream);
+  }
+
+  topology.replace_member(old_node, recruit, rng);
+
+  EXPECT_EQ(topology.layer_of(old_node), -1);
+  EXPECT_TRUE(topology.neighbors(old_node).empty());
+  EXPECT_EQ(topology.layer_of(recruit), 1);
+  EXPECT_EQ(static_cast<int>(topology.neighbors(recruit).size()),
+            design.degree_into(3));
+  for (const int neighbor : topology.neighbors(recruit))
+    EXPECT_EQ(topology.layer_of(neighbor), 2);
+  // Upstream tables were re-issued.
+  for (const int upstream : upstream_pointers) {
+    const auto& table = topology.neighbors(upstream);
+    EXPECT_EQ(std::count(table.begin(), table.end(), old_node), 0);
+    EXPECT_EQ(std::count(table.begin(), table.end(), recruit), 1);
+  }
+}
+
+TEST(Topology, ReplaceMemberValidatesArguments) {
+  common::Rng rng{37};
+  const auto design = design_with(2, core::MappingPolicy::one_to_one());
+  Topology topology{design, rng};
+  int bystander = -1;
+  for (int node = 0; node < design.total_overlay_nodes; ++node)
+    if (!topology.is_sos_member(node)) {
+      bystander = node;
+      break;
+    }
+  // Non-member cannot be retired; member cannot be the recruit.
+  EXPECT_THROW(topology.replace_member(bystander, bystander,  rng),
+               std::invalid_argument);
+  const int member_a = topology.members(0)[0];
+  const int member_b = topology.members(1)[0];
+  EXPECT_THROW(topology.replace_member(member_a, member_b, rng),
+               std::invalid_argument);
+}
+
+TEST(Topology, MembershipIsUniformAcrossTheOverlay) {
+  // Any given overlay node should serve with probability n/N; check that
+  // membership is not clustered at low indices.
+  const auto design = design_with(2, core::MappingPolicy::one_to_one());
+  int low_half = 0;
+  constexpr int kBuilds = 200;
+  for (int build = 0; build < kBuilds; ++build) {
+    common::Rng rng{static_cast<std::uint64_t>(build) + 100};
+    const Topology topology{design, rng};
+    for (int layer = 0; layer < 2; ++layer)
+      for (const int node : topology.members(layer))
+        if (node < design.total_overlay_nodes / 2) ++low_half;
+  }
+  const double fraction =
+      static_cast<double>(low_half) /
+      (kBuilds * design.sos_node_count());
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace sos::sosnet

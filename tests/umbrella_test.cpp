@@ -1,0 +1,35 @@
+// The umbrella header must compile standalone and expose the whole public
+// API (this is what downstream users include).
+#include "sos.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheSingleHeader) {
+  const auto design = sos::core::SosDesign::make(
+      1000, 60, 3, 10, sos::core::MappingPolicy::one_to_two());
+
+  sos::core::SuccessiveAttack attack;
+  attack.break_in_budget = 100;
+  attack.congestion_budget = 200;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+
+  const double p_model = sos::core::SuccessiveModel::p_success(design, attack);
+  EXPECT_GT(p_model, 0.0);
+  EXPECT_LT(p_model, 1.0);
+
+  const sos::attack::SuccessiveAttacker attacker{attack};
+  const auto mc = sos::sim::run_monte_carlo(
+      design,
+      [&attacker](sos::sosnet::SosOverlay& overlay, sos::common::Rng& rng) {
+        return attacker.execute(overlay, rng);
+      },
+      sos::sim::MonteCarloConfig{.trials = 20, .walks_per_trial = 5});
+  EXPECT_GE(mc.p_success, 0.0);
+  EXPECT_LE(mc.p_success, 1.0);
+}
+
+}  // namespace
