@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_adaptive_attacker"
+  "../bench/ext_adaptive_attacker.pdb"
+  "CMakeFiles/ext_adaptive_attacker.dir/ext_adaptive_main.cpp.o"
+  "CMakeFiles/ext_adaptive_attacker.dir/ext_adaptive_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

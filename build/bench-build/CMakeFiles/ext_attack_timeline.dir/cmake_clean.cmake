@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_attack_timeline"
+  "../bench/ext_attack_timeline.pdb"
+  "CMakeFiles/ext_attack_timeline.dir/ext_timeline_main.cpp.o"
+  "CMakeFiles/ext_attack_timeline.dir/ext_timeline_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_attack_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

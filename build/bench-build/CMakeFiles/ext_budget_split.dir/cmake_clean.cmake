@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_budget_split"
+  "../bench/ext_budget_split.pdb"
+  "CMakeFiles/ext_budget_split.dir/ext_budget_main.cpp.o"
+  "CMakeFiles/ext_budget_split.dir/ext_budget_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_budget_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_chord_fidelity"
+  "../bench/ext_chord_fidelity.pdb"
+  "CMakeFiles/ext_chord_fidelity.dir/ext_chord_main.cpp.o"
+  "CMakeFiles/ext_chord_fidelity.dir/ext_chord_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chord_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_exact_vs_average"
+  "../bench/ext_exact_vs_average.pdb"
+  "CMakeFiles/ext_exact_vs_average.dir/ext_exact_main.cpp.o"
+  "CMakeFiles/ext_exact_vs_average.dir/ext_exact_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_exact_vs_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

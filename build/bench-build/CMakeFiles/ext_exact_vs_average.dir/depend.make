@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_exact_vs_average.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_hardening_placement"
+  "../bench/ext_hardening_placement.pdb"
+  "CMakeFiles/ext_hardening_placement.dir/ext_hardening_main.cpp.o"
+  "CMakeFiles/ext_hardening_placement.dir/ext_hardening_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hardening_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_latency_tradeoff"
+  "../bench/ext_latency_tradeoff.pdb"
+  "CMakeFiles/ext_latency_tradeoff.dir/ext_latency_main.cpp.o"
+  "CMakeFiles/ext_latency_tradeoff.dir/ext_latency_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_mapping_profile"
+  "../bench/ext_mapping_profile.pdb"
+  "CMakeFiles/ext_mapping_profile.dir/ext_profile_main.cpp.o"
+  "CMakeFiles/ext_mapping_profile.dir/ext_profile_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mapping_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_migration_defense"
+  "../bench/ext_migration_defense.pdb"
+  "CMakeFiles/ext_migration_defense.dir/ext_migration_main.cpp.o"
+  "CMakeFiles/ext_migration_defense.dir/ext_migration_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_migration_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

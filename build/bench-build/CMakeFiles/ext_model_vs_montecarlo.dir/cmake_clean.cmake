@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_model_vs_montecarlo"
+  "../bench/ext_model_vs_montecarlo.pdb"
+  "CMakeFiles/ext_model_vs_montecarlo.dir/ext_mc_main.cpp.o"
+  "CMakeFiles/ext_model_vs_montecarlo.dir/ext_mc_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_vs_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_nc_sensitivity"
+  "../bench/ext_nc_sensitivity.pdb"
+  "CMakeFiles/ext_nc_sensitivity.dir/ext_nc_main.cpp.o"
+  "CMakeFiles/ext_nc_sensitivity.dir/ext_nc_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

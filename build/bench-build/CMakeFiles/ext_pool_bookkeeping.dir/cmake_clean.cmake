@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_pool_bookkeeping"
+  "../bench/ext_pool_bookkeeping.pdb"
+  "CMakeFiles/ext_pool_bookkeeping.dir/ext_pool_main.cpp.o"
+  "CMakeFiles/ext_pool_bookkeeping.dir/ext_pool_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pool_bookkeeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

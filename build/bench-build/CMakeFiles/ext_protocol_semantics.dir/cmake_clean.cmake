@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_protocol_semantics"
+  "../bench/ext_protocol_semantics.pdb"
+  "CMakeFiles/ext_protocol_semantics.dir/ext_protocol_main.cpp.o"
+  "CMakeFiles/ext_protocol_semantics.dir/ext_protocol_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_protocol_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

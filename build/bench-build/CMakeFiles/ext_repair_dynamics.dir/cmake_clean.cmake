@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_repair_dynamics"
+  "../bench/ext_repair_dynamics.pdb"
+  "CMakeFiles/ext_repair_dynamics.dir/ext_repair_main.cpp.o"
+  "CMakeFiles/ext_repair_dynamics.dir/ext_repair_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_repair_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

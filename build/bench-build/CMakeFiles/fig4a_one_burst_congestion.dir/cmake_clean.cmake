@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_one_burst_congestion"
+  "../bench/fig4a_one_burst_congestion.pdb"
+  "CMakeFiles/fig4a_one_burst_congestion.dir/fig4a_main.cpp.o"
+  "CMakeFiles/fig4a_one_burst_congestion.dir/fig4a_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_one_burst_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

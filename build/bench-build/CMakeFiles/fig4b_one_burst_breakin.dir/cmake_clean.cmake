@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_one_burst_breakin"
+  "../bench/fig4b_one_burst_breakin.pdb"
+  "CMakeFiles/fig4b_one_burst_breakin.dir/fig4b_main.cpp.o"
+  "CMakeFiles/fig4b_one_burst_breakin.dir/fig4b_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_one_burst_breakin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4b_one_burst_breakin.
+# This may be replaced when dependencies are built.

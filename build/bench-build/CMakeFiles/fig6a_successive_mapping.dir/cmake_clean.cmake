@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_successive_mapping"
+  "../bench/fig6a_successive_mapping.pdb"
+  "CMakeFiles/fig6a_successive_mapping.dir/fig6a_main.cpp.o"
+  "CMakeFiles/fig6a_successive_mapping.dir/fig6a_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_successive_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

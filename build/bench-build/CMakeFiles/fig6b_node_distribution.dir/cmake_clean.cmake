@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_node_distribution"
+  "../bench/fig6b_node_distribution.pdb"
+  "CMakeFiles/fig6b_node_distribution.dir/fig6b_main.cpp.o"
+  "CMakeFiles/fig6b_node_distribution.dir/fig6b_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_node_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

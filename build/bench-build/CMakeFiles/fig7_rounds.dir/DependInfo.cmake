@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_main.cpp" "bench-build/CMakeFiles/fig7_rounds.dir/fig7_main.cpp.o" "gcc" "bench-build/CMakeFiles/fig7_rounds.dir/fig7_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/sos_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sos_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sosnet/CMakeFiles/sos_sosnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/sos_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

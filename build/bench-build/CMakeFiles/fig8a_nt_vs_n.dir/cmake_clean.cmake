@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8a_nt_vs_n"
+  "../bench/fig8a_nt_vs_n.pdb"
+  "CMakeFiles/fig8a_nt_vs_n.dir/fig8a_main.cpp.o"
+  "CMakeFiles/fig8a_nt_vs_n.dir/fig8a_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_nt_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8b_nt_vs_layers"
+  "../bench/fig8b_nt_vs_layers.pdb"
+  "CMakeFiles/fig8b_nt_vs_layers.dir/fig8b_main.cpp.o"
+  "CMakeFiles/fig8b_nt_vs_layers.dir/fig8b_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_nt_vs_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

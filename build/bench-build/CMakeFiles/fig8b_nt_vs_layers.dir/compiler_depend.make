@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8b_nt_vs_layers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_design.dir/resilient_design.cpp.o"
+  "CMakeFiles/resilient_design.dir/resilient_design.cpp.o.d"
+  "resilient_design"
+  "resilient_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

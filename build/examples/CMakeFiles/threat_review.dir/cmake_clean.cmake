@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_review.dir/threat_review.cpp.o"
+  "CMakeFiles/threat_review.dir/threat_review.cpp.o.d"
+  "threat_review"
+  "threat_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

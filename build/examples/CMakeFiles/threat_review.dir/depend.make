@@ -1,0 +1,2 @@
+# Empty dependencies file for threat_review.
+# This may be replaced when dependencies are built.

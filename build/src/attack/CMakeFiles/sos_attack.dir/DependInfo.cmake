@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/break_in.cpp" "src/attack/CMakeFiles/sos_attack.dir/break_in.cpp.o" "gcc" "src/attack/CMakeFiles/sos_attack.dir/break_in.cpp.o.d"
+  "/root/repo/src/attack/congestion.cpp" "src/attack/CMakeFiles/sos_attack.dir/congestion.cpp.o" "gcc" "src/attack/CMakeFiles/sos_attack.dir/congestion.cpp.o.d"
+  "/root/repo/src/attack/knowledge.cpp" "src/attack/CMakeFiles/sos_attack.dir/knowledge.cpp.o" "gcc" "src/attack/CMakeFiles/sos_attack.dir/knowledge.cpp.o.d"
+  "/root/repo/src/attack/one_burst_attacker.cpp" "src/attack/CMakeFiles/sos_attack.dir/one_burst_attacker.cpp.o" "gcc" "src/attack/CMakeFiles/sos_attack.dir/one_burst_attacker.cpp.o.d"
+  "/root/repo/src/attack/random_congestion_attacker.cpp" "src/attack/CMakeFiles/sos_attack.dir/random_congestion_attacker.cpp.o" "gcc" "src/attack/CMakeFiles/sos_attack.dir/random_congestion_attacker.cpp.o.d"
+  "/root/repo/src/attack/successive_attacker.cpp" "src/attack/CMakeFiles/sos_attack.dir/successive_attacker.cpp.o" "gcc" "src/attack/CMakeFiles/sos_attack.dir/successive_attacker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sosnet/CMakeFiles/sos_sosnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/sos_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_attack.dir/break_in.cpp.o"
+  "CMakeFiles/sos_attack.dir/break_in.cpp.o.d"
+  "CMakeFiles/sos_attack.dir/congestion.cpp.o"
+  "CMakeFiles/sos_attack.dir/congestion.cpp.o.d"
+  "CMakeFiles/sos_attack.dir/knowledge.cpp.o"
+  "CMakeFiles/sos_attack.dir/knowledge.cpp.o.d"
+  "CMakeFiles/sos_attack.dir/one_burst_attacker.cpp.o"
+  "CMakeFiles/sos_attack.dir/one_burst_attacker.cpp.o.d"
+  "CMakeFiles/sos_attack.dir/random_congestion_attacker.cpp.o"
+  "CMakeFiles/sos_attack.dir/random_congestion_attacker.cpp.o.d"
+  "CMakeFiles/sos_attack.dir/successive_attacker.cpp.o"
+  "CMakeFiles/sos_attack.dir/successive_attacker.cpp.o.d"
+  "libsos_attack.a"
+  "libsos_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

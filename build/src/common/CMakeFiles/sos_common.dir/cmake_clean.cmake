@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/sos_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/sos_common.dir/cli.cpp.o"
+  "CMakeFiles/sos_common.dir/cli.cpp.o.d"
+  "CMakeFiles/sos_common.dir/histogram.cpp.o"
+  "CMakeFiles/sos_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/sos_common.dir/logging.cpp.o"
+  "CMakeFiles/sos_common.dir/logging.cpp.o.d"
+  "CMakeFiles/sos_common.dir/mathx.cpp.o"
+  "CMakeFiles/sos_common.dir/mathx.cpp.o.d"
+  "CMakeFiles/sos_common.dir/rng.cpp.o"
+  "CMakeFiles/sos_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sos_common.dir/stats.cpp.o"
+  "CMakeFiles/sos_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sos_common.dir/strings.cpp.o"
+  "CMakeFiles/sos_common.dir/strings.cpp.o.d"
+  "CMakeFiles/sos_common.dir/table.cpp.o"
+  "CMakeFiles/sos_common.dir/table.cpp.o.d"
+  "libsos_common.a"
+  "libsos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

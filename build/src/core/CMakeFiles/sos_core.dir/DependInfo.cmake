@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/budget_frontier.cpp" "src/core/CMakeFiles/sos_core.dir/budget_frontier.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/budget_frontier.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/core/CMakeFiles/sos_core.dir/design.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/design.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/sos_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/exact_models.cpp" "src/core/CMakeFiles/sos_core.dir/exact_models.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/exact_models.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/sos_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/one_burst_model.cpp" "src/core/CMakeFiles/sos_core.dir/one_burst_model.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/one_burst_model.cpp.o.d"
+  "/root/repo/src/core/path_probability.cpp" "src/core/CMakeFiles/sos_core.dir/path_probability.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/path_probability.cpp.o.d"
+  "/root/repo/src/core/robust_design.cpp" "src/core/CMakeFiles/sos_core.dir/robust_design.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/robust_design.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/sos_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/successive_model.cpp" "src/core/CMakeFiles/sos_core.dir/successive_model.cpp.o" "gcc" "src/core/CMakeFiles/sos_core.dir/successive_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

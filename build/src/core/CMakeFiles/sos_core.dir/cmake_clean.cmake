@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_core.dir/budget_frontier.cpp.o"
+  "CMakeFiles/sos_core.dir/budget_frontier.cpp.o.d"
+  "CMakeFiles/sos_core.dir/design.cpp.o"
+  "CMakeFiles/sos_core.dir/design.cpp.o.d"
+  "CMakeFiles/sos_core.dir/distribution.cpp.o"
+  "CMakeFiles/sos_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/sos_core.dir/exact_models.cpp.o"
+  "CMakeFiles/sos_core.dir/exact_models.cpp.o.d"
+  "CMakeFiles/sos_core.dir/mapping.cpp.o"
+  "CMakeFiles/sos_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/sos_core.dir/one_burst_model.cpp.o"
+  "CMakeFiles/sos_core.dir/one_burst_model.cpp.o.d"
+  "CMakeFiles/sos_core.dir/path_probability.cpp.o"
+  "CMakeFiles/sos_core.dir/path_probability.cpp.o.d"
+  "CMakeFiles/sos_core.dir/robust_design.cpp.o"
+  "CMakeFiles/sos_core.dir/robust_design.cpp.o.d"
+  "CMakeFiles/sos_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/sos_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/sos_core.dir/successive_model.cpp.o"
+  "CMakeFiles/sos_core.dir/successive_model.cpp.o.d"
+  "libsos_core.a"
+  "libsos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_experiments.dir/extensions.cpp.o"
+  "CMakeFiles/sos_experiments.dir/extensions.cpp.o.d"
+  "CMakeFiles/sos_experiments.dir/fig4.cpp.o"
+  "CMakeFiles/sos_experiments.dir/fig4.cpp.o.d"
+  "CMakeFiles/sos_experiments.dir/fig6.cpp.o"
+  "CMakeFiles/sos_experiments.dir/fig6.cpp.o.d"
+  "CMakeFiles/sos_experiments.dir/fig7.cpp.o"
+  "CMakeFiles/sos_experiments.dir/fig7.cpp.o.d"
+  "CMakeFiles/sos_experiments.dir/fig8.cpp.o"
+  "CMakeFiles/sos_experiments.dir/fig8.cpp.o.d"
+  "CMakeFiles/sos_experiments.dir/figure.cpp.o"
+  "CMakeFiles/sos_experiments.dir/figure.cpp.o.d"
+  "libsos_experiments.a"
+  "libsos_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

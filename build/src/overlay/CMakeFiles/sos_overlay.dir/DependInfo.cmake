@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/chord.cpp" "src/overlay/CMakeFiles/sos_overlay.dir/chord.cpp.o" "gcc" "src/overlay/CMakeFiles/sos_overlay.dir/chord.cpp.o.d"
+  "/root/repo/src/overlay/dynamic_chord.cpp" "src/overlay/CMakeFiles/sos_overlay.dir/dynamic_chord.cpp.o" "gcc" "src/overlay/CMakeFiles/sos_overlay.dir/dynamic_chord.cpp.o.d"
+  "/root/repo/src/overlay/event_queue.cpp" "src/overlay/CMakeFiles/sos_overlay.dir/event_queue.cpp.o" "gcc" "src/overlay/CMakeFiles/sos_overlay.dir/event_queue.cpp.o.d"
+  "/root/repo/src/overlay/network.cpp" "src/overlay/CMakeFiles/sos_overlay.dir/network.cpp.o" "gcc" "src/overlay/CMakeFiles/sos_overlay.dir/network.cpp.o.d"
+  "/root/repo/src/overlay/node_id.cpp" "src/overlay/CMakeFiles/sos_overlay.dir/node_id.cpp.o" "gcc" "src/overlay/CMakeFiles/sos_overlay.dir/node_id.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_overlay.dir/chord.cpp.o"
+  "CMakeFiles/sos_overlay.dir/chord.cpp.o.d"
+  "CMakeFiles/sos_overlay.dir/dynamic_chord.cpp.o"
+  "CMakeFiles/sos_overlay.dir/dynamic_chord.cpp.o.d"
+  "CMakeFiles/sos_overlay.dir/event_queue.cpp.o"
+  "CMakeFiles/sos_overlay.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sos_overlay.dir/network.cpp.o"
+  "CMakeFiles/sos_overlay.dir/network.cpp.o.d"
+  "CMakeFiles/sos_overlay.dir/node_id.cpp.o"
+  "CMakeFiles/sos_overlay.dir/node_id.cpp.o.d"
+  "libsos_overlay.a"
+  "libsos_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsos_overlay.a"
+)

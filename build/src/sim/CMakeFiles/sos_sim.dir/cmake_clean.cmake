@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_sim.dir/migration.cpp.o"
+  "CMakeFiles/sos_sim.dir/migration.cpp.o.d"
+  "CMakeFiles/sos_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/sos_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/sos_sim.dir/repair.cpp.o"
+  "CMakeFiles/sos_sim.dir/repair.cpp.o.d"
+  "CMakeFiles/sos_sim.dir/timeline.cpp.o"
+  "CMakeFiles/sos_sim.dir/timeline.cpp.o.d"
+  "libsos_sim.a"
+  "libsos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sosnet/protocol.cpp" "src/sosnet/CMakeFiles/sos_sosnet.dir/protocol.cpp.o" "gcc" "src/sosnet/CMakeFiles/sos_sosnet.dir/protocol.cpp.o.d"
+  "/root/repo/src/sosnet/sos_overlay.cpp" "src/sosnet/CMakeFiles/sos_sosnet.dir/sos_overlay.cpp.o" "gcc" "src/sosnet/CMakeFiles/sos_sosnet.dir/sos_overlay.cpp.o.d"
+  "/root/repo/src/sosnet/topology.cpp" "src/sosnet/CMakeFiles/sos_sosnet.dir/topology.cpp.o" "gcc" "src/sosnet/CMakeFiles/sos_sosnet.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/sos_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_sosnet.dir/protocol.cpp.o"
+  "CMakeFiles/sos_sosnet.dir/protocol.cpp.o.d"
+  "CMakeFiles/sos_sosnet.dir/sos_overlay.cpp.o"
+  "CMakeFiles/sos_sosnet.dir/sos_overlay.cpp.o.d"
+  "CMakeFiles/sos_sosnet.dir/topology.cpp.o"
+  "CMakeFiles/sos_sosnet.dir/topology.cpp.o.d"
+  "libsos_sosnet.a"
+  "libsos_sosnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_sosnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sos_sosnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/knowledge_test.cpp" "tests/CMakeFiles/sos_tests.dir/attack/knowledge_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/attack/knowledge_test.cpp.o.d"
+  "/root/repo/tests/attack/one_burst_attacker_test.cpp" "tests/CMakeFiles/sos_tests.dir/attack/one_burst_attacker_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/attack/one_burst_attacker_test.cpp.o.d"
+  "/root/repo/tests/attack/primitives_test.cpp" "tests/CMakeFiles/sos_tests.dir/attack/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/attack/primitives_test.cpp.o.d"
+  "/root/repo/tests/attack/random_congestion_test.cpp" "tests/CMakeFiles/sos_tests.dir/attack/random_congestion_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/attack/random_congestion_test.cpp.o.d"
+  "/root/repo/tests/attack/successive_attacker_test.cpp" "tests/CMakeFiles/sos_tests.dir/attack/successive_attacker_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/attack/successive_attacker_test.cpp.o.d"
+  "/root/repo/tests/common/ascii_plot_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/ascii_plot_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/ascii_plot_test.cpp.o.d"
+  "/root/repo/tests/common/cli_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/cli_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/cli_test.cpp.o.d"
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/logging_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/logging_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/logging_test.cpp.o.d"
+  "/root/repo/tests/common/mathx_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/mathx_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/mathx_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/sos_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/core/budget_frontier_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/budget_frontier_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/budget_frontier_test.cpp.o.d"
+  "/root/repo/tests/core/design_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/design_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/design_test.cpp.o.d"
+  "/root/repo/tests/core/distribution_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/distribution_test.cpp.o.d"
+  "/root/repo/tests/core/exact_models_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/exact_models_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/exact_models_test.cpp.o.d"
+  "/root/repo/tests/core/hardening_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/hardening_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/hardening_test.cpp.o.d"
+  "/root/repo/tests/core/mapping_profile_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/mapping_profile_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/mapping_profile_test.cpp.o.d"
+  "/root/repo/tests/core/mapping_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/mapping_test.cpp.o.d"
+  "/root/repo/tests/core/one_burst_model_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/one_burst_model_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/one_burst_model_test.cpp.o.d"
+  "/root/repo/tests/core/path_probability_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/path_probability_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/path_probability_test.cpp.o.d"
+  "/root/repo/tests/core/robust_design_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/robust_design_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/robust_design_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/successive_model_test.cpp" "tests/CMakeFiles/sos_tests.dir/core/successive_model_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/core/successive_model_test.cpp.o.d"
+  "/root/repo/tests/experiments/figures_test.cpp" "tests/CMakeFiles/sos_tests.dir/experiments/figures_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/experiments/figures_test.cpp.o.d"
+  "/root/repo/tests/integration/model_vs_simulation_test.cpp" "tests/CMakeFiles/sos_tests.dir/integration/model_vs_simulation_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/integration/model_vs_simulation_test.cpp.o.d"
+  "/root/repo/tests/overlay/chord_crosscheck_test.cpp" "tests/CMakeFiles/sos_tests.dir/overlay/chord_crosscheck_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/overlay/chord_crosscheck_test.cpp.o.d"
+  "/root/repo/tests/overlay/chord_test.cpp" "tests/CMakeFiles/sos_tests.dir/overlay/chord_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/overlay/chord_test.cpp.o.d"
+  "/root/repo/tests/overlay/dynamic_chord_test.cpp" "tests/CMakeFiles/sos_tests.dir/overlay/dynamic_chord_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/overlay/dynamic_chord_test.cpp.o.d"
+  "/root/repo/tests/overlay/event_queue_test.cpp" "tests/CMakeFiles/sos_tests.dir/overlay/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/overlay/event_queue_test.cpp.o.d"
+  "/root/repo/tests/overlay/network_test.cpp" "tests/CMakeFiles/sos_tests.dir/overlay/network_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/overlay/network_test.cpp.o.d"
+  "/root/repo/tests/overlay/node_id_test.cpp" "tests/CMakeFiles/sos_tests.dir/overlay/node_id_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/overlay/node_id_test.cpp.o.d"
+  "/root/repo/tests/sim/migration_test.cpp" "tests/CMakeFiles/sos_tests.dir/sim/migration_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/sim/migration_test.cpp.o.d"
+  "/root/repo/tests/sim/monte_carlo_test.cpp" "tests/CMakeFiles/sos_tests.dir/sim/monte_carlo_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/sim/monte_carlo_test.cpp.o.d"
+  "/root/repo/tests/sim/repair_test.cpp" "tests/CMakeFiles/sos_tests.dir/sim/repair_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/sim/repair_test.cpp.o.d"
+  "/root/repo/tests/sim/timeline_test.cpp" "tests/CMakeFiles/sos_tests.dir/sim/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/sim/timeline_test.cpp.o.d"
+  "/root/repo/tests/sosnet/protocol_test.cpp" "tests/CMakeFiles/sos_tests.dir/sosnet/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/sosnet/protocol_test.cpp.o.d"
+  "/root/repo/tests/sosnet/sos_overlay_test.cpp" "tests/CMakeFiles/sos_tests.dir/sosnet/sos_overlay_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/sosnet/sos_overlay_test.cpp.o.d"
+  "/root/repo/tests/sosnet/topology_test.cpp" "tests/CMakeFiles/sos_tests.dir/sosnet/topology_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/sosnet/topology_test.cpp.o.d"
+  "/root/repo/tests/umbrella_test.cpp" "tests/CMakeFiles/sos_tests.dir/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/sos_tests.dir/umbrella_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/sos_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sos_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sosnet/CMakeFiles/sos_sosnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/sos_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
