@@ -12,7 +12,9 @@
 #include "core/successive_model.h"
 #include "overlay/chord.h"
 #include "sim/monte_carlo.h"
+#include "sim/sweep.h"
 #include "sosnet/sos_overlay.h"
+#include "sosnet/topology.h"
 
 namespace {
 
@@ -20,6 +22,11 @@ using namespace sos;  // NOLINT: bench-local brevity
 
 core::SosDesign bench_design(int layers = 3) {
   return core::SosDesign::make(10000, 100, layers, 10,
+                               core::MappingPolicy::one_to_five());
+}
+
+core::SosDesign bench_design_sized(int total_nodes) {
+  return core::SosDesign::make(total_nodes, 100, 3, 10,
                                core::MappingPolicy::one_to_five());
 }
 
@@ -73,6 +80,40 @@ void BM_TopologyBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TopologyBuild);
 
+// Topology construction across overlay sizes; the counter reports overlay
+// nodes processed per second, so the two sizes are directly comparable.
+void BM_TopologyConstruction(benchmark::State& state) {
+  const auto design = bench_design_sized(static_cast<int>(state.range(0)));
+  common::Rng rng{5};
+  for (auto _ : state) {
+    sosnet::Topology topology{design, rng};
+    benchmark::DoNotOptimize(topology.members(0).size());
+  }
+  state.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TopologyConstruction)->Arg(1000)->Arg(10000);
+
+// In-place rebuild of a warmed topology: the allocation-free path every
+// Monte Carlo trial after the first takes.
+void BM_TopologyRebuild(benchmark::State& state) {
+  const auto design = bench_design_sized(static_cast<int>(state.range(0)));
+  common::Rng rng{5};
+  sosnet::TopologyWorkspace workspace;
+  sosnet::Topology topology{design, rng, workspace};
+  for (auto _ : state) {
+    topology.rebuild(rng, workspace);
+    benchmark::DoNotOptimize(topology.members(0).size());
+  }
+  state.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TopologyRebuild)->Arg(1000)->Arg(10000);
+
 void BM_OneBurstAttackExecution(benchmark::State& state) {
   const auto design = bench_design(3);
   const attack::OneBurstAttacker attacker{core::OneBurstAttack{2000, 2000, 0.5}};
@@ -109,6 +150,22 @@ void BM_RoutingWalk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoutingWalk);
+
+// route_message across overlay sizes, using the reusable result buffer the
+// Monte Carlo engine routes through (no per-walk allocation).
+void BM_RoutingWalkSized(benchmark::State& state) {
+  const auto design = bench_design_sized(static_cast<int>(state.range(0)));
+  sosnet::SosOverlay overlay{design, 7};
+  common::Rng rng{11};
+  sosnet::WalkResult walk;
+  for (auto _ : state) {
+    overlay.route_message(rng, walk);
+    benchmark::DoNotOptimize(walk.delivered);
+  }
+  state.counters["walks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RoutingWalkSized)->Arg(1000)->Arg(10000);
 
 void BM_ChordRingBuild(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
@@ -151,5 +208,59 @@ void BM_MonteCarloTrialBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MonteCarloTrialBatch)->Unit(benchmark::kMillisecond);
+
+// Steady-state per-trial cost on the default ext_mc configuration: one
+// run_monte_carlo call per iteration, reported as trials per second. This is
+// the headline number scripts/bench_baseline records in
+// BENCH_monte_carlo.json.
+void BM_MonteCarloSteadyState(benchmark::State& state) {
+  const auto design = bench_design(3);
+  const attack::SuccessiveAttacker attacker{bench_attack()};
+  sim::MonteCarloConfig config;
+  config.trials = static_cast<int>(state.range(0));
+  config.walks_per_trial = 10;
+  config.threads = 1;
+  const sim::AttackFn attack_fn = [&attacker](sosnet::SosOverlay& overlay,
+                                              common::Rng& rng) {
+    return attacker.execute(overlay, rng);
+  };
+  for (auto _ : state) {
+    config.seed += 1;
+    benchmark::DoNotOptimize(sim::run_monte_carlo(design, attack_fn, config));
+  }
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(config.trials),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MonteCarloSteadyState)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// A whole mini figure sweep through the SweepRunner: many points sharing the
+// process-wide pool and its per-worker persistent overlays.
+void BM_SweepEngine(benchmark::State& state) {
+  const attack::SuccessiveAttacker attacker{bench_attack()};
+  const sim::AttackFn attack_fn = [&attacker](sosnet::SosOverlay& overlay,
+                                              common::Rng& rng) {
+    return attacker.execute(overlay, rng);
+  };
+  sim::MonteCarloConfig config;
+  config.trials = 8;
+  config.walks_per_trial = 10;
+  std::vector<core::SosDesign> designs;
+  for (int layers = 1; layers <= 6; ++layers)
+    designs.push_back(bench_design(layers));
+  for (auto _ : state) {
+    sim::SweepRunner runner;
+    for (const auto& design : designs)
+      runner.add(design, attack_fn, config);
+    runner.run();
+    benchmark::DoNotOptimize(runner.result(0).p_success);
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(designs.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepEngine)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -31,8 +31,17 @@ void execute_congestion_phase(sosnet::SosOverlay& overlay,
                               const AttackerKnowledge& knowledge,
                               int congestion_budget, common::Rng& rng,
                               AttackOutcome& outcome) {
+  // Scratch persists per thread so the Monte Carlo trial loop does not pay
+  // an allocation for every congestion phase. Purely capacity reuse: the
+  // contents (and the consumed random stream) are identical to fresh
+  // buffers.
+  thread_local std::vector<Target> targets;
+  thread_local std::vector<int> pool;
+  thread_local std::vector<std::uint64_t> picks;
+  thread_local common::SampleScratch sample_scratch;
+
   // Assemble the disclosed target list (N_D).
-  std::vector<Target> targets;
+  targets.clear();
   for (int node = 0; node < overlay.network().size(); ++node) {
     if (!knowledge.disclosed(node)) continue;
     if (overlay.network().health(node) == overlay::NodeHealth::kBrokenIn)
@@ -69,7 +78,7 @@ void execute_congestion_phase(sosnet::SosOverlay& overlay,
   // Spill-over: random good, undisclosed overlay nodes (Eq. 8's second
   // term). Enumerate the pool once — budgets here are a sizable fraction of
   // N, so rejection sampling would degenerate.
-  std::vector<int> pool;
+  pool.clear();
   pool.reserve(static_cast<std::size_t>(overlay.network().size()));
   for (int node = 0; node < overlay.network().size(); ++node) {
     if (knowledge.disclosed(node)) continue;
@@ -80,8 +89,9 @@ void execute_congestion_phase(sosnet::SosOverlay& overlay,
     for (const int node : pool) congest_node(overlay, node, outcome);
     return;
   }
-  const auto picks = rng.sample_without_replacement(
-      pool.size(), static_cast<std::uint64_t>(budget));
+  rng.sample_without_replacement_into(pool.size(),
+                                      static_cast<std::uint64_t>(budget),
+                                      picks, sample_scratch);
   for (const auto pick : picks)
     congest_node(overlay, pool[static_cast<std::size_t>(pick)], outcome);
 }

@@ -14,6 +14,20 @@ AttackerKnowledge::AttackerKnowledge(int node_count, int filter_count)
     throw std::invalid_argument("AttackerKnowledge: negative filter count");
 }
 
+void AttackerKnowledge::reset(int node_count, int filter_count) {
+  if (node_count < 1)
+    throw std::invalid_argument("AttackerKnowledge: empty overlay");
+  if (filter_count < 0)
+    throw std::invalid_argument("AttackerKnowledge: negative filter count");
+  attempted_.assign(static_cast<std::size_t>(node_count), false);
+  disclosed_.assign(static_cast<std::size_t>(node_count), false);
+  filter_disclosed_.assign(static_cast<std::size_t>(filter_count), false);
+  attempted_count_ = 0;
+  disclosed_count_ = 0;
+  disclosed_filter_count_ = 0;
+  pending_count_ = 0;
+}
+
 void AttackerKnowledge::mark_attempted(int node) {
   auto ref = attempted_.at(static_cast<std::size_t>(node));
   if (ref) return;
@@ -39,11 +53,16 @@ bool AttackerKnowledge::disclose_filter(int filter) {
 
 std::vector<int> AttackerKnowledge::pending() const {
   std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(pending_count_));
+  pending_into(out);
+  return out;
+}
+
+void AttackerKnowledge::pending_into(std::vector<int>& dest) const {
+  dest.clear();
+  dest.reserve(static_cast<std::size_t>(pending_count_));
   for (std::size_t node = 0; node < disclosed_.size(); ++node)
     if (disclosed_[node] && !attempted_[node])
-      out.push_back(static_cast<int>(node));
-  return out;
+      dest.push_back(static_cast<int>(node));
 }
 
 }  // namespace sos::attack

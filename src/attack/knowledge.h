@@ -16,6 +16,11 @@ class AttackerKnowledge {
  public:
   AttackerKnowledge(int node_count, int filter_count);
 
+  /// Forgets everything and resizes for a fresh overlay, reusing the
+  /// existing buffers (allocation-free once they are large enough). Lets a
+  /// per-thread knowledge object serve consecutive Monte Carlo trials.
+  void reset(int node_count, int filter_count);
+
   int node_count() const noexcept { return static_cast<int>(attempted_.size()); }
   int filter_count() const noexcept {
     return static_cast<int>(filter_disclosed_.size());
@@ -39,6 +44,8 @@ class AttackerKnowledge {
 
   /// Disclosed nodes that have never been attempted (Algorithm 1's X_j).
   std::vector<int> pending() const;
+  /// In-place variant: overwrites `dest`, reusing its capacity.
+  void pending_into(std::vector<int>& dest) const;
   int pending_count() const noexcept { return pending_count_; }
 
   int attempted_count() const noexcept { return attempted_count_; }

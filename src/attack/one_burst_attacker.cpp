@@ -16,14 +16,17 @@ AttackOutcome OneBurstAttacker::execute(sosnet::SosOverlay& overlay,
   outcome.congested_per_layer.assign(static_cast<std::size_t>(layers), 0);
   outcome.rounds_executed = 1;
 
-  AttackerKnowledge knowledge{overlay.network().size(),
-                              overlay.filter_count()};
+  thread_local AttackerKnowledge knowledge{1, 0};
+  knowledge.reset(overlay.network().size(), overlay.filter_count());
 
   // Break-in phase: N_T distinct uniformly random overlay nodes, all
   // attempted before any disclosure is exploited.
-  const auto victims = rng.sample_without_replacement(
+  thread_local std::vector<std::uint64_t> victims;
+  thread_local common::SampleScratch sample_scratch;
+  rng.sample_without_replacement_into(
       static_cast<std::uint64_t>(overlay.network().size()),
-      static_cast<std::uint64_t>(config_.break_in_budget));
+      static_cast<std::uint64_t>(config_.break_in_budget), victims,
+      sample_scratch);
   for (const auto victim : victims) {
     attempt_break_in(overlay, static_cast<int>(victim),
                      config_.break_in_success, knowledge, rng, outcome);

@@ -19,9 +19,11 @@ AttackOutcome RandomCongestionAttacker::execute(sosnet::SosOverlay& overlay,
   outcome.congested_per_layer.assign(static_cast<std::size_t>(layers), 0);
   outcome.rounds_executed = 0;
 
-  const auto victims = rng.sample_without_replacement(
+  thread_local std::vector<std::uint64_t> victims;
+  thread_local common::SampleScratch sample_scratch;
+  rng.sample_without_replacement_into(
       static_cast<std::uint64_t>(overlay.network().size()),
-      static_cast<std::uint64_t>(congestion_budget_));
+      static_cast<std::uint64_t>(congestion_budget_), victims, sample_scratch);
   for (const auto victim : victims)
     congest_node(overlay, static_cast<int>(victim), outcome);
   return outcome;

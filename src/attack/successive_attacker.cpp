@@ -12,13 +12,20 @@ namespace sos::attack {
 namespace {
 
 /// `count` distinct nodes that are neither attempted nor disclosed, chosen
-/// uniformly. Rejection sampling while the touched fraction is small, full
-/// enumeration otherwise.
-std::vector<int> sample_fresh_targets(const sosnet::SosOverlay& overlay,
-                                      const AttackerKnowledge& knowledge,
-                                      int count, common::Rng& rng) {
-  std::vector<int> out;
-  if (count <= 0) return out;
+/// uniformly, written into `out`. Rejection sampling while the touched
+/// fraction is small, full enumeration otherwise. Scratch buffers persist
+/// per thread so the Monte Carlo trial loop stays allocation-free; the
+/// consumed random stream is identical to the buffer-per-call version.
+void sample_fresh_targets(const sosnet::SosOverlay& overlay,
+                          const AttackerKnowledge& knowledge, int count,
+                          common::Rng& rng, std::vector<int>& out) {
+  thread_local std::vector<bool> taken;
+  thread_local std::vector<int> pool;
+  thread_local std::vector<std::uint64_t> picks;
+  thread_local common::SampleScratch sample_scratch;
+
+  out.clear();
+  if (count <= 0) return;
   const int big_n = overlay.network().size();
   const auto eligible = [&](int node) {
     return !knowledge.attempted(node) && !knowledge.disclosed(node);
@@ -27,7 +34,7 @@ std::vector<int> sample_fresh_targets(const sosnet::SosOverlay& overlay,
   const int touched =
       knowledge.attempted_count() + knowledge.pending_count();
   if (touched * 4 < big_n && count * 4 < big_n) {
-    std::vector<bool> taken(static_cast<std::size_t>(big_n), false);
+    taken.assign(static_cast<std::size_t>(big_n), false);
     out.reserve(static_cast<std::size_t>(count));
     int guard = 0;
     while (static_cast<int>(out.size()) < count && guard < big_n * 64) {
@@ -38,21 +45,23 @@ std::vector<int> sample_fresh_targets(const sosnet::SosOverlay& overlay,
       taken[static_cast<std::size_t>(node)] = true;
       out.push_back(node);
     }
-    if (static_cast<int>(out.size()) == count) return out;
+    if (static_cast<int>(out.size()) == count) return;
     out.clear();  // pathological density; fall through to enumeration
   }
 
-  std::vector<int> pool;
+  pool.clear();
   pool.reserve(static_cast<std::size_t>(big_n));
   for (int node = 0; node < big_n; ++node)
     if (eligible(node)) pool.push_back(node);
-  if (static_cast<int>(pool.size()) <= count) return pool;
-  const auto picks = rng.sample_without_replacement(
-      pool.size(), static_cast<std::uint64_t>(count));
+  if (static_cast<int>(pool.size()) <= count) {
+    out = pool;
+    return;
+  }
+  rng.sample_without_replacement_into(
+      pool.size(), static_cast<std::uint64_t>(count), picks, sample_scratch);
   out.reserve(picks.size());
   for (const auto pick : picks)
     out.push_back(pool[static_cast<std::size_t>(pick)]);
-  return out;
 }
 
 }  // namespace
@@ -66,16 +75,20 @@ AttackOutcome SuccessiveAttacker::execute(sosnet::SosOverlay& overlay,
   outcome.broken_per_layer.assign(static_cast<std::size_t>(layers), 0);
   outcome.congested_per_layer.assign(static_cast<std::size_t>(layers), 0);
 
-  AttackerKnowledge knowledge{overlay.network().size(),
-                              overlay.filter_count()};
+  thread_local AttackerKnowledge knowledge{1, 0};
+  knowledge.reset(overlay.network().size(), overlay.filter_count());
+  thread_local std::vector<std::uint64_t> picks;
+  thread_local common::SampleScratch sample_scratch;
+  thread_local std::vector<int> pending;
+  thread_local std::vector<int> fresh;
 
   // Prior knowledge ("round 0"): P_E of the first layer is already known.
   {
     const auto& first_layer = overlay.topology().members(0);
     const auto known = static_cast<std::uint64_t>(std::llround(
         config_.prior_knowledge * static_cast<double>(first_layer.size())));
-    const auto picks =
-        rng.sample_without_replacement(first_layer.size(), known);
+    rng.sample_without_replacement_into(first_layer.size(), known, picks,
+                                        sample_scratch);
     for (const auto pick : picks)
       knowledge.disclose(first_layer[static_cast<std::size_t>(pick)]);
   }
@@ -105,7 +118,7 @@ AttackOutcome SuccessiveAttacker::execute(sosnet::SosOverlay& overlay,
     if (options_.before_round) options_.before_round(overlay, rng, round);
     outcome.rounds_executed = round;
     const int quota = base_quota + (round <= quota_remainder ? 1 : 0);
-    auto pending = knowledge.pending();
+    knowledge.pending_into(pending);
     const int known = static_cast<int>(pending.size());
 
     bool terminal = false;
@@ -133,8 +146,7 @@ AttackOutcome SuccessiveAttacker::execute(sosnet::SosOverlay& overlay,
 
     // Random targets are chosen against round-start knowledge, before the
     // round's own break-ins disclose anything new.
-    const auto fresh =
-        sample_fresh_targets(overlay, knowledge, random_budget, rng);
+    sample_fresh_targets(overlay, knowledge, random_budget, rng, fresh);
     for (const int node : pending) break_in(node);
     for (const int node : fresh) break_in(node);
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 namespace sos::common {
 
@@ -86,36 +85,58 @@ Rng Rng::fork() noexcept { return Rng{next()}; }
 
 std::vector<std::uint64_t> Rng::sample_without_replacement(
     std::uint64_t population, std::uint64_t k) {
-  assert(k <= population);
   std::vector<std::uint64_t> out;
-  out.reserve(static_cast<std::size_t>(k));
-  if (k == 0) return out;
+  SampleScratch scratch;
+  sample_without_replacement_into(population, k, out, scratch);
+  return out;
+}
+
+void Rng::sample_without_replacement_into(std::uint64_t population,
+                                          std::uint64_t k,
+                                          std::vector<std::uint64_t>& dest,
+                                          SampleScratch& scratch) {
+  assert(k <= population);
+  dest.clear();
+  dest.reserve(static_cast<std::size_t>(k));
+  if (k == 0) return;
   // For dense draws a partial Fisher-Yates over an explicit index vector is
   // cheaper than set probing; use Floyd's algorithm only for sparse draws.
   if (k * 3 >= population) {
-    std::vector<std::uint64_t> pool(static_cast<std::size_t>(population));
+    auto& pool = scratch.pool;
+    pool.resize(static_cast<std::size_t>(population));
     for (std::uint64_t i = 0; i < population; ++i)
       pool[static_cast<std::size_t>(i)] = i;
     for (std::uint64_t i = 0; i < k; ++i) {
       const std::uint64_t j = i + next_below(population - i);
       std::swap(pool[static_cast<std::size_t>(i)],
                 pool[static_cast<std::size_t>(j)]);
-      out.push_back(pool[static_cast<std::size_t>(i)]);
+      dest.push_back(pool[static_cast<std::size_t>(i)]);
     }
-    return out;
+    return;
   }
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(static_cast<std::size_t>(k) * 2);
+  // Floyd's algorithm with an epoch-stamped membership array in place of a
+  // hash set: stamp[v] == epoch means "v drawn this call". Only the k touched
+  // stamps are written, so repeated calls are O(k) with zero clearing cost.
+  auto& stamp = scratch.stamp;
+  if (stamp.size() < static_cast<std::size_t>(population)) {
+    stamp.assign(static_cast<std::size_t>(population), 0);
+    scratch.epoch = 0;
+  }
+  if (++scratch.epoch == 0) {  // epoch wrapped: invalidate all stale stamps
+    std::fill(stamp.begin(), stamp.end(), 0);
+    scratch.epoch = 1;
+  }
+  const std::uint32_t epoch = scratch.epoch;
   for (std::uint64_t j = population - k; j < population; ++j) {
     const std::uint64_t t = next_below(j + 1);
-    if (seen.insert(t).second) {
-      out.push_back(t);
+    if (stamp[static_cast<std::size_t>(t)] != epoch) {
+      stamp[static_cast<std::size_t>(t)] = epoch;
+      dest.push_back(t);
     } else {
-      seen.insert(j);
-      out.push_back(j);
+      stamp[static_cast<std::size_t>(j)] = epoch;
+      dest.push_back(j);
     }
   }
-  return out;
 }
 
 }  // namespace sos::common

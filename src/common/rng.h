@@ -17,6 +17,16 @@ namespace sos::common {
 /// splitmix64 step; used for seed expansion and as a cheap standalone mixer.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Reusable scratch for Rng::sample_without_replacement_into. Holding one of
+/// these per thread (or per workspace) makes repeated sampling allocation-free
+/// in steady state: the pool and stamp arrays grow to the largest population
+/// seen and are then reused verbatim.
+struct SampleScratch {
+  std::vector<std::uint64_t> pool;   // dense draws: partial Fisher-Yates pool
+  std::vector<std::uint32_t> stamp;  // sparse draws: epoch-stamped membership
+  std::uint32_t epoch = 0;
+};
+
 /// Stateless avalanche mix of a single value (for hashing ids into the ring).
 std::uint64_t mix64(std::uint64_t value) noexcept;
 
@@ -60,6 +70,15 @@ class Rng {
   /// Requires k <= population.
   std::vector<std::uint64_t> sample_without_replacement(std::uint64_t population,
                                                         std::uint64_t k);
+
+  /// In-place variant: overwrites `dest` with the k draws, reusing its
+  /// capacity and `scratch`'s buffers, so steady-state calls never touch the
+  /// heap. Consumes exactly the same stream (and produces exactly the same
+  /// draws) as sample_without_replacement for a given generator state.
+  void sample_without_replacement_into(std::uint64_t population,
+                                       std::uint64_t k,
+                                       std::vector<std::uint64_t>& dest,
+                                       SampleScratch& scratch);
 
   /// In-place Fisher-Yates shuffle.
   template <typename T>

@@ -10,6 +10,7 @@
 #include "core/successive_model.h"
 #include "experiments/figures.h"
 #include "sim/monte_carlo.h"
+#include "sim/sweep.h"
 
 namespace sos::experiments::detail {
 
@@ -53,8 +54,69 @@ inline sim::MonteCarloResult run_mc(
       mc_config(params));
 }
 
+/// Batched Monte Carlo for figure sweeps: queue every point first, run them
+/// all over the shared ThreadPool, then read results in queue order. Each
+/// point's result is bit-identical to the equivalent run_mc call.
+class McBatch {
+ public:
+  explicit McBatch(const Params& params) : params_(params) {}
+
+  int add(const core::SosDesign& design, const core::OneBurstAttack& attack) {
+    const attack::OneBurstAttacker attacker{attack};
+    return runner_.add(
+        design,
+        [attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+          return attacker.execute(overlay, rng);
+        },
+        mc_config(params_));
+  }
+
+  int add(const core::SosDesign& design, const core::SuccessiveAttack& attack,
+          const attack::SuccessiveAttackerOptions& options = {}) {
+    const attack::SuccessiveAttacker attacker{attack, options};
+    return runner_.add(
+        design,
+        [attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+          return attacker.execute(overlay, rng);
+        },
+        mc_config(params_));
+  }
+
+  void run() { runner_.run(); }
+
+  const sim::MonteCarloResult& result(int index) const {
+    return runner_.result(index);
+  }
+
+ private:
+  Params params_;
+  sim::SweepRunner runner_;
+};
+
 inline std::string fmt(double value, int precision = 4) {
   return common::format_double(value, precision);
+}
+
+/// A table row whose Monte Carlo columns are still pending in an McBatch.
+struct DeferredRow {
+  std::vector<std::string> cells;
+  int mc = -1;  // index into the batch, or -1 for a model-only row
+};
+
+/// Runs the batch, then appends every row (with its P_S_mc / ci columns when
+/// present) to the table in queue order.
+inline void emit_rows(common::Table& table, McBatch& batch,
+                      std::vector<DeferredRow>& rows) {
+  batch.run();
+  for (DeferredRow& row : rows) {
+    if (row.mc >= 0) {
+      const auto& mc = batch.result(row.mc);
+      row.cells.insert(row.cells.end(),
+                       {fmt(mc.p_success), fmt(mc.ci.lo), fmt(mc.ci.hi)});
+    }
+    table.add_row(std::move(row.cells));
+  }
+  rows.clear();
 }
 
 /// Default successive attack of Section 3.2.3.

@@ -129,14 +129,22 @@ Figure ext_model_vs_montecarlo(const Params& params) {
   add_case("prior knowledge only L=3 1-to-2", 3,
            core::MappingPolicy::one_to_two(), 0, 2000, 3, 0.5);
 
+  detail::McBatch batch{mc_params};
+  std::vector<double> models;
+  for (const Case& c : cases) {
+    const auto design = detail::make_design(params, c.layers, c.mapping);
+    models.push_back(core::SuccessiveModel::p_success(design, c.attack));
+    batch.add(design, c.attack);
+  }
+  batch.run();
+
   common::Series model_series{"model", {}, {}};
   common::Series mc_series{"monte-carlo", {}, {}};
   double max_err = 0.0, sum_err = 0.0;
   for (std::size_t index = 0; index < cases.size(); ++index) {
     const auto& c = cases[index];
-    const auto design = detail::make_design(params, c.layers, c.mapping);
-    const double p_model = core::SuccessiveModel::p_success(design, c.attack);
-    const auto mc = detail::run_mc(mc_params, design, c.attack);
+    const double p_model = models[index];
+    const auto& mc = batch.result(static_cast<int>(index));
     const double err = std::fabs(p_model - mc.p_success);
     max_err = std::max(max_err, err);
     sum_err += err;

@@ -48,6 +48,8 @@ Figure fig4a(const Params& params) {
 
   std::map<CurveKey, common::Series> curves;
   std::map<CurveKey, std::map<int, double>> model_values;
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
 
   for (const int budget_c : {2000, 6000}) {
     for (const auto& mapping : fig4_mappings()) {
@@ -65,18 +67,15 @@ Figure fig4a(const Params& params) {
         series.ys.push_back(p_model);
         model_values[key][layers] = p_model;
 
-        std::vector<std::string> row{std::to_string(budget_c),
-                                     mapping.label(), std::to_string(layers),
-                                     fmt(p_model)};
-        if (with_mc) {
-          const auto mc = detail::run_mc(params, design, attack);
-          row.insert(row.end(), {fmt(mc.p_success), fmt(mc.ci.lo),
-                                 fmt(mc.ci.hi)});
-        }
-        figure.table.add_row(std::move(row));
+        detail::DeferredRow row{{std::to_string(budget_c), mapping.label(),
+                                 std::to_string(layers), fmt(p_model)},
+                                -1};
+        if (with_mc) row.mc = batch.add(design, attack);
+        rows.push_back(std::move(row));
       }
     }
   }
+  detail::emit_rows(figure.table, batch, rows);
   for (auto& [key, series] : curves) figure.series.push_back(std::move(series));
 
   // Paper claims for Fig. 4(a).
@@ -135,6 +134,8 @@ Figure fig4b(const Params& params) {
 
   std::map<CurveKey, common::Series> curves;
   std::map<CurveKey, std::map<int, double>> model_values;
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
 
   for (const int budget_t : {200, 2000}) {
     for (const auto& mapping : fig4_mappings()) {
@@ -152,18 +153,15 @@ Figure fig4b(const Params& params) {
         series.ys.push_back(p_model);
         model_values[key][layers] = p_model;
 
-        std::vector<std::string> row{std::to_string(budget_t),
-                                     mapping.label(), std::to_string(layers),
-                                     fmt(p_model)};
-        if (with_mc) {
-          const auto mc = detail::run_mc(params, design, attack);
-          row.insert(row.end(), {fmt(mc.p_success), fmt(mc.ci.lo),
-                                 fmt(mc.ci.hi)});
-        }
-        figure.table.add_row(std::move(row));
+        detail::DeferredRow row{{std::to_string(budget_t), mapping.label(),
+                                 std::to_string(layers), fmt(p_model)},
+                                -1};
+        if (with_mc) row.mc = batch.add(design, attack);
+        rows.push_back(std::move(row));
       }
     }
   }
+  detail::emit_rows(figure.table, batch, rows);
   for (auto& [key, series] : curves) figure.series.push_back(std::move(series));
 
   const auto value = [&](int intensity, const char* mapping, int layers) {

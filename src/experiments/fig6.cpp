@@ -43,6 +43,8 @@ Figure fig6a(const Params& params) {
   double best = -1.0;
   std::string best_label;
   std::map<std::string, std::map<int, double>> model_values;
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
 
   for (const auto& mapping : fig6_mappings()) {
     common::Series series;
@@ -58,17 +60,14 @@ Figure fig6a(const Params& params) {
         best_label = mapping.label() + " L=" + std::to_string(layers);
       }
 
-      std::vector<std::string> row{mapping.label(), std::to_string(layers),
-                                   fmt(p_model)};
-      if (with_mc) {
-        const auto mc = detail::run_mc(params, design, attack);
-        row.insert(row.end(),
-                   {fmt(mc.p_success), fmt(mc.ci.lo), fmt(mc.ci.hi)});
-      }
-      figure.table.add_row(std::move(row));
+      detail::DeferredRow row{
+          {mapping.label(), std::to_string(layers), fmt(p_model)}, -1};
+      if (with_mc) row.mc = batch.add(design, attack);
+      rows.push_back(std::move(row));
     }
     figure.series.push_back(std::move(series));
   }
+  detail::emit_rows(figure.table, batch, rows);
 
   figure.checks.push_back(make_check(
       "P_S is sensitive to both L and the mapping degree under the "
@@ -127,6 +126,8 @@ Figure fig6b(const Params& params) {
   // model_values[mapping][distribution][L]
   std::map<std::string, std::map<std::string, std::map<int, double>>>
       model_values;
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
 
   for (const auto& mapping : mappings) {
     for (const auto& dist : distributions) {
@@ -141,18 +142,16 @@ Figure fig6b(const Params& params) {
         series.ys.push_back(p_model);
         model_values[mapping.label()][dist.label()][layers] = p_model;
 
-        std::vector<std::string> row{dist.label(), mapping.label(),
-                                     std::to_string(layers), fmt(p_model)};
-        if (with_mc) {
-          const auto mc = detail::run_mc(params, design, attack);
-          row.insert(row.end(),
-                     {fmt(mc.p_success), fmt(mc.ci.lo), fmt(mc.ci.hi)});
-        }
-        figure.table.add_row(std::move(row));
+        detail::DeferredRow row{{dist.label(), mapping.label(),
+                                 std::to_string(layers), fmt(p_model)},
+                                -1};
+        if (with_mc) row.mc = batch.add(design, attack);
+        rows.push_back(std::move(row));
       }
       figure.series.push_back(std::move(series));
     }
   }
+  detail::emit_rows(figure.table, batch, rows);
 
   {
     const auto& by_dist = model_values["one-to-five"];

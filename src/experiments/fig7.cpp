@@ -27,6 +27,8 @@ Figure fig7(const Params& params) {
 
   const auto mapping = core::MappingPolicy::one_to_five();
   std::map<int, std::map<int, double>> model_values;  // [L][R]
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
 
   for (const int layers : {2, 3, 4, 5}) {
     const auto design = detail::make_design(params, layers, mapping);
@@ -40,17 +42,14 @@ Figure fig7(const Params& params) {
       series.ys.push_back(p_model);
       model_values[layers][rounds] = p_model;
 
-      std::vector<std::string> row{std::to_string(layers),
-                                   std::to_string(rounds), fmt(p_model)};
-      if (with_mc) {
-        const auto mc = detail::run_mc(params, design, attack);
-        row.insert(row.end(),
-                   {fmt(mc.p_success), fmt(mc.ci.lo), fmt(mc.ci.hi)});
-      }
-      figure.table.add_row(std::move(row));
+      detail::DeferredRow row{
+          {std::to_string(layers), std::to_string(rounds), fmt(p_model)}, -1};
+      if (with_mc) row.mc = batch.add(design, attack);
+      rows.push_back(std::move(row));
     }
     figure.series.push_back(std::move(series));
   }
+  detail::emit_rows(figure.table, batch, rows);
 
   {
     bool monotone = true;

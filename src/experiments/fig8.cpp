@@ -42,6 +42,8 @@ Figure fig8a(const Params& params) {
       core::MappingPolicy::one_to_two(), core::MappingPolicy::one_to_five()};
   // [N][mapping][NT]
   std::map<int, std::map<std::string, std::map<int, double>>> model_values;
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
 
   for (const int total : {10000, 20000}) {
     for (const auto& mapping : mappings) {
@@ -58,18 +60,16 @@ Figure fig8a(const Params& params) {
         series.ys.push_back(p_model);
         model_values[total][mapping.label()][budget_t] = p_model;
 
-        std::vector<std::string> row{std::to_string(total), mapping.label(),
-                                     std::to_string(budget_t), fmt(p_model)};
-        if (with_mc) {
-          const auto mc = detail::run_mc(scaled, design, attack);
-          row.insert(row.end(),
-                     {fmt(mc.p_success), fmt(mc.ci.lo), fmt(mc.ci.hi)});
-        }
-        figure.table.add_row(std::move(row));
+        detail::DeferredRow row{{std::to_string(total), mapping.label(),
+                                 std::to_string(budget_t), fmt(p_model)},
+                                -1};
+        if (with_mc) row.mc = batch.add(design, attack);
+        rows.push_back(std::move(row));
       }
       figure.series.push_back(std::move(series));
     }
   }
+  detail::emit_rows(figure.table, batch, rows);
 
   {
     bool monotone = true;
@@ -130,6 +130,8 @@ Figure fig8b(const Params& params) {
   const std::vector<core::MappingPolicy> mappings{
       core::MappingPolicy::one_to_two(), core::MappingPolicy::one_to_five()};
   std::map<int, std::map<std::string, std::map<int, double>>> model_values;
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
 
   for (const int layers : {3, 5}) {
     for (const auto& mapping : mappings) {
@@ -144,18 +146,16 @@ Figure fig8b(const Params& params) {
         series.ys.push_back(p_model);
         model_values[layers][mapping.label()][budget_t] = p_model;
 
-        std::vector<std::string> row{std::to_string(layers), mapping.label(),
-                                     std::to_string(budget_t), fmt(p_model)};
-        if (with_mc) {
-          const auto mc = detail::run_mc(params, design, attack);
-          row.insert(row.end(),
-                     {fmt(mc.p_success), fmt(mc.ci.lo), fmt(mc.ci.hi)});
-        }
-        figure.table.add_row(std::move(row));
+        detail::DeferredRow row{{std::to_string(layers), mapping.label(),
+                                 std::to_string(budget_t), fmt(p_model)},
+                                -1};
+        if (with_mc) row.mc = batch.add(design, attack);
+        rows.push_back(std::move(row));
       }
       figure.series.push_back(std::move(series));
     }
   }
+  detail::emit_rows(figure.table, batch, rows);
 
   {
     bool monotone = true;

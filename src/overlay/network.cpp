@@ -30,6 +30,27 @@ void Network::reset_health() {
   std::fill(health_.begin(), health_.end(), NodeHealth::kGood);
 }
 
+void Network::reseed(std::uint64_t seed) {
+  const std::size_t count = ids_.size();
+  for (std::size_t i = 0; i < count; ++i)
+    ids_[i] = node_id_from_index(static_cast<std::uint64_t>(i), seed);
+  // Distinctness check without a hash set: sort a scratch copy and look for
+  // adjacent duplicates. Collisions are astronomically unlikely; when one
+  // does occur, fall back to the constructor's incremental re-salting so the
+  // result matches a freshly built Network exactly.
+  reseed_scratch_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) reseed_scratch_[i] = ids_[i].value;
+  std::sort(reseed_scratch_.begin(), reseed_scratch_.end());
+  const bool collided =
+      std::adjacent_find(reseed_scratch_.begin(), reseed_scratch_.end()) !=
+      reseed_scratch_.end();
+  if (collided) {
+    Network rebuilt{static_cast<int>(count), seed};
+    ids_ = std::move(rebuilt.ids_);
+  }
+  reset_health();
+}
+
 int Network::count(NodeHealth health) const {
   return static_cast<int>(
       std::count(health_.begin(), health_.end(), health));

@@ -51,6 +51,12 @@ class Network {
   /// Restores every node to good (between Monte Carlo trials).
   void reset_health();
 
+  /// Re-derives every ring id from `seed` and restores all health to good,
+  /// reusing the existing buffers. Produces exactly the ids that
+  /// `Network(size(), seed)` would, but allocation-free in steady state
+  /// (the collision fallback, ~2^-64 per pair, is the only allocating path).
+  void reseed(std::uint64_t seed);
+
   int count(NodeHealth health) const;
   int good_count() const { return count(NodeHealth::kGood); }
   int congested_count() const { return count(NodeHealth::kCongested); }
@@ -61,6 +67,7 @@ class Network {
  private:
   std::vector<NodeId> ids_;
   std::vector<NodeHealth> health_;
+  std::vector<std::uint64_t> reseed_scratch_;  // sorted-id collision check
 };
 
 }  // namespace sos::overlay

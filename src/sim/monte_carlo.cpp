@@ -1,16 +1,68 @@
 #include "sim/monte_carlo.h"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
-#include <thread>
 #include <vector>
+
+#include "sim/thread_pool.h"
+#include "sim/trial_engine.h"
 
 namespace sos::sim {
 
-namespace {
+namespace internal {
 
-struct ShardAccum {
+void run_trial(const core::SosDesign& design, const AttackFn& attack,
+               const MonteCarloConfig& config, int trial, TrialContext& context,
+               TrialRecord& record, std::int16_t* hop_slots) {
+  // Distinct deterministic streams per trial: one for the topology build,
+  // one for attack + walks.
+  const std::uint64_t trial_seed =
+      config.seed ^ common::mix64(0x7261696c5ull + static_cast<std::uint64_t>(trial));
+  if (!context.overlay || context.built_from != &design) {
+    context.overlay.emplace(design, trial_seed);
+    context.built_from = &design;
+  } else {
+    // Outside Chord mode the ring ids never influence an outcome, so the
+    // rebuild skips re-deriving them.
+    context.overlay->rebuild(trial_seed, context.workspace,
+                             /*reseed_ids=*/config.route_via_chord);
+  }
+  sosnet::SosOverlay& overlay = *context.overlay;
+  common::Rng rng{common::mix64(trial_seed)};
+
+  const auto outcome = attack(overlay, rng);
+  int broken_sos = 0, congested_sos = 0;
+  for (const int count : outcome.broken_per_layer) broken_sos += count;
+  for (const int count : outcome.congested_per_layer) congested_sos += count;
+  record.broken = outcome.broken_in;
+  record.broken_sos = broken_sos;
+  record.congested = outcome.congested_nodes;
+  record.congested_sos = congested_sos;
+  record.congested_filters = outcome.congested_filters;
+  record.disclosed = outcome.disclosed_at_congestion;
+
+  int delivered = 0;
+  for (int walk = 0; walk < config.walks_per_trial; ++walk) {
+    if (config.route_via_chord) {
+      context.walk = overlay.route_message_via_chord(rng);
+    } else {
+      overlay.route_message(rng, context.walk);
+    }
+    if (context.walk.delivered) {
+      ++delivered;
+      hop_slots[walk] = static_cast<std::int16_t>(context.walk.layer_hops);
+    } else {
+      hop_slots[walk] = -1;
+    }
+  }
+  record.delivered = delivered;
+  record.success_rate = static_cast<double>(delivered) /
+                        static_cast<double>(config.walks_per_trial);
+}
+
+MonteCarloResult reduce_in_trial_order(const MonteCarloConfig& config,
+                                       const std::vector<TrialRecord>& records,
+                                       const std::vector<std::int16_t>& hops) {
   common::RunningStats trial_success;
   common::RunningStats broken;
   common::RunningStats broken_sos;
@@ -22,57 +74,41 @@ struct ShardAccum {
   std::uint64_t walks = 0;
   std::uint64_t deliveries = 0;
 
-  void merge(const ShardAccum& other) {
-    trial_success.merge(other.trial_success);
-    broken.merge(other.broken);
-    broken_sos.merge(other.broken_sos);
-    congested.merge(other.congested);
-    congested_sos.merge(other.congested_sos);
-    congested_filters.merge(other.congested_filters);
-    disclosed.merge(other.disclosed);
-    delivery_hops.merge(other.delivery_hops);
-    walks += other.walks;
-    deliveries += other.deliveries;
-  }
-};
-
-void run_trial(const core::SosDesign& design, const AttackFn& attack,
-               const MonteCarloConfig& config, int trial, ShardAccum& accum) {
-  // Distinct deterministic streams per trial: one for the topology build,
-  // one for attack + walks.
-  const std::uint64_t trial_seed =
-      config.seed ^ common::mix64(0x7261696c5ull + static_cast<std::uint64_t>(trial));
-  sosnet::SosOverlay overlay{design, trial_seed};
-  common::Rng rng{common::mix64(trial_seed)};
-
-  const auto outcome = attack(overlay, rng);
-  int broken_sos = 0, congested_sos = 0;
-  for (const int count : outcome.broken_per_layer) broken_sos += count;
-  for (const int count : outcome.congested_per_layer) congested_sos += count;
-  accum.broken.add(outcome.broken_in);
-  accum.broken_sos.add(broken_sos);
-  accum.congested.add(outcome.congested_nodes);
-  accum.congested_sos.add(congested_sos);
-  accum.congested_filters.add(outcome.congested_filters);
-  accum.disclosed.add(outcome.disclosed_at_congestion);
-
-  int delivered = 0;
-  for (int walk = 0; walk < config.walks_per_trial; ++walk) {
-    const auto result = config.route_via_chord
-                            ? overlay.route_message_via_chord(rng)
-                            : overlay.route_message(rng);
-    if (result.delivered) {
-      ++delivered;
-      accum.delivery_hops.add(result.layer_hops);
+  for (std::size_t trial = 0; trial < records.size(); ++trial) {
+    const TrialRecord& record = records[trial];
+    broken.add(record.broken);
+    broken_sos.add(record.broken_sos);
+    congested.add(record.congested);
+    congested_sos.add(record.congested_sos);
+    congested_filters.add(record.congested_filters);
+    disclosed.add(record.disclosed);
+    const std::size_t base =
+        trial * static_cast<std::size_t>(config.walks_per_trial);
+    for (int walk = 0; walk < config.walks_per_trial; ++walk) {
+      const std::int16_t hop = hops[base + static_cast<std::size_t>(walk)];
+      if (hop >= 0) delivery_hops.add(hop);
     }
+    walks += static_cast<std::uint64_t>(config.walks_per_trial);
+    deliveries += static_cast<std::uint64_t>(record.delivered);
+    trial_success.add(record.success_rate);
   }
-  accum.walks += static_cast<std::uint64_t>(config.walks_per_trial);
-  accum.deliveries += static_cast<std::uint64_t>(delivered);
-  accum.trial_success.add(static_cast<double>(delivered) /
-                          static_cast<double>(config.walks_per_trial));
+
+  MonteCarloResult result;
+  result.p_success = trial_success.mean();
+  result.ci = common::mean_confidence_interval(trial_success);
+  result.walks = walks;
+  result.deliveries = deliveries;
+  result.mean_broken = broken.mean();
+  result.mean_broken_sos = broken_sos.mean();
+  result.mean_congested = congested.mean();
+  result.mean_congested_sos = congested_sos.mean();
+  result.mean_congested_filters = congested_filters.mean();
+  result.mean_disclosed = disclosed.mean();
+  result.mean_delivery_hops = delivery_hops.mean();
+  return result;
 }
 
-}  // namespace
+}  // namespace internal
 
 MonteCarloResult run_monte_carlo(const core::SosDesign& design,
                                  const AttackFn& attack,
@@ -83,50 +119,40 @@ MonteCarloResult run_monte_carlo(const core::SosDesign& design,
   if (config.walks_per_trial < 1)
     throw std::invalid_argument("MonteCarlo: walks_per_trial must be >= 1");
 
+  std::vector<internal::TrialRecord> records(
+      static_cast<std::size_t>(config.trials));
+  std::vector<std::int16_t> hops(static_cast<std::size_t>(config.trials) *
+                                 static_cast<std::size_t>(config.walks_per_trial));
+
   int threads = config.threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  threads = std::min(threads, config.trials);
-
-  std::vector<ShardAccum> shards(static_cast<std::size_t>(threads));
-  std::atomic<int> next_trial{0};
-
-  const auto worker = [&](int shard_index) {
-    auto& accum = shards[static_cast<std::size_t>(shard_index)];
-    while (true) {
-      const int trial = next_trial.fetch_add(1, std::memory_order_relaxed);
-      if (trial >= config.trials) return;
-      run_trial(design, attack, config, trial, accum);
+  if (threads != 1) {
+    ThreadPool& pool = config.pool ? *config.pool : ThreadPool::shared();
+    if (threads <= 0) threads = pool.size();
+    threads = std::min({threads, pool.size(), config.trials});
+    if (threads > 1) {
+      std::vector<internal::TrialContext> contexts(
+          static_cast<std::size_t>(threads));
+      pool.parallel_for(config.trials, threads, [&](int trial, int worker) {
+        internal::run_trial(
+            design, attack, config, trial,
+            contexts[static_cast<std::size_t>(worker)],
+            records[static_cast<std::size_t>(trial)],
+            hops.data() + static_cast<std::size_t>(trial) *
+                              static_cast<std::size_t>(config.walks_per_trial));
+      });
+      return internal::reduce_in_trial_order(config, records, hops);
     }
-  };
-
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& thread : pool) thread.join();
   }
 
-  ShardAccum total;
-  for (const auto& shard : shards) total.merge(shard);
-
-  MonteCarloResult result;
-  result.p_success = total.trial_success.mean();
-  result.ci = common::mean_confidence_interval(total.trial_success);
-  result.walks = total.walks;
-  result.deliveries = total.deliveries;
-  result.mean_broken = total.broken.mean();
-  result.mean_broken_sos = total.broken_sos.mean();
-  result.mean_congested = total.congested.mean();
-  result.mean_congested_sos = total.congested_sos.mean();
-  result.mean_congested_filters = total.congested_filters.mean();
-  result.mean_disclosed = total.disclosed.mean();
-  result.mean_delivery_hops = total.delivery_hops.mean();
-  return result;
+  internal::TrialContext context;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    internal::run_trial(design, attack, config, trial, context,
+                        records[static_cast<std::size_t>(trial)],
+                        hops.data() + static_cast<std::size_t>(trial) *
+                                          static_cast<std::size_t>(
+                                              config.walks_per_trial));
+  }
+  return internal::reduce_in_trial_order(config, records, hops);
 }
 
 }  // namespace sos::sim

@@ -6,6 +6,13 @@
 // independent client walks. Trials are independent, so the sampler is
 // embarrassingly parallel; each trial gets its own deterministic RNG stream
 // derived from the config seed.
+//
+// The engine is allocation-free per trial in steady state: every worker
+// keeps a persistent overlay that is rebuilt in place, walks reuse one
+// result buffer, and per-trial measurements land in trial-indexed arrays
+// sized once up front. Those arrays are reduced in fixed trial order after
+// the parallel phase, so the result is bit-identical for every thread count
+// at a given seed.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +26,15 @@
 
 namespace sos::sim {
 
+class ThreadPool;
+
 struct MonteCarloConfig {
   int trials = 200;          // independent attacked topologies
   int walks_per_trial = 10;  // client messages routed per topology
   std::uint64_t seed = 0x5eedULL;
-  int threads = 0;           // 0 = hardware concurrency
+  int threads = 0;           // 0 = all pool workers; 1 = run inline
   bool route_via_chord = false;  // original-SOS transport fidelity mode
+  ThreadPool* pool = nullptr;    // null = ThreadPool::shared()
 };
 
 struct MonteCarloResult {

@@ -1,0 +1,65 @@
+// Persistent sweep engine: run many Monte Carlo configurations (the points of
+// a figure sweep) concurrently over one shared ThreadPool.
+//
+// Scheduling is point-major: each pool worker takes a whole sweep point and
+// runs its trials sequentially with that worker's persistent TrialContext, so
+// the allocation-free steady state of run_monte_carlo carries over across
+// points. Every point's result is computed exactly as a threads=1
+// run_monte_carlo call with the same design/attack/config would compute it —
+// bit-identical regardless of pool size or scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/monte_carlo.h"
+#include "sim/trial_engine.h"
+
+namespace sos::sim {
+
+class ThreadPool;
+
+class SweepRunner {
+ public:
+  /// `pool` = null means ThreadPool::shared().
+  explicit SweepRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Queues one sweep point; returns its index. The design is copied, so the
+  /// caller may reuse a scratch design object. Validates eagerly.
+  int add(const core::SosDesign& design, AttackFn attack,
+          MonteCarloConfig config);
+
+  /// Runs every queued point that has not been run yet. Blocks until all are
+  /// done.
+  void run();
+
+  std::size_t size() const noexcept { return points_.size(); }
+  const MonteCarloResult& result(int index) const;
+
+  /// Drops all queued points (worker scratch state is kept for reuse).
+  void clear();
+
+ private:
+  struct Point {
+    core::SosDesign design;
+    AttackFn attack;
+    MonteCarloConfig config;
+    MonteCarloResult result;
+    bool done = false;
+  };
+
+  /// Per-worker state persisted across points and across run() calls.
+  struct WorkerState {
+    internal::TrialContext context;
+    std::vector<internal::TrialRecord> records;
+    std::vector<std::int16_t> hops;
+  };
+
+  void run_point(Point& point, WorkerState& worker);
+
+  ThreadPool* pool_;
+  std::vector<Point> points_;
+  std::vector<WorkerState> workers_;
+};
+
+}  // namespace sos::sim

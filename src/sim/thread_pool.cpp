@@ -1,0 +1,86 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+
+namespace sos::sim {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(
+    int count, int max_workers,
+    const std::function<void(int index, int worker)>& body) {
+  if (count <= 0) return;
+  std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+  int participants = size();
+  if (max_workers > 0) participants = std::min(participants, max_workers);
+  participants = std::min(participants, count);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_index_.store(0, std::memory_order_relaxed);
+    participants_ = participants;
+    running_ = participants;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int worker_id) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int, int)>* body = nullptr;
+    int count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (generation_ != seen_generation &&
+                             worker_id < participants_);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      body = body_;
+      count = count_;
+    }
+
+    while (true) {
+      const int index = next_index_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      (*body)(index, worker_id);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace sos::sim

@@ -1,0 +1,53 @@
+// Internal trial-execution machinery shared by run_monte_carlo and the
+// SweepRunner. Not part of the public API surface — include sim/monte_carlo.h
+// or sim/sweep.h instead.
+//
+// The contract that makes thread count irrelevant to the result: every trial
+// derives its RNG streams from (config seed, trial index) alone, writes its
+// measurements into a trial-indexed slot, and the slots are reduced in trial
+// order on one thread afterwards. Workers only ever share read-only state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/monte_carlo.h"
+
+namespace sos::sim::internal {
+
+/// One trial's footprint, written by exactly one worker.
+struct TrialRecord {
+  double success_rate = 0.0;
+  int broken = 0;
+  int broken_sos = 0;
+  int congested = 0;
+  int congested_sos = 0;
+  int congested_filters = 0;
+  int disclosed = 0;
+  int delivered = 0;
+};
+
+/// Per-worker reusable state. The overlay persists across trials (and across
+/// sweep points of the same design) and is rebuilt in place, which is what
+/// makes the steady-state trial loop allocation-free.
+struct TrialContext {
+  std::optional<sosnet::SosOverlay> overlay;
+  const core::SosDesign* built_from = nullptr;  // identity of overlay's design
+  sosnet::TopologyWorkspace workspace;
+  sosnet::WalkResult walk;
+};
+
+/// Executes trial `trial` into `record` and `hop_slots` (one slot per walk;
+/// -1 = not delivered, otherwise the walk's layer-hop count).
+void run_trial(const core::SosDesign& design, const AttackFn& attack,
+               const MonteCarloConfig& config, int trial, TrialContext& context,
+               TrialRecord& record, std::int16_t* hop_slots);
+
+/// Fixed-order reduction of the trial-indexed buffers; the add sequence per
+/// statistic matches a sequential threads=1 run exactly.
+MonteCarloResult reduce_in_trial_order(const MonteCarloConfig& config,
+                                       const std::vector<TrialRecord>& records,
+                                       const std::vector<std::int16_t>& hops);
+
+}  // namespace sos::sim::internal

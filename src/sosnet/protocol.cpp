@@ -3,11 +3,11 @@
 namespace sos::sosnet {
 
 ProtocolRouter::Attempt ProtocolRouter::attempt_from(
-    int layer, const std::vector<int>& candidates, common::Rng& rng,
+    int layer, std::span<const int> candidates, common::Rng& rng,
     DeliveryOutcome& outcome) const {
   Attempt attempt;
   const int layers = overlay_.design().layers();
-  std::vector<int> order = candidates;
+  std::vector<int> order(candidates.begin(), candidates.end());
   rng.shuffle(order);
 
   for (const int candidate : order) {

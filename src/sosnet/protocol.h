@@ -16,6 +16,8 @@
 // the sender moves on. Units are abstract (one overlay hop = 1 by default).
 #pragma once
 
+#include <span>
+
 #include "common/rng.h"
 #include "sosnet/sos_overlay.h"
 
@@ -55,7 +57,7 @@ class ProtocolRouter {
   };
 
   /// Runs the failover loop of one node (0-based layer) over `candidates`.
-  Attempt attempt_from(int layer, const std::vector<int>& candidates,
+  Attempt attempt_from(int layer, std::span<const int> candidates,
                        common::Rng& rng, DeliveryOutcome& outcome) const;
 
   const SosOverlay& overlay_;

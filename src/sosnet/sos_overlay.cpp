@@ -18,6 +18,20 @@ SosOverlay::SosOverlay(const core::SosDesign& design, std::uint64_t seed)
       }()),
       filter_congested_(static_cast<std::size_t>(design.filter_count), false) {}
 
+void SosOverlay::rebuild(std::uint64_t seed, TopologyWorkspace& workspace,
+                         bool reseed_ids) {
+  if (reseed_ids) {
+    network_.reseed(seed);
+  } else {
+    network_.reset_health();
+  }
+  auto rng = topology_rng(seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  topology_.rebuild(rng, workspace);
+  std::fill(filter_congested_.begin(), filter_congested_.end(), false);
+  chord_.reset();
+  ring_to_overlay_.clear();
+}
+
 int SosOverlay::migrate_member(int member, common::Rng& rng) {
   // Reservoir-sample a good bystander without materializing the candidate
   // list (N is large, candidates plentiful).
@@ -61,7 +75,7 @@ SosOverlay::LayerTally SosOverlay::tally(int layer) const {
   return out;
 }
 
-std::optional<int> SosOverlay::pick_good(const std::vector<int>& candidates,
+std::optional<int> SosOverlay::pick_good(std::span<const int> candidates,
                                          common::Rng& rng) const {
   int good = 0;
   for (const int node : candidates)
@@ -77,27 +91,38 @@ std::optional<int> SosOverlay::pick_good(const std::vector<int>& candidates,
 
 WalkResult SosOverlay::route_message(common::Rng& rng) const {
   WalkResult result;
+  route_message(rng, result);
+  return result;
+}
+
+void SosOverlay::route_message(common::Rng& rng, WalkResult& result) const {
+  result.delivered = false;
+  result.layer_hops = 0;
+  result.transport_hops = 0;
+  result.filter_used = -1;
+  result.path.clear();
   const int layers = design().layers();
 
-  const auto contacts = topology_.sample_client_contacts(rng);
-  auto current = pick_good(contacts, rng);
-  if (!current) return result;
+  topology_.sample_client_contacts_into(rng, walk_workspace_.contacts,
+                                        walk_workspace_);
+  auto current = pick_good(walk_workspace_.contacts, rng);
+  if (!current) return;
   ++result.layer_hops;
   result.path.push_back(*current);
 
   for (int layer = 0; layer < layers - 1; ++layer) {
     current = pick_good(topology_.neighbors(*current), rng);
-    if (!current) return result;
+    if (!current) return;
     ++result.layer_hops;
     result.path.push_back(*current);
   }
 
   // Final hop: the Layer-L node forwards through one of its filters.
-  const auto& filters = topology_.neighbors(*current);
+  const auto filters = topology_.neighbors(*current);
   int good = 0;
   for (const int filter : filters)
     if (!filter_congested_[static_cast<std::size_t>(filter)]) ++good;
-  if (good == 0) return result;
+  if (good == 0) return;
   int skip = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(good)));
   for (const int filter : filters) {
     if (filter_congested_[static_cast<std::size_t>(filter)]) continue;
@@ -108,7 +133,6 @@ WalkResult SosOverlay::route_message(common::Rng& rng) const {
   }
   ++result.layer_hops;
   result.delivered = true;
-  return result;
 }
 
 const overlay::ChordRing& SosOverlay::chord() const {

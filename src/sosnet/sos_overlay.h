@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,6 +35,16 @@ class SosOverlay {
  public:
   /// Builds network, topology and neighbor tables from `seed`.
   SosOverlay(const core::SosDesign& design, std::uint64_t seed);
+
+  /// Re-derives the whole overlay from a fresh `seed` in place: new node
+  /// ids, new membership, new neighbor tables, all health restored. Produces
+  /// exactly the state `SosOverlay(design(), seed)` would, but reuses every
+  /// buffer (plus `workspace`'s scratch), so consecutive Monte Carlo trials
+  /// are allocation-free in steady state. When `reseed_ids` is false the
+  /// (outcome-irrelevant outside Chord mode) ring ids are kept, skipping the
+  /// id re-derivation entirely.
+  void rebuild(std::uint64_t seed, TopologyWorkspace& workspace,
+               bool reseed_ids = true);
 
   const core::SosDesign& design() const noexcept { return topology_.design(); }
   const Topology& topology() const noexcept { return topology_; }
@@ -71,6 +82,11 @@ class SosOverlay {
   /// One client message attempt through the layered overlay.
   WalkResult route_message(common::Rng& rng) const;
 
+  /// In-place variant for the hot path: overwrites `result` (reusing its
+  /// path capacity). Not safe for concurrent calls on one overlay — each
+  /// thread owns its overlay in the Monte Carlo engine.
+  void route_message(common::Rng& rng, WalkResult& result) const;
+
   /// Same walk, but every inter-layer edge must also be realizable as a
   /// Chord lookup through alive overlay nodes. Builds the ring on first use
   /// (it is membership-static).
@@ -82,7 +98,7 @@ class SosOverlay {
  private:
   /// Picks a uniformly random good entry of `candidates` (overlay nodes);
   /// nullopt when all are bad.
-  std::optional<int> pick_good(const std::vector<int>& candidates,
+  std::optional<int> pick_good(std::span<const int> candidates,
                                common::Rng& rng) const;
 
   overlay::Network network_;
@@ -90,6 +106,7 @@ class SosOverlay {
   std::vector<bool> filter_congested_;
   mutable std::unique_ptr<overlay::ChordRing> chord_;  // lazy
   mutable std::vector<int> ring_to_overlay_;           // ring index -> node
+  mutable TopologyWorkspace walk_workspace_;  // contact-list scratch
 };
 
 }  // namespace sos::sosnet

@@ -7,21 +7,49 @@ namespace sos::sosnet {
 Topology::Topology(const core::SosDesign& design, common::Rng& rng)
     : design_(design) {
   design_.validate();
+  TopologyWorkspace workspace;
+  build(rng, workspace);
+}
+
+Topology::Topology(const core::SosDesign& design, common::Rng& rng,
+                   TopologyWorkspace& workspace)
+    : design_(design) {
+  design_.validate();
+  build(rng, workspace);
+}
+
+void Topology::rebuild(common::Rng& rng, TopologyWorkspace& workspace) {
+  build(rng, workspace);
+}
+
+void Topology::build(common::Rng& rng, TopologyWorkspace& workspace) {
   const int big_n = design_.total_overlay_nodes;
   const int layers = design_.layers();
 
   layer_of_.assign(static_cast<std::size_t>(big_n), -1);
   members_.resize(static_cast<std::size_t>(layers));
-  neighbors_.resize(static_cast<std::size_t>(big_n));
+  slots_.assign(static_cast<std::size_t>(big_n), Slot{});
+
+  // Total neighbor-table entries are fixed by the design, so the flat CSR
+  // entries array is sized once and reused verbatim on rebuilds.
+  std::size_t total_entries = 0;
+  for (int layer = 0; layer < layers; ++layer) {
+    total_entries += static_cast<std::size_t>(design_.layer_size(layer + 1)) *
+                     static_cast<std::size_t>(design_.degree_into(layer + 2));
+  }
+  entries_.resize(total_entries);
 
   // Uniformly choose which overlay nodes serve, then slice the (already
   // random) sample into layers in order.
-  const auto chosen = rng.sample_without_replacement(
+  auto& chosen = workspace.picks;
+  rng.sample_without_replacement_into(
       static_cast<std::uint64_t>(big_n),
-      static_cast<std::uint64_t>(design_.sos_node_count()));
+      static_cast<std::uint64_t>(design_.sos_node_count()), chosen,
+      workspace.sample);
   std::size_t cursor = 0;
   for (int layer = 0; layer < layers; ++layer) {
     auto& layer_members = members_[static_cast<std::size_t>(layer)];
+    layer_members.clear();
     layer_members.reserve(static_cast<std::size_t>(design_.layer_size(layer + 1)));
     for (int k = 0; k < design_.layer_size(layer + 1); ++k) {
       const int node = static_cast<int>(chosen[cursor++]);
@@ -32,22 +60,25 @@ Topology::Topology(const core::SosDesign& design, common::Rng& rng)
 
   // Neighbor tables: m_{i+1} distinct random members of the next layer; the
   // last layer points at filters instead.
+  std::uint32_t entry_cursor = 0;
+  auto& picks = workspace.picks;
   for (int layer = 0; layer < layers; ++layer) {
     const bool last = layer == layers - 1;
     const int next_size = last ? design_.filter_count
                                : design_.layer_size(layer + 2);
     const int degree = design_.degree_into(layer + 2);
-    const auto& next_members =
-        last ? std::vector<int>{} : members_[static_cast<std::size_t>(layer + 1)];
+    const std::vector<int>* next_members =
+        last ? nullptr : &members_[static_cast<std::size_t>(layer + 1)];
     for (const int node : members_[static_cast<std::size_t>(layer)]) {
-      const auto picks = rng.sample_without_replacement(
+      rng.sample_without_replacement_into(
           static_cast<std::uint64_t>(next_size),
-          static_cast<std::uint64_t>(degree));
-      auto& table = neighbors_[static_cast<std::size_t>(node)];
-      table.reserve(picks.size());
+          static_cast<std::uint64_t>(degree), picks, workspace.sample);
+      slots_[static_cast<std::size_t>(node)] =
+          Slot{entry_cursor, static_cast<std::int32_t>(degree)};
       for (const auto pick : picks) {
-        table.push_back(last ? static_cast<int>(pick)
-                             : next_members[static_cast<std::size_t>(pick)]);
+        entries_[entry_cursor++] =
+            last ? static_cast<int>(pick)
+                 : (*next_members)[static_cast<std::size_t>(pick)];
       }
     }
   }
@@ -71,30 +102,35 @@ void Topology::replace_member(int old_node, int new_node, common::Rng& rng) {
     }
   }
 
-  // Fresh next-layer table for the recruit (same degree policy); the old
-  // node's table is revoked.
+  // The recruit inherits the retired node's entry slot (same degree policy)
+  // with a *fresh* next-layer table; the old node's table is revoked.
   const int layers = design_.layers();
   const bool last = layer == layers - 1;
   const int next_size =
       last ? design_.filter_count : design_.layer_size(layer + 2);
   const int degree = design_.degree_into(layer + 2);
-  auto& table = neighbors_[static_cast<std::size_t>(new_node)];
-  table.clear();
+  const Slot slot = slots_[static_cast<std::size_t>(old_node)];
+  const std::vector<int>& next_members =
+      last ? members_[static_cast<std::size_t>(layer)]  // unused when last
+           : members_[static_cast<std::size_t>(layer + 1)];
   const auto picks = rng.sample_without_replacement(
       static_cast<std::uint64_t>(next_size),
       static_cast<std::uint64_t>(degree));
-  for (const auto pick : picks) {
-    table.push_back(last ? static_cast<int>(pick)
-                         : members_[static_cast<std::size_t>(layer + 1)]
-                                   [static_cast<std::size_t>(pick)]);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    entries_[slot.offset + i] =
+        last ? static_cast<int>(picks[i])
+             : next_members[static_cast<std::size_t>(picks[i])];
   }
-  neighbors_[static_cast<std::size_t>(old_node)].clear();
+  slots_[static_cast<std::size_t>(new_node)] = slot;
+  slots_[static_cast<std::size_t>(old_node)] = Slot{};
 
   // Re-issue upstream routing state: previous-layer tables that pointed at
   // the retired node now point at its replacement.
   if (layer > 0) {
     for (const int upstream : members_[static_cast<std::size_t>(layer - 1)]) {
-      for (int& entry : neighbors_[static_cast<std::size_t>(upstream)]) {
+      const Slot up = slots_[static_cast<std::size_t>(upstream)];
+      for (std::int32_t i = 0; i < up.count; ++i) {
+        int& entry = entries_[up.offset + static_cast<std::uint32_t>(i)];
         if (entry == old_node) entry = new_node;
       }
     }
@@ -102,16 +138,24 @@ void Topology::replace_member(int old_node, int new_node, common::Rng& rng) {
 }
 
 std::vector<int> Topology::sample_client_contacts(common::Rng& rng) const {
+  std::vector<int> contacts;
+  TopologyWorkspace workspace;
+  sample_client_contacts_into(rng, contacts, workspace);
+  return contacts;
+}
+
+void Topology::sample_client_contacts_into(
+    common::Rng& rng, std::vector<int>& dest,
+    TopologyWorkspace& workspace) const {
   const int degree = design_.degree_into(1);
   const auto& first_layer = members_.front();
-  const auto picks = rng.sample_without_replacement(
+  rng.sample_without_replacement_into(
       static_cast<std::uint64_t>(first_layer.size()),
-      static_cast<std::uint64_t>(degree));
-  std::vector<int> contacts;
-  contacts.reserve(picks.size());
-  for (const auto pick : picks)
-    contacts.push_back(first_layer[static_cast<std::size_t>(pick)]);
-  return contacts;
+      static_cast<std::uint64_t>(degree), workspace.picks, workspace.sample);
+  dest.clear();
+  dest.reserve(workspace.picks.size());
+  for (const auto pick : workspace.picks)
+    dest.push_back(first_layer[static_cast<std::size_t>(pick)]);
 }
 
 }  // namespace sos::sosnet

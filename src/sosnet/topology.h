@@ -7,8 +7,16 @@
 // uniformly random per instantiation (fresh randomness per Monte Carlo
 // trial), which is exactly the distribution the paper's average-case
 // analysis assumes.
+//
+// Storage is a flat CSR-style layout: one contiguous entries array plus a
+// per-node (offset, count) slot table, sized once from the design. Rebuilding
+// a topology for a new trial (same design, fresh randomness) reuses every
+// buffer, so the Monte Carlo hot loop performs no heap allocations in steady
+// state.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -16,10 +24,27 @@
 
 namespace sos::sosnet {
 
+/// Reusable scratch for building topologies and sampling contact lists.
+/// One per thread; consecutive trials reuse its capacity.
+struct TopologyWorkspace {
+  common::SampleScratch sample;       // sampling-without-replacement scratch
+  std::vector<std::uint64_t> picks;   // draw destination buffer
+  std::vector<int> contacts;          // client contact-list scratch
+};
+
 class Topology {
  public:
   /// Samples SOS membership and neighbor tables for `design` from `rng`.
   Topology(const core::SosDesign& design, common::Rng& rng);
+
+  /// Same, but sampling through `workspace` so repeated builds share scratch.
+  Topology(const core::SosDesign& design, common::Rng& rng,
+           TopologyWorkspace& workspace);
+
+  /// Re-samples membership and neighbor tables from `rng` in place, reusing
+  /// every buffer. Produces exactly the topology `Topology(design(), rng)`
+  /// would, but allocation-free once buffers are warm.
+  void rebuild(common::Rng& rng, TopologyWorkspace& workspace);
 
   const core::SosDesign& design() const noexcept { return design_; }
 
@@ -35,12 +60,18 @@ class Topology {
   /// Next-layer neighbor table of an SOS node. For nodes in the last layer
   /// the entries are *filter* indices in [0, filter_count); for every other
   /// layer they are overlay node indices. Empty for non-members.
-  const std::vector<int>& neighbors(int node) const {
-    return neighbors_.at(static_cast<std::size_t>(node));
+  std::span<const int> neighbors(int node) const {
+    const Slot slot = slots_.at(static_cast<std::size_t>(node));
+    return {entries_.data() + slot.offset, static_cast<std::size_t>(slot.count)};
   }
 
   /// Nodes of layer 0 a fresh client would contact (m_1 distinct members).
   std::vector<int> sample_client_contacts(common::Rng& rng) const;
+
+  /// In-place variant for the hot path: overwrites `dest`, reusing its
+  /// capacity and `workspace`'s scratch. Same draws as the value overload.
+  void sample_client_contacts_into(common::Rng& rng, std::vector<int>& dest,
+                                   TopologyWorkspace& workspace) const;
 
   /// Role migration (defensive reconfiguration, Section 5 territory): hands
   /// `old_node`'s SOS role to `new_node` (must be a non-member). The new
@@ -52,10 +83,18 @@ class Topology {
   void replace_member(int old_node, int new_node, common::Rng& rng);
 
  private:
+  struct Slot {
+    std::uint32_t offset = 0;
+    std::int32_t count = 0;
+  };
+
+  void build(common::Rng& rng, TopologyWorkspace& workspace);
+
   core::SosDesign design_;
-  std::vector<int> layer_of_;                 // size N
-  std::vector<std::vector<int>> members_;     // L layers
-  std::vector<std::vector<int>> neighbors_;   // size N (empty for innocents)
+  std::vector<int> layer_of_;             // size N
+  std::vector<std::vector<int>> members_; // L layers
+  std::vector<Slot> slots_;               // size N (count 0 for innocents)
+  std::vector<int> entries_;              // flat CSR neighbor storage
 };
 
 }  // namespace sos::sosnet

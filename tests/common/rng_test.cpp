@@ -148,5 +148,25 @@ TEST(Rng, Mix64IsDeterministicAndSpreads) {
   EXPECT_NE(mix64(123), mix64(124));
 }
 
+TEST(Rng, SampleIntoConsumesTheSameStreamAsTheAllocatingOverload) {
+  // The into-variant must draw identical values AND leave the generator in
+  // the same state, across both the dense (Fisher-Yates) and sparse (Floyd)
+  // regimes, even when the scratch is reused between calls of different
+  // shapes.
+  Rng reference{77};
+  Rng reused{77};
+  SampleScratch scratch;
+  std::vector<std::uint64_t> dest;
+  const std::pair<std::uint64_t, std::uint64_t> shapes[] = {
+      {100, 90}, {1000, 3}, {50, 50}, {100000, 5}, {8, 1}, {1000, 400}};
+  for (const auto& [population, k] : shapes) {
+    const auto expected = reference.sample_without_replacement(population, k);
+    reused.sample_without_replacement_into(population, k, dest, scratch);
+    EXPECT_EQ(dest, expected) << "population=" << population << " k=" << k;
+  }
+  // Generators must agree afterwards.
+  EXPECT_EQ(reference.next(), reused.next());
+}
+
 }  // namespace
 }  // namespace sos::common

@@ -1,0 +1,67 @@
+// Verifies the Monte Carlo hot path is allocation-free in steady state: after
+// the first trial has warmed the per-worker buffers, additional trials must
+// not touch the heap. Global operator new/delete are replaced with counting
+// versions, so this test lives in its own binary (sos_alloc_test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "attack/attack_outcome.h"
+#include "sim/monte_carlo.h"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sos::sim {
+namespace {
+
+std::uint64_t allocations_for(const core::SosDesign& design,
+                              const AttackFn& attack_fn, int trials) {
+  MonteCarloConfig config{.trials = trials, .walks_per_trial = 8, .seed = 21,
+                          .threads = 1};
+  const std::uint64_t before = g_alloc_count.load();
+  const auto result = run_monte_carlo(design, attack_fn, config);
+  EXPECT_GT(result.walks, 0u);
+  return g_alloc_count.load() - before;
+}
+
+TEST(MonteCarloAllocations, SteadyStateTrialsAreAllocationFree) {
+  const auto design =
+      core::SosDesign::make(1000, 60, 3, 10, core::MappingPolicy::one_to_two());
+  // An attack whose outcome is the empty footprint: the engine's own per-trial
+  // work (topology rebuild, sampling, walks, accumulation) is what's metered.
+  const AttackFn attack_fn = [](sosnet::SosOverlay&, common::Rng&) {
+    return attack::AttackOutcome{};
+  };
+
+  // Both runs pay the same setup cost (result buffers, first-trial overlay
+  // build); the extra 100 trials must add zero allocations.
+  const std::uint64_t short_run = allocations_for(design, attack_fn, 10);
+  const std::uint64_t long_run = allocations_for(design, attack_fn, 110);
+  EXPECT_EQ(long_run, short_run)
+      << "per-trial heap traffic detected: " << short_run << " allocations in "
+      << "10 trials vs " << long_run << " in 110";
+}
+
+}  // namespace
+}  // namespace sos::sim

@@ -1,0 +1,118 @@
+// Regression: the Monte Carlo result must be bit-identical for every thread
+// count at a fixed seed — per-trial streams are derived from (seed, trial)
+// alone and the reduction runs in fixed trial order.
+#include <gtest/gtest.h>
+
+#include "attack/one_burst_attacker.h"
+#include "attack/successive_attacker.h"
+#include "sim/monte_carlo.h"
+#include "sim/sweep.h"
+#include "sim/thread_pool.h"
+
+namespace sos::sim {
+namespace {
+
+core::SosDesign small_design(core::MappingPolicy mapping) {
+  return core::SosDesign::make(1000, 60, 3, 10, mapping);
+}
+
+AttackFn successive_fn() {
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 100;
+  attack.congestion_budget = 300;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return [attacker = attack::SuccessiveAttacker{attack}](
+             sosnet::SosOverlay& overlay, common::Rng& rng) {
+    return attacker.execute(overlay, rng);
+  };
+}
+
+void expect_identical(const MonteCarloResult& a, const MonteCarloResult& b) {
+  EXPECT_EQ(a.p_success, b.p_success);
+  EXPECT_EQ(a.ci.lo, b.ci.lo);
+  EXPECT_EQ(a.ci.hi, b.ci.hi);
+  EXPECT_EQ(a.walks, b.walks);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.mean_broken, b.mean_broken);
+  EXPECT_EQ(a.mean_broken_sos, b.mean_broken_sos);
+  EXPECT_EQ(a.mean_congested, b.mean_congested);
+  EXPECT_EQ(a.mean_congested_sos, b.mean_congested_sos);
+  EXPECT_EQ(a.mean_congested_filters, b.mean_congested_filters);
+  EXPECT_EQ(a.mean_disclosed, b.mean_disclosed);
+  EXPECT_EQ(a.mean_delivery_hops, b.mean_delivery_hops);
+}
+
+TEST(MonteCarloDeterminism, ThreadCountNeverChangesAnyResultField) {
+  const auto design = small_design(core::MappingPolicy::one_to_two());
+  const AttackFn attack_fn = successive_fn();
+
+  MonteCarloConfig config{.trials = 25, .walks_per_trial = 6, .seed = 0xfeedULL,
+                          .threads = 1};
+  const auto single = run_monte_carlo(design, attack_fn, config);
+
+  // The shared pool is sized to the machine (possibly 1 worker), so the
+  // multi-thread runs bring their own pools.
+  for (const int threads : {2, 8}) {
+    ThreadPool pool{threads};
+    MonteCarloConfig multi = config;
+    multi.threads = threads;
+    multi.pool = &pool;
+    const auto result = run_monte_carlo(design, attack_fn, multi);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(single, result);
+  }
+}
+
+TEST(MonteCarloDeterminism, RepeatedRunsReuseWorkerStateWithoutDrift) {
+  // The persistent per-worker overlay must give the same answer on the 1st
+  // and the Nth run of the same configuration.
+  const auto design = small_design(core::MappingPolicy::one_to_five());
+  const AttackFn attack_fn = successive_fn();
+  ThreadPool pool{4};
+  MonteCarloConfig config{.trials = 12, .walks_per_trial = 4, .seed = 3,
+                          .threads = 4};
+  config.pool = &pool;
+  const auto first = run_monte_carlo(design, attack_fn, config);
+  for (int repeat = 0; repeat < 3; ++repeat)
+    expect_identical(first, run_monte_carlo(design, attack_fn, config));
+}
+
+TEST(MonteCarloDeterminism, SweepPointsMatchStandaloneRuns) {
+  const auto design_a = small_design(core::MappingPolicy::one_to_one());
+  const auto design_b = small_design(core::MappingPolicy::one_to_all());
+  const AttackFn attack_fn = successive_fn();
+  MonteCarloConfig config{.trials = 10, .walks_per_trial = 5, .seed = 99,
+                          .threads = 1};
+
+  ThreadPool pool{3};
+  SweepRunner runner{&pool};
+  const int a = runner.add(design_a, attack_fn, config);
+  const int b = runner.add(design_b, attack_fn, config);
+  runner.run();
+
+  expect_identical(run_monte_carlo(design_a, attack_fn, config),
+                   runner.result(a));
+  expect_identical(run_monte_carlo(design_b, attack_fn, config),
+                   runner.result(b));
+}
+
+TEST(MonteCarloDeterminism, SweepRunIsIncremental) {
+  const auto design = small_design(core::MappingPolicy::one_to_two());
+  const AttackFn attack_fn = successive_fn();
+  MonteCarloConfig config{.trials = 6, .walks_per_trial = 3, .seed = 4,
+                          .threads = 1};
+
+  SweepRunner runner;
+  const int first = runner.add(design, attack_fn, config);
+  runner.run();
+  const auto snapshot = runner.result(first);
+  const int second = runner.add(design, attack_fn, config);
+  runner.run();  // must only run the new point
+  expect_identical(snapshot, runner.result(first));
+  expect_identical(snapshot, runner.result(second));
+}
+
+}  // namespace
+}  // namespace sos::sim

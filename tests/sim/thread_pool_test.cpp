@@ -1,0 +1,82 @@
+#include "sim/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace sos::sim {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, 0, [&](int index, int) {
+    hits[static_cast<std::size_t>(index)].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIdsAreStableAndInRange) {
+  ThreadPool pool{3};
+  std::mutex mutex;
+  std::set<int> seen;
+  pool.parallel_for(64, 2, [&](int, int worker) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(worker);
+  });
+  // max_workers=2 caps participation; ids are dense from 0.
+  EXPECT_LE(seen.size(), 2u);
+  for (const int id : seen) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 2);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool{2};
+  std::atomic<long> total{0};
+  for (int job = 0; job < 50; ++job)
+    pool.parallel_for(10, 0, [&](int index, int) { total += index; });
+  EXPECT_EQ(total.load(), 50 * 45);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanWorkers) {
+  ThreadPool pool{8};
+  std::atomic<int> count{0};
+  pool.parallel_for(1, 0, [&](int index, int worker) {
+    EXPECT_EQ(index, 0);
+    EXPECT_GE(worker, 0);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+  pool.parallel_for(0, 0, [&](int, int) { ++count; });
+  EXPECT_EQ(count.load(), 1);  // zero-count job is a no-op
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
+  ThreadPool pool{2};
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int caller = 0; caller < 4; ++caller) {
+    callers.emplace_back([&] {
+      for (int job = 0; job < 10; ++job)
+        pool.parallel_for(5, 0, [&](int, int) { ++total; });
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 4 * 10 * 5);
+}
+
+TEST(ThreadPool, SharedPoolIsACrossCallSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1);
+}
+
+}  // namespace
+}  // namespace sos::sim

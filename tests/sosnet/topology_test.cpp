@@ -172,6 +172,33 @@ TEST(Topology, ReplaceMemberValidatesArguments) {
                std::invalid_argument);
 }
 
+TEST(Topology, RebuildInPlaceMatchesFreshConstruction) {
+  const auto design = design_with(4, core::MappingPolicy::one_to_five());
+
+  // Build once with an unrelated seed to dirty every buffer, then rebuild
+  // from the reference stream: the result must match a fresh build bit for
+  // bit — same members, same neighbor tables, same generator state.
+  common::Rng dirty_rng{999};
+  TopologyWorkspace workspace;
+  Topology rebuilt{design, dirty_rng, workspace};
+  common::Rng stream{42};
+  rebuilt.rebuild(stream, workspace);
+
+  common::Rng reference_stream{42};
+  const Topology fresh{design, reference_stream};
+
+  for (int layer = 0; layer < design.layers(); ++layer)
+    EXPECT_EQ(rebuilt.members(layer), fresh.members(layer));
+  for (int node = 0; node < design.total_overlay_nodes; ++node) {
+    EXPECT_EQ(rebuilt.layer_of(node), fresh.layer_of(node));
+    const auto a = rebuilt.neighbors(node);
+    const auto b = fresh.neighbors(node);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  EXPECT_EQ(stream.next(), reference_stream.next());
+}
+
 TEST(Topology, MembershipIsUniformAcrossTheOverlay) {
   // Any given overlay node should serve with probability n/N; check that
   // membership is not clustered at low indices.
