@@ -7,6 +7,8 @@
 #include "attack/one_burst_attacker.h"
 #include "attack/successive_attacker.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/budget_frontier.h"
 #include "core/exact_models.h"
 #include "core/one_burst_model.h"
 #include "core/successive_model.h"
@@ -69,6 +71,156 @@ void BM_ExactRandomCongestionDP(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactRandomCongestionDP)->Arg(1)->Arg(3)->Arg(8);
+
+// The analytic budget-curve grid every BM_Analytic* budget bench sweeps:
+// the full 0..N congestion range at the figure resolution.
+std::vector<int> bench_budget_grid() {
+  std::vector<int> budgets;
+  for (int budget = 0; budget <= 10000; budget += 500)
+    budgets.push_back(budget);
+  return budgets;
+}
+
+// Per-point baseline for the exact congestion curve: one p_success call per
+// budget, so the layer DP is recomputed for every grid point. This is the
+// shape every figure sweep had before the batch API existed.
+void BM_AnalyticExactCurvePerPoint(benchmark::State& state) {
+  const auto design = bench_design(static_cast<int>(state.range(0)));
+  const auto budgets = bench_budget_grid();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const int budget : budgets)
+      sum += core::ExactRandomCongestionModel::p_success(design, budget);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(budgets.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyticExactCurvePerPoint)->Arg(1)->Arg(3)->Arg(8);
+
+// Batched curve: the budget-independent layer DP runs once and only the
+// cheap mixing stage repeats per budget (O(L*S*n + B*S) vs O(B*L*S*n)).
+void BM_AnalyticExactCurveBatch(benchmark::State& state) {
+  const auto design = bench_design(static_cast<int>(state.range(0)));
+  const auto budgets = bench_budget_grid();
+  core::ExactRandomCongestionModel::Workspace workspace;
+  std::vector<double> out;
+  for (auto _ : state) {
+    core::ExactRandomCongestionModel::p_success_curve(design, budgets, out,
+                                                      workspace);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(budgets.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyticExactCurveBatch)->Arg(1)->Arg(3)->Arg(8);
+
+// Same pair for the original-SOS inclusion-exclusion model (one-to-all
+// mapping): per budget the seed walked all 2^L masks; the batch caches the
+// per-mask subset sizes and reuses them across the grid.
+void BM_AnalyticOriginalCurvePerPoint(benchmark::State& state) {
+  const auto design = core::SosDesign::make(
+      10000, 100, static_cast<int>(state.range(0)), 10,
+      core::MappingPolicy::one_to_all());
+  const auto budgets = bench_budget_grid();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const int budget : budgets)
+      sum += core::OriginalSosModel::p_success(design, budget);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(budgets.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyticOriginalCurvePerPoint)->Arg(3)->Arg(8);
+
+void BM_AnalyticOriginalCurveBatch(benchmark::State& state) {
+  const auto design = core::SosDesign::make(
+      10000, 100, static_cast<int>(state.range(0)), 10,
+      core::MappingPolicy::one_to_all());
+  const auto budgets = bench_budget_grid();
+  core::OriginalSosModel::Workspace workspace;
+  std::vector<double> out;
+  for (auto _ : state) {
+    core::OriginalSosModel::p_success_curve(design, budgets, out, workspace);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(budgets.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyticOriginalCurveBatch)->Arg(3)->Arg(8);
+
+// Successive-model sweep, per-point: fresh validation + workspace per call.
+void BM_AnalyticSuccessivePerPoint(benchmark::State& state) {
+  const auto design = bench_design(3);
+  auto attack = bench_attack();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int budget_t = 0; budget_t <= 4000; budget_t += 200) {
+      attack.break_in_budget = budget_t;
+      sum += core::SuccessiveModel::p_success(design, attack);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 21.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyticSuccessivePerPoint);
+
+// Same sweep through a SuccessiveEvaluator: the design is validated once and
+// the round/trace buffers are reused across all 21 points.
+void BM_AnalyticSuccessiveEvaluator(benchmark::State& state) {
+  const auto design = bench_design(3);
+  auto attack = bench_attack();
+  core::SuccessiveEvaluator evaluator{design};
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int budget_t = 0; budget_t <= 4000; budget_t += 200) {
+      attack.break_in_budget = budget_t;
+      sum += evaluator.p_success(attack);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 21.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyticSuccessiveEvaluator);
+
+// Whole rational-attacker frontier at a given worker count. Results are
+// bit-identical at every thread count; only the wall clock moves.
+void BM_AnalyticFrontierSweep(benchmark::State& state) {
+  const auto design =
+      core::SosDesign::make(10000, 100, 4, 10,
+                            core::MappingPolicy::one_to_two());
+  core::AttackBudget budget;
+  budget.total = 4000.0;
+  budget.break_in_cost = 2.0;
+  budget.congestion_cost = 1.0;
+  budget.break_in_success = 0.5;
+  common::ThreadPool pool{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BudgetFrontier::sweep(design, budget, 21, &pool));
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 21.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyticFrontierSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()  // work happens on pool threads, so CPU time lies
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TopologyBuild(benchmark::State& state) {
   const auto design = bench_design(3);

@@ -1,15 +1,72 @@
 #include "common/mathx.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 namespace sos::common {
 
+namespace {
+
+/// Immutable snapshot of lgamma(i + 1) for i in [0, size). Growth publishes
+/// a fresh copy through the atomic pointer; readers that loaded an older
+/// snapshot keep using it, so superseded snapshots are deliberately retained
+/// for the process lifetime (doubling growth bounds the total waste by the
+/// final table size).
+struct FactorialSnapshot {
+  std::vector<double> values;
+};
+
+std::atomic<const FactorialSnapshot*> g_factorials{nullptr};
+std::mutex g_factorials_mutex;
+
+/// Past this many entries (8 MB) callers fall through to std::lgamma.
+constexpr int kFactorialTableCap = 1 << 20;
+
+const FactorialSnapshot* grow_factorials(int need) {
+  std::lock_guard<std::mutex> lock(g_factorials_mutex);
+  const FactorialSnapshot* current =
+      g_factorials.load(std::memory_order_acquire);
+  if (current != nullptr &&
+      need < static_cast<int>(current->values.size()))
+    return current;  // another thread grew past `need` first
+  auto* next = new FactorialSnapshot;
+  std::size_t size = current != nullptr ? current->values.size() : 256;
+  while (size <= static_cast<std::size_t>(need)) size *= 2;
+  size = std::min(size, static_cast<std::size_t>(kFactorialTableCap));
+  next->values.reserve(size);
+  if (current != nullptr) next->values = current->values;
+  for (std::size_t i = next->values.size(); i < size; ++i)
+    next->values.push_back(std::lgamma(static_cast<double>(i) + 1.0));
+  g_factorials.store(next, std::memory_order_release);
+  return next;
+}
+
+}  // namespace
+
+double log_factorial(int n) {
+  assert(n >= 0);
+  if (n >= kFactorialTableCap) return std::lgamma(static_cast<double>(n) + 1.0);
+  const FactorialSnapshot* snap =
+      g_factorials.load(std::memory_order_acquire);
+  if (snap == nullptr || n >= static_cast<int>(snap->values.size()))
+    snap = grow_factorials(n);
+  return snap->values[static_cast<std::size_t>(n)];
+}
+
 double log_binomial(double n, double k) {
   assert(k >= 0.0 && k <= n);
+  if (n < static_cast<double>(kFactorialTableCap)) {
+    const int ni = static_cast<int>(n);
+    const int ki = static_cast<int>(k);
+    if (static_cast<double>(ni) == n && static_cast<double>(ki) == k)
+      return log_factorial(ni) - log_factorial(ki) - log_factorial(ni - ki);
+  }
   return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
 }
 
@@ -33,6 +90,26 @@ double prob_all_in_subset(double x, double y, int z) {
     prob *= num / den;
   }
   return clamp01(prob);
+}
+
+SubsetProbSweep::SubsetProbSweep(double x, int z) : x_(x), z_(z) {
+  assert(z >= 0);
+  assert(static_cast<double>(z) <= x + 1e-9);
+  prob_ = z == 0 ? 1.0 : 0.0;
+}
+
+double SubsetProbSweep::value() const { return clamp01(prob_); }
+
+void SubsetProbSweep::advance() {
+  ++y_;
+  if (z_ == 0) return;                    // always 1
+  if (y_ < z_) return;                    // still impossible: prob stays 0
+  if (y_ == z_) {
+    // Seed with the direct product; every later step is an O(1) ratio.
+    prob_ = prob_all_in_subset(x_, static_cast<double>(y_), z_);
+    return;
+  }
+  prob_ *= static_cast<double>(y_) / static_cast<double>(y_ - z_);
 }
 
 double hypergeometric_pmf(int population, int marked, int draws, int k) {

@@ -1,8 +1,8 @@
-#include "sim/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 
-namespace sos::sim {
+namespace sos::common {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
@@ -83,4 +83,4 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-}  // namespace sos::sim
+}  // namespace sos::common

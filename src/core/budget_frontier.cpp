@@ -4,13 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "core/successive_model.h"
 
 namespace sos::core {
 
 std::vector<BudgetSplit> BudgetFrontier::sweep(const SosDesign& design,
                                                const AttackBudget& budget,
-                                               int steps) {
+                                               int steps,
+                                               common::ThreadPool* pool) {
   design.validate();
   if (steps < 2)
     throw std::invalid_argument("BudgetFrontier: need at least 2 grid points");
@@ -18,10 +20,12 @@ std::vector<BudgetSplit> BudgetFrontier::sweep(const SosDesign& design,
       budget.congestion_cost <= 0.0)
     throw std::invalid_argument("BudgetFrontier: bad budget");
 
-  std::vector<BudgetSplit> out;
-  out.reserve(static_cast<std::size_t>(steps));
+  // The split arithmetic is invariant per point; only p_success costs
+  // anything. Fill the grid first, then evaluate every point over the pool,
+  // each into its own slot — bit-identical for any worker count.
+  std::vector<BudgetSplit> out(static_cast<std::size_t>(steps));
   for (int step = 0; step < steps; ++step) {
-    BudgetSplit split;
+    BudgetSplit& split = out[static_cast<std::size_t>(step)];
     split.fraction = static_cast<double>(step) / (steps - 1);
     const double break_in_units = split.fraction * budget.total;
     const double congestion_units = budget.total - break_in_units;
@@ -32,23 +36,45 @@ std::vector<BudgetSplit> BudgetFrontier::sweep(const SosDesign& design,
         std::min(design.total_overlay_nodes,
                  static_cast<int>(
                      std::floor(congestion_units / budget.congestion_cost)));
-
-    SuccessiveAttack attack;
-    attack.break_in_budget = split.break_in_budget;
-    attack.congestion_budget = split.congestion_budget;
-    attack.break_in_success = budget.break_in_success;
-    attack.prior_knowledge = budget.prior_knowledge;
-    attack.rounds = budget.rounds;
-    split.p_success = SuccessiveModel::p_success(design, attack);
-    out.push_back(split);
   }
+
+  common::ThreadPool& workers =
+      pool != nullptr ? *pool : common::ThreadPool::shared();
+  const int worker_count =
+      std::min(workers.size(), static_cast<int>(out.size()));
+  // One evaluator per worker: the design is validated and copied once per
+  // worker instead of once per grid point, and round/accumulator buffers
+  // are recycled across the points a worker takes.
+  std::vector<SuccessiveEvaluator> evaluators;
+  evaluators.reserve(static_cast<std::size_t>(worker_count));
+  for (int w = 0; w < worker_count; ++w) evaluators.emplace_back(design);
+
+  workers.parallel_for(
+      static_cast<int>(out.size()), 0, [&](int index, int worker) {
+        BudgetSplit& split = out[static_cast<std::size_t>(index)];
+        SuccessiveAttack attack;
+        attack.break_in_budget = split.break_in_budget;
+        attack.congestion_budget = split.congestion_budget;
+        attack.break_in_success = budget.break_in_success;
+        attack.prior_knowledge = budget.prior_knowledge;
+        attack.rounds = budget.rounds;
+        split.p_success =
+            evaluators[static_cast<std::size_t>(worker)].p_success(attack);
+      });
   return out;
 }
 
 BudgetSplit BudgetFrontier::worst_case(const SosDesign& design,
-                                       const AttackBudget& budget,
-                                       int steps) {
-  const auto curve = sweep(design, budget, steps);
+                                       const AttackBudget& budget, int steps,
+                                       common::ThreadPool* pool) {
+  return worst_case(sweep(design, budget, steps, pool));
+}
+
+BudgetSplit BudgetFrontier::worst_case(const std::vector<BudgetSplit>& curve) {
+  if (curve.empty())
+    throw std::invalid_argument("BudgetFrontier: empty curve");
+  // Strict < keeps the first (lowest-fraction) split on equal p_success, and
+  // the grid is generated in ascending fraction order.
   return *std::min_element(curve.begin(), curve.end(),
                            [](const BudgetSplit& a, const BudgetSplit& b) {
                              return a.p_success < b.p_success;

@@ -15,6 +15,10 @@
 #include "core/attack_config.h"
 #include "core/design.h"
 
+namespace sos::common {
+class ThreadPool;
+}  // namespace sos::common
+
 namespace sos::core {
 
 struct AttackBudget {
@@ -39,13 +43,24 @@ class BudgetFrontier {
  public:
   /// P_S as a function of the break-in fraction, on a uniform grid of
   /// `steps` points over [0, 1]. Budgets are clamped to the overlay size.
+  /// Grid points are evaluated over `pool` (null = ThreadPool::shared())
+  /// and written into their own slots, so the curve is bit-identical for
+  /// any worker count. Must not be called from inside another parallel_for
+  /// task on the same pool.
   static std::vector<BudgetSplit> sweep(const SosDesign& design,
                                         const AttackBudget& budget,
-                                        int steps = 21);
+                                        int steps = 21,
+                                        common::ThreadPool* pool = nullptr);
 
   /// The attacker's optimal (defender's worst) split from the same grid.
   static BudgetSplit worst_case(const SosDesign& design,
-                                const AttackBudget& budget, int steps = 21);
+                                const AttackBudget& budget, int steps = 21,
+                                common::ThreadPool* pool = nullptr);
+
+  /// Same selection from a precomputed curve (avoids re-running the sweep
+  /// when the caller already has it). Ties on p_success break toward the
+  /// lowest fraction, so the answer does not depend on grid order quirks.
+  static BudgetSplit worst_case(const std::vector<BudgetSplit>& curve);
 };
 
 }  // namespace sos::core

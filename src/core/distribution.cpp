@@ -34,8 +34,25 @@ NodeDistribution NodeDistribution::parse(const std::string& text) {
   if (t == "even") return even();
   if (t == "increasing") return increasing();
   if (t == "decreasing") return decreasing();
-  throw std::invalid_argument("NodeDistribution::parse: bad policy '" + t +
-                              "'");
+  if (common::starts_with(t, "custom:")) {
+    std::vector<double> weights;
+    for (const auto& part : common::split(t.substr(7), ',')) {
+      const std::string w = common::trim(part);
+      try {
+        std::size_t used = 0;
+        weights.push_back(std::stod(w, &used));
+        if (used != w.size()) throw std::invalid_argument(w);
+      } catch (const std::exception&) {
+        throw std::invalid_argument(
+            "NodeDistribution::parse: bad custom weight '" + w + "' in '" +
+            t + "'");
+      }
+    }
+    return custom(std::move(weights));
+  }
+  throw std::invalid_argument(
+      "NodeDistribution::parse: bad policy '" + t +
+      "' (accepted: even, increasing, decreasing, custom:w1,w2,...)");
 }
 
 std::vector<int> NodeDistribution::layer_sizes(int total_nodes,

@@ -23,7 +23,9 @@ class NodeDistribution {
   static NodeDistribution decreasing();
   static NodeDistribution custom(std::vector<double> weights);
 
-  /// Parses "even", "increasing" or "decreasing".
+  /// Parses "even", "increasing", "decreasing" or "custom:w1,w2,..."
+  /// (comma-separated positive per-layer weights). Unknown policies raise
+  /// std::invalid_argument listing the accepted spellings.
   static NodeDistribution parse(const std::string& text);
 
   /// Layer sizes n_1..n_L; sums exactly to total_nodes, every entry >= 1.

@@ -14,6 +14,10 @@
 #include "core/attack_config.h"
 #include "core/design.h"
 
+namespace sos::common {
+class ThreadPool;
+}  // namespace sos::common
+
 namespace sos::core {
 
 struct SensitivityEntry {
@@ -35,9 +39,13 @@ struct SensitivityReport {
 };
 
 /// Evaluates the report. `distribution` must be the one `design` was built
-/// with (designs do not retain their distribution policy).
+/// with (designs do not retain their distribution policy). The perturbation
+/// probes are evaluated over `pool` (null = ThreadPool::shared()), each into
+/// its own slot, so the report is bit-identical for any worker count. Must
+/// not be called from inside another parallel_for task on the same pool.
 SensitivityReport analyze_sensitivity(
     const SosDesign& design, const SuccessiveAttack& attack,
-    const NodeDistribution& distribution = NodeDistribution::even());
+    const NodeDistribution& distribution = NodeDistribution::even(),
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace sos::core

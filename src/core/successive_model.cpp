@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <utility>
 
 #include "common/mathx.h"
 
@@ -14,22 +15,17 @@ using common::pow_one_minus;
 
 namespace {
 
-/// Mutable per-layer accumulators across rounds (expected set sizes).
-struct LayerAccum {
-  double attempted = 0.0;            // sum_k h_{i,k}
-  double broken = 0.0;               // sum_k b_{i,k}
-  double unsuccessful_known = 0.0;   // sum_k u^D_{i,k}
-  double disclosed_attempted = 0.0;  // sum_k d^A_{i,k}
-  double leftover = 0.0;             // sum_k f_{i,k} (terminal round only)
-  double pending = 0.0;              // d^N_{i,j-1}: disclosed, to attack next
-};
+using detail::SuccessiveLayerAccum;
 
-}  // namespace
-
-SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
-                                       const SuccessiveAttack& attack,
-                                       const SuccessiveOptions& options) {
-  design.validate();
+/// The whole model, writing into `ws`. Round snapshots, accumulators and the
+/// congestion-phase buffer are recycled across calls, so a sweep through one
+/// workspace is allocation-free in steady state. `validate_design` lets
+/// SuccessiveEvaluator hoist the (per-design) validation out of its
+/// per-attack loop.
+void trace_into(const SosDesign& design, const SuccessiveAttack& attack,
+                const SuccessiveOptions& options, bool validate_design,
+                SuccessiveWorkspace& ws) {
+  if (validate_design) design.validate();
   attack.validate(design.total_overlay_nodes);
 
   const int layers = design.layers();
@@ -39,7 +35,8 @@ SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
   const double alpha =
       static_cast<double>(attack.break_in_budget) / attack.rounds;
 
-  std::vector<LayerAccum> acc(count);
+  auto& acc = ws.accum;
+  acc.assign(count, SuccessiveLayerAccum{});
   // Prior knowledge (P_E) acts as a "round 0" disclosure of first-layer
   // nodes (Section 3.2.2).
   acc[0].pending =
@@ -49,12 +46,19 @@ SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
   double beta = static_cast<double>(attack.break_in_budget);
   double non_sos_attempted = 0.0;  // random attempts that hit innocent nodes
 
-  SuccessiveTrace trace_out;
+  auto& rounds = ws.trace.rounds;
+  std::size_t used_rounds = 0;
 
   for (int round = 1; round <= attack.rounds; ++round) {
-    SuccessiveRound snap;
+    if (rounds.size() <= used_rounds) rounds.emplace_back();
+    SuccessiveRound& snap = rounds[used_rounds++];
     snap.index = round;
+    snap.case_id = 0;
+    snap.known = 0.0;
     snap.beta_before = beta;
+    snap.beta_after = 0.0;
+    snap.random_budget = 0.0;
+    snap.terminal = false;
     snap.attempted_disclosed.assign(count, 0.0);
     snap.attempted_random.assign(count, 0.0);
     snap.broken.assign(count, 0.0);
@@ -64,7 +68,9 @@ SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
 
     const double known = std::accumulate(
         acc.begin(), acc.end(), 0.0,
-        [](double sum, const LayerAccum& a) { return sum + a.pending; });
+        [](double sum, const SuccessiveLayerAccum& a) {
+          return sum + a.pending;
+        });
     snap.known = known;
 
     // -- Regime selection (Algorithm 1) ---------------------------------
@@ -94,7 +100,9 @@ SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
     // -- Break-in attempts (Eqs. 10-17, 21-23) --------------------------
     const double total_attempted_sos = std::accumulate(
         acc.begin(), acc.end(), 0.0,
-        [](double sum, const LayerAccum& a) { return sum + a.attempted; });
+        [](double sum, const SuccessiveLayerAccum& a) {
+          return sum + a.attempted;
+        });
     double pool = big_n - known - total_attempted_sos;
     if (!options.paper_faithful_pool) pool -= non_sos_attempted;
 
@@ -171,15 +179,15 @@ SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
       filters_disclosed += fresh;
     }
 
-    trace_out.rounds.push_back(snap);
     if (snap.terminal || beta <= 1e-12) break;
   }
+  rounds.resize(used_rounds);
 
   // -- Congestion phase (Eqs. 25-27) -------------------------------------
-  ModelResult result;
+  ModelResult& result = ws.trace.result;
   result.layers.assign(count + 1, LayerOutcome{});
 
-  const auto& last = trace_out.rounds.back();
+  const auto& last = rounds.back();
   double n_disclosed = filters_disclosed;
   double n_broken = 0.0;
   for (std::size_t i = 0; i < count; ++i) {
@@ -236,7 +244,8 @@ SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
                        0.0, size);
   }
 
-  std::vector<double> bad;
+  auto& bad = ws.bad;
+  bad.clear();
   bad.reserve(result.layers.size());
   for (std::size_t i = 0; i < result.layers.size(); ++i) {
     const auto size = static_cast<double>(design.layer_size(
@@ -244,14 +253,36 @@ SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
     bad.push_back(clamp_to(result.layers[i].bad(), 0.0, size));
   }
   result.path = path_probability(design, bad);
-  trace_out.result = result;
-  return trace_out;
+}
+
+}  // namespace
+
+SuccessiveTrace SuccessiveModel::trace(const SosDesign& design,
+                                       const SuccessiveAttack& attack,
+                                       const SuccessiveOptions& options) {
+  SuccessiveWorkspace workspace;
+  trace_into(design, attack, options, /*validate_design=*/true, workspace);
+  return std::move(workspace.trace);
 }
 
 ModelResult SuccessiveModel::evaluate(const SosDesign& design,
                                       const SuccessiveAttack& attack,
                                       const SuccessiveOptions& options) {
-  return trace(design, attack, options).result;
+  thread_local SuccessiveWorkspace workspace;
+  trace_into(design, attack, options, /*validate_design=*/true, workspace);
+  return workspace.trace.result;
+}
+
+SuccessiveEvaluator::SuccessiveEvaluator(const SosDesign& design,
+                                         SuccessiveOptions options)
+    : design_(design), options_(options) {
+  design_.validate();
+}
+
+const SuccessiveTrace& SuccessiveEvaluator::trace(
+    const SuccessiveAttack& attack) {
+  trace_into(design_, attack, options_, /*validate_design=*/false, workspace_);
+  return workspace_.trace;
 }
 
 }  // namespace sos::core

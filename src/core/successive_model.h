@@ -60,6 +60,30 @@ struct SuccessiveTrace {
   ModelResult result;
 };
 
+namespace detail {
+
+/// Mutable per-layer accumulators across rounds (expected set sizes).
+struct SuccessiveLayerAccum {
+  double attempted = 0.0;            // sum_k h_{i,k}
+  double broken = 0.0;               // sum_k b_{i,k}
+  double unsuccessful_known = 0.0;   // sum_k u^D_{i,k}
+  double disclosed_attempted = 0.0;  // sum_k d^A_{i,k}
+  double leftover = 0.0;             // sum_k f_{i,k} (terminal round only)
+  double pending = 0.0;              // d^N_{i,j-1}: disclosed, to attack next
+};
+
+}  // namespace detail
+
+/// Reusable scratch for SuccessiveModel evaluations: the per-layer
+/// accumulators, the per-layer "bad" buffer of the congestion phase, and the
+/// trace (whose round snapshots are recycled). An attack-grid sweep through
+/// one workspace allocates nothing in steady state.
+struct SuccessiveWorkspace {
+  std::vector<detail::SuccessiveLayerAccum> accum;
+  std::vector<double> bad;
+  SuccessiveTrace trace;
+};
+
 class SuccessiveModel {
  public:
   static ModelResult evaluate(const SosDesign& design,
@@ -77,6 +101,36 @@ class SuccessiveModel {
                           const SuccessiveOptions& options = {}) {
     return evaluate(design, attack, options).p_success();
   }
+};
+
+/// Sweep-friendly evaluator: validates and copies the design once, then
+/// evaluates any number of attacks against it through one reusable
+/// SuccessiveWorkspace. Results are bit-identical to the static
+/// SuccessiveModel entry points (same computation, recycled buffers); the
+/// win is dropping the per-point design.validate() and all per-point
+/// allocations from attack-grid loops (BudgetFrontier, analyze_sensitivity,
+/// the figure benches).
+class SuccessiveEvaluator {
+ public:
+  explicit SuccessiveEvaluator(const SosDesign& design,
+                               SuccessiveOptions options = {});
+
+  double p_success(const SuccessiveAttack& attack) {
+    return trace(attack).result.p_success();
+  }
+
+  /// References into the evaluator's workspace: valid until the next call.
+  const ModelResult& evaluate(const SuccessiveAttack& attack) {
+    return trace(attack).result;
+  }
+  const SuccessiveTrace& trace(const SuccessiveAttack& attack);
+
+  const SosDesign& design() const { return design_; }
+
+ private:
+  SosDesign design_;
+  SuccessiveOptions options_;
+  SuccessiveWorkspace workspace_;
 };
 
 }  // namespace sos::core

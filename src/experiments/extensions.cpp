@@ -37,19 +37,33 @@ Figure ext_nc_sensitivity(const Params& params) {
 
   const std::vector<int> budgets{0, 500, 1000, 2000, 3000, 4000, 6000, 8000};
   std::map<std::string, std::map<int, double>> model_values;
+  detail::AnalyticBatch analytic;
 
   for (const int layers : {3, 5}) {
     for (const auto& mapping :
          {core::MappingPolicy::one_to_two(),
           core::MappingPolicy::one_to_five()}) {
       const auto design = detail::make_design(params, layers, mapping);
+      for (const int budget_c : budgets) {
+        auto attack = detail::default_successive(params);
+        attack.congestion_budget = budget_c;
+        analytic.add(design, attack);
+      }
+    }
+  }
+  analytic.run();
+
+  int point = 0;
+  for (const int layers : {3, 5}) {
+    for (const auto& mapping :
+         {core::MappingPolicy::one_to_two(),
+          core::MappingPolicy::one_to_five()}) {
       common::Series series;
       series.label =
           "L=" + std::to_string(layers) + " " + mapping.label();
       for (const int budget_c : budgets) {
-        auto attack = detail::default_successive(params);
-        attack.congestion_budget = budget_c;
-        const double p = core::SuccessiveModel::p_success(design, attack);
+        const double p = analytic.value(point);
+        ++point;
         series.xs.push_back(budget_c);
         series.ys.push_back(p);
         model_values[series.label][budget_c] = p;
@@ -185,32 +199,61 @@ Figure ext_exact_vs_average(const Params& params) {
   double worst_gap_all = 0.0;
   double worst_gap_one = 0.0;
 
+  // One whole-curve job per design: the exact model's layer DP is budget
+  // independent, so p_success_curve amortizes it over the budget grid, and
+  // the nine designs run concurrently on the shared pool. Results land in
+  // per-design slots, keeping the emitted table order (and values) identical
+  // to the serial per-point loop.
+  struct DesignCurves {
+    int layers = 0;
+    core::MappingPolicy mapping;
+    core::SosDesign design;
+    std::vector<double> exact;
+    std::vector<double> average;
+  };
+  std::vector<DesignCurves> jobs;
   for (const int layers : {1, 3, 8}) {
     for (const auto& mapping :
          {core::MappingPolicy::one_to_one(), core::MappingPolicy::one_to_half(),
           core::MappingPolicy::one_to_all()}) {
-      const auto design = detail::make_design(params, layers, mapping);
-      common::Series exact_series;
-      exact_series.label =
-          "L=" + std::to_string(layers) + " " + mapping.label() + " exact";
-      for (const int budget_c : budgets) {
-        const double exact =
-            core::ExactRandomCongestionModel::p_success(design, budget_c);
-        const double average = core::OneBurstModel::p_success(
-            design, core::OneBurstAttack{0, budget_c, params.p_break});
-        exact_series.xs.push_back(budget_c);
-        exact_series.ys.push_back(exact);
-        const double gap = average - exact;
-        if (mapping.label() == "one-to-all")
-          worst_gap_all = std::max(worst_gap_all, gap);
-        if (mapping.label() == "one-to-one")
-          worst_gap_one = std::max(worst_gap_one, std::fabs(gap));
-        figure.table.add_row({std::to_string(layers), mapping.label(),
-                              std::to_string(budget_c), fmt(exact),
-                              fmt(average), fmt(gap)});
-      }
-      figure.series.push_back(std::move(exact_series));
+      jobs.push_back(DesignCurves{layers, mapping,
+                                  detail::make_design(params, layers, mapping),
+                                  {},
+                                  {}});
     }
+  }
+  common::ThreadPool::shared().parallel_for(
+      static_cast<int>(jobs.size()), 0, [&](int index, int) {
+        DesignCurves& job = jobs[static_cast<std::size_t>(index)];
+        job.exact = core::ExactRandomCongestionModel::p_success_curve(
+            job.design, budgets);
+        job.average.reserve(budgets.size());
+        for (const int budget_c : budgets)
+          job.average.push_back(core::OneBurstModel::p_success(
+              job.design, core::OneBurstAttack{0, budget_c, params.p_break}));
+      });
+
+  for (const DesignCurves& job : jobs) {
+    common::Series exact_series;
+    exact_series.label =
+        "L=" + std::to_string(job.layers) + " " + job.mapping.label() +
+        " exact";
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+      const int budget_c = budgets[i];
+      const double exact = job.exact[i];
+      const double average = job.average[i];
+      exact_series.xs.push_back(budget_c);
+      exact_series.ys.push_back(exact);
+      const double gap = average - exact;
+      if (job.mapping.label() == "one-to-all")
+        worst_gap_all = std::max(worst_gap_all, gap);
+      if (job.mapping.label() == "one-to-one")
+        worst_gap_one = std::max(worst_gap_one, std::fabs(gap));
+      figure.table.add_row({std::to_string(job.layers), job.mapping.label(),
+                            std::to_string(budget_c), fmt(exact),
+                            fmt(average), fmt(gap)});
+    }
+    figure.series.push_back(std::move(exact_series));
   }
 
   figure.checks.push_back(make_check(
@@ -639,21 +682,25 @@ Figure ext_budget_split(const Params& params) {
        detail::make_design(params, 6, core::MappingPolicy::one_to_one())},
   };
 
+  // sweep() is internally parallel (one evaluator per pool worker), so the
+  // designs run serially here; each curve is kept for the checks below
+  // instead of re-sweeping.
   std::map<std::string, double> worst_by_design;
+  std::map<std::string, std::vector<core::BudgetSplit>> curve_by_design;
   for (const auto& entry : designs) {
     common::Series series{entry.label, {}, {}};
-    const auto curve = core::BudgetFrontier::sweep(entry.design, budget, 21);
-    double worst = 2.0;
+    auto curve = core::BudgetFrontier::sweep(entry.design, budget, 21);
+    const double worst = core::BudgetFrontier::worst_case(curve).p_success;
     for (const auto& split : curve) {
       series.xs.push_back(split.fraction);
       series.ys.push_back(split.p_success);
-      worst = std::min(worst, split.p_success);
       figure.table.add_row({entry.label, fmt(split.fraction, 2),
                             std::to_string(split.break_in_budget),
                             std::to_string(split.congestion_budget),
                             fmt(split.p_success)});
     }
     worst_by_design[entry.label] = worst;
+    curve_by_design[entry.label] = std::move(curve);
     figure.series.push_back(std::move(series));
   }
 
@@ -668,8 +715,8 @@ Figure ext_budget_split(const Params& params) {
       "worst-case P_S: original " + fmt(worst_original) + ", balanced " +
           fmt(worst_balanced)));
   {
-    const auto curve = core::BudgetFrontier::sweep(
-        designs[1].design, budget, 21);  // original SOS
+    const auto& curve =
+        curve_by_design.at("L=3 one-to-all (original SOS)");
     figure.checks.push_back(make_check(
         "the original SOS survives the all-congestion split but collapses "
         "once budget moves into break-ins",
@@ -1044,8 +1091,19 @@ Figure ext_mapping_profile(const Params& params) {
   };
 
   std::map<std::string, std::map<int, double>> values;
+  detail::AnalyticBatch analytic;
   for (const auto& profile : profiles) {
     const auto design = make_profiled(profile.degrees);
+    for (const int budget_t : {0, 200, 500, 1000, 2000, 4000}) {
+      auto attack = detail::default_successive(params);
+      attack.break_in_budget = budget_t;
+      analytic.add(design, attack);
+    }
+  }
+  analytic.run();
+
+  int point = 0;
+  for (const auto& profile : profiles) {
     common::Series series{profile.label, {}, {}};
     std::string degree_text;
     for (std::size_t i = 0; i < profile.degrees.size(); ++i) {
@@ -1053,9 +1111,8 @@ Figure ext_mapping_profile(const Params& params) {
       degree_text += std::to_string(profile.degrees[i]);
     }
     for (const int budget_t : {0, 200, 500, 1000, 2000, 4000}) {
-      auto attack = detail::default_successive(params);
-      attack.break_in_budget = budget_t;
-      const double p = core::SuccessiveModel::p_success(design, attack);
+      const double p = analytic.value(point);
+      ++point;
       series.xs.push_back(budget_t);
       series.ys.push_back(p);
       values[profile.label][budget_t] = p;

@@ -24,9 +24,13 @@
 #include "core/design.h"
 #include "sosnet/sos_overlay.h"
 
+namespace sos::common {
+class ThreadPool;
+}  // namespace sos::common
+
 namespace sos::sim {
 
-class ThreadPool;
+using ThreadPool = common::ThreadPool;
 
 struct MonteCarloConfig {
   int trials = 200;          // independent attacked topologies

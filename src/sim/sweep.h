@@ -15,9 +15,13 @@
 #include "sim/monte_carlo.h"
 #include "sim/trial_engine.h"
 
+namespace sos::common {
+class ThreadPool;
+}  // namespace sos::common
+
 namespace sos::sim {
 
-class ThreadPool;
+using ThreadPool = common::ThreadPool;
 
 class SweepRunner {
  public:

@@ -1,65 +1,14 @@
-// A small persistent worker pool for the simulation layer.
-//
-// run_monte_carlo used to spawn-and-join a fresh std::thread set per call,
-// which a figure sweep pays hundreds of times. The pool is created once
-// (usually via ThreadPool::shared()) and every sweep point reuses the same
-// workers. The only primitive is parallel_for: dynamic (atomic-counter)
-// scheduling of [0, count) across the workers, blocking the caller until
-// every index has been processed. Correctness never depends on the
-// scheduling: Monte Carlo trials write into trial-indexed buffers and are
-// reduced in fixed order afterwards, so any interleaving yields bit-identical
-// results.
+// Historical location of ThreadPool. The implementation moved to
+// common/thread_pool.h so the core analytical sweeps (BudgetFrontier,
+// analyze_sensitivity, batch model curves) can share the same process-wide
+// workers without a core -> sim dependency; sim code keeps using the
+// sos::sim::ThreadPool spelling via this alias.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "common/thread_pool.h"
 
 namespace sos::sim {
 
-class ThreadPool {
- public:
-  /// Starts `threads` workers (0 = hardware concurrency, at least 1).
-  explicit ThreadPool(int threads = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  int size() const noexcept { return static_cast<int>(workers_.size()); }
-
-  /// Runs body(index, worker) for every index in [0, count), distributing
-  /// indices dynamically over at most max_workers workers (0 = all).
-  /// `worker` is a stable id in [0, participants) — use it to index
-  /// per-worker state. Blocks until all indices are done. Concurrent
-  /// parallel_for calls from different threads serialize against each other.
-  void parallel_for(int count, int max_workers,
-                    const std::function<void(int index, int worker)>& body);
-
-  /// Process-wide pool sized to the hardware; created on first use. Every
-  /// figure sweep and Monte Carlo run in the process shares these workers.
-  static ThreadPool& shared();
-
- private:
-  void worker_loop(int worker_id);
-
-  std::vector<std::thread> workers_;
-  std::mutex jobs_mutex_;  // serializes concurrent parallel_for callers
-
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int, int)>* body_ = nullptr;
-  std::atomic<int> next_index_{0};
-  int count_ = 0;
-  int participants_ = 0;
-  int running_ = 0;          // participants still inside the current job
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
-};
+using ThreadPool = common::ThreadPool;
 
 }  // namespace sos::sim

@@ -98,5 +98,40 @@ TEST(NodeDistribution, ParseAndLabels) {
   EXPECT_THROW(NodeDistribution::parse("sideways"), std::invalid_argument);
 }
 
+TEST(NodeDistribution, ParseCoversEveryKind) {
+  EXPECT_EQ(NodeDistribution::parse(" even ").label(), "even");
+  EXPECT_EQ(NodeDistribution::parse("custom:1,1,2").label(), "custom");
+  EXPECT_EQ(NodeDistribution::parse("custom:1, 1, 2").layer_sizes(40, 3),
+            (std::vector<int>{10, 10, 20}));
+}
+
+TEST(NodeDistribution, ParseErrorListsAcceptedPolicies) {
+  try {
+    NodeDistribution::parse("sideways");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("sideways"), std::string::npos) << what;
+    for (const char* policy :
+         {"even", "increasing", "decreasing", "custom:w1,w2,..."})
+      EXPECT_NE(what.find(policy), std::string::npos) << what;
+  }
+}
+
+TEST(NodeDistribution, ParseRejectsBadCustomWeights) {
+  try {
+    NodeDistribution::parse("custom:1,frog,2");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("frog"), std::string::npos) << what;
+  }
+  // Trailing garbage after a valid prefix is rejected, not truncated.
+  EXPECT_THROW(NodeDistribution::parse("custom:1,2x"), std::invalid_argument);
+  // Weight validation still applies through parse.
+  EXPECT_THROW(NodeDistribution::parse("custom:1,-2"), std::invalid_argument);
+  EXPECT_THROW(NodeDistribution::parse("custom:"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sos::core
