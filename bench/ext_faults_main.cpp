@@ -1,0 +1,10 @@
+// Regenerates ext_fault_tolerance (see DESIGN.md experiment index).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return sos::bench::run_figure_bench(
+      argc, argv, /*default_mc_trials=*/0,
+      [](const sos::experiments::Params& params) {
+        return sos::experiments::ext_fault_tolerance(params);
+      });
+}

@@ -15,6 +15,7 @@
 #include "overlay/chord.h"
 #include "sim/monte_carlo.h"
 #include "sim/sweep.h"
+#include "sosnet/protocol.h"
 #include "sosnet/sos_overlay.h"
 #include "sosnet/topology.h"
 
@@ -318,6 +319,29 @@ void BM_RoutingWalkSized(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RoutingWalkSized)->Arg(1000)->Arg(10000);
+
+// Protocol delivery with the fault machinery off (Arg 0) and on (Arg 1,
+// per-leg loss + jitter with retransmission). The pair bounds what the
+// benign-fault extension costs on the protocol hot path; Arg 0 must stay
+// at the pre-fault baseline since the gated draws add no work at zero
+// rates.
+void BM_ProtocolDeliver(benchmark::State& state) {
+  const auto design = bench_design(3);
+  sosnet::SosOverlay overlay{design, 7};
+  sosnet::ProtocolConfig config;
+  if (state.range(0) == 1) {
+    config.faults.loss = 0.1;
+    config.faults.jitter = 0.25;
+  }
+  const sosnet::ProtocolRouter router{overlay, config};
+  common::Rng rng{11};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.deliver(rng));
+  }
+  state.counters["deliveries/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ProtocolDeliver)->Arg(0)->Arg(1);
 
 void BM_ChordRingBuild(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));

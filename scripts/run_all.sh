@@ -4,11 +4,31 @@
 #   scripts/run_all.sh [build-dir] [results-dir] [extra bench flags...]
 #
 # Example: scripts/run_all.sh build results --mc-trials=60
+#
+# Pass --asan-build=DIR (anywhere in the extra flags) to additionally run
+# the ASan-labelled fault-subsystem tests from an address-sanitized build
+# tree (cmake -B DIR -DSOS_SANITIZE=address && cmake --build DIR) via
+# `ctest -L asan` before the figure sweep.
 set -euo pipefail
 
 build_dir="${1:-build}"
 results_dir="${2:-results}"
 shift $(( $# >= 2 ? 2 : $# )) || true
+
+asan_build=""
+filtered=()
+for arg in "$@"; do
+  case "$arg" in
+    --asan-build=*) asan_build="${arg#--asan-build=}" ;;
+    *) filtered+=("$arg") ;;
+  esac
+done
+set -- ${filtered+"${filtered[@]}"}
+
+if [[ -n "$asan_build" ]]; then
+  echo "== asan-labelled fault tests ($asan_build)"
+  ctest --test-dir "$asan_build" -L asan --output-on-failure
+fi
 
 if [[ ! -d "$build_dir/bench" ]]; then
   echo "error: $build_dir/bench not found; build first:" >&2

@@ -1,0 +1,100 @@
+#include "core/degraded_substrate.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/mathx.h"
+#include "core/one_burst_model.h"
+#include "core/successive_model.h"
+
+namespace sos::core {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& field, double value,
+                         const std::string& accepted) {
+  throw std::invalid_argument("SubstrateFaults: bad " + field + " '" +
+                              std::to_string(value) +
+                              "' (accepted: " + accepted + ")");
+}
+
+std::vector<double> bad_from(const ModelResult& result) {
+  std::vector<double> bad;
+  bad.reserve(result.layers.size());
+  for (const auto& layer : result.layers) bad.push_back(layer.bad());
+  return bad;
+}
+
+}  // namespace
+
+void SubstrateFaults::validate() const {
+  if (node_up < 0.0 || node_up > 1.0)
+    reject("node_up", node_up, "a probability in [0, 1]");
+  if (filter_up < 0.0 || filter_up > 1.0)
+    reject("filter_up", filter_up, "a probability in [0, 1]");
+  if (hop_delivery < 0.0 || hop_delivery > 1.0)
+    reject("hop_delivery", hop_delivery, "a probability in [0, 1]");
+}
+
+double delivery_after_retries(double loss, int max_retries) {
+  if (loss < 0.0 || loss >= 1.0)
+    throw std::invalid_argument(
+        "delivery_after_retries: bad loss '" + std::to_string(loss) +
+        "' (accepted: a drop probability in [0, 1))");
+  if (max_retries < 0)
+    throw std::invalid_argument(
+        "delivery_after_retries: bad max_retries '" +
+        std::to_string(max_retries) +
+        "' (accepted: 0 or any positive count)");
+  if (loss == 0.0) return 1.0;
+  return 1.0 - std::pow(loss, static_cast<double>(max_retries + 1));
+}
+
+PathProbability DegradedSubstrateModel::path(
+    const SosDesign& design, const std::vector<double>& bad_per_layer,
+    const SubstrateFaults& faults) {
+  faults.validate();
+  const int hops = design.layers() + 1;
+  if (static_cast<int>(bad_per_layer.size()) != hops)
+    throw std::invalid_argument(
+        "DegradedSubstrateModel::path: expected L+1 bad-node entries");
+
+  PathProbability out;
+  out.per_hop.reserve(static_cast<std::size_t>(hops));
+  for (int i = 1; i <= hops; ++i) {
+    const auto size = static_cast<double>(design.layer_size(i));
+    double bad = common::clamp_to(
+        bad_per_layer[static_cast<std::size_t>(i - 1)], 0.0, size);
+    // Fold independent benign downtime into the expected unusable count;
+    // the fold adds exactly 0.0 at up = 1, keeping the ideal substrate
+    // bit-identical to path_probability.
+    const double up = i == hops ? faults.filter_up : faults.node_up;
+    bad = common::clamp_to(bad + (1.0 - up) * (size - bad), 0.0, size);
+    const int degree = design.degree_into(i);
+    const double p_blocked = common::prob_all_in_subset(size, bad, degree);
+    const double p_hop =
+        common::clamp01(common::clamp01(1.0 - p_blocked) *
+                        faults.hop_delivery);
+    out.per_hop.push_back(p_hop);
+    out.success *= p_hop;
+  }
+  out.success = common::clamp01(out.success);
+  return out;
+}
+
+double DegradedSubstrateModel::one_burst(const SosDesign& design,
+                                         const OneBurstAttack& attack,
+                                         const SubstrateFaults& faults) {
+  const ModelResult result = OneBurstModel::evaluate(design, attack);
+  return path(design, bad_from(result), faults).success;
+}
+
+double DegradedSubstrateModel::successive(const SosDesign& design,
+                                          const SuccessiveAttack& attack,
+                                          const SubstrateFaults& faults) {
+  const ModelResult result = SuccessiveModel::evaluate(design, attack);
+  return path(design, bad_from(result), faults).success;
+}
+
+}  // namespace sos::core

@@ -1,0 +1,71 @@
+// Eq. (1) on an imperfect substrate: benign faults folded into the path
+// product.
+//
+// The paper's P_S assumes every node the attacker spared is up and every
+// hop delivers. The benign-fault extension relaxes both, in the same
+// average-case (mean-plugging) style as the rest of Section 3:
+//
+//  - each overlay node is independently up with probability q = node_up
+//    (the steady state of an MTBF/MTTR crash/repair process,
+//    FaultConfig::steady_state_node_up). The expected number of *unusable*
+//    nodes in a layer of size n_i with bad_i attacker-bad nodes becomes
+//        bad_i' = bad_i + (1 - q) * (n_i - bad_i)
+//    (crashes hit attacker-bad nodes too, but those are already unusable),
+//    and the per-hop blocking probability is P(n_i, bad_i', m_i);
+//  - each filter is up with probability filter_up (flap steady state),
+//    folded the same way into the filter hop;
+//  - each hop's request survives the link with probability hop_delivery
+//    (after bounded retransmission: delivery_after_retries), multiplying
+//    every per-hop forwarding probability.
+//
+// With node_up = filter_up = hop_delivery = 1 every fold is an exact
+// floating-point identity (adding 0.0, multiplying by 1.0), so the ideal
+// substrate reproduces core::path_probability bit for bit — the analytic
+// twin of the simulator's zero-fault guarantee.
+#pragma once
+
+#include <vector>
+
+#include "core/attack_config.h"
+#include "core/design.h"
+#include "core/path_probability.h"
+
+namespace sos::core {
+
+struct SubstrateFaults {
+  double node_up = 1.0;       // steady-state per-node up probability
+  double filter_up = 1.0;     // steady-state per-filter up probability
+  double hop_delivery = 1.0;  // per-hop request survival after retries
+
+  bool ideal() const noexcept {
+    return node_up == 1.0 && filter_up == 1.0 && hop_delivery == 1.0;
+  }
+
+  /// Throws std::invalid_argument naming the offending field and the
+  /// accepted values (mirrors NodeDistribution::parse error style).
+  void validate() const;
+};
+
+/// Probability one hop's request gets through at least once within the
+/// retransmission budget: 1 - loss^(max_retries + 1).
+double delivery_after_retries(double loss, int max_retries);
+
+class DegradedSubstrateModel {
+ public:
+  /// Eq. (1) with `faults` folded in. `bad_per_layer` has L+1 entries
+  /// (layers 1..L then filters), exactly as core::path_probability takes.
+  static PathProbability path(const SosDesign& design,
+                              const std::vector<double>& bad_per_layer,
+                              const SubstrateFaults& faults);
+
+  /// One-burst footprint (Eqs. 2-9) re-scored on the degraded substrate.
+  static double one_burst(const SosDesign& design, const OneBurstAttack& attack,
+                          const SubstrateFaults& faults);
+
+  /// Successive footprint (Eqs. 10-27) re-scored on the degraded substrate.
+  static double successive(const SosDesign& design,
+                           const SuccessiveAttack& attack,
+                           const SubstrateFaults& faults);
+};
+
+}  // namespace sos::core

@@ -48,5 +48,6 @@ Figure ext_protocol_semantics(const Params& params);
 Figure ext_attack_timeline(const Params& params);
 Figure ext_hardening_placement(const Params& params);
 Figure ext_mapping_profile(const Params& params);
+Figure ext_fault_tolerance(const Params& params);
 
 }  // namespace sos::experiments

@@ -1,0 +1,45 @@
+#include "faults/fault_config.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sos::faults {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& field, double value,
+                         const std::string& accepted) {
+  throw std::invalid_argument("FaultConfig: bad " + field + " '" +
+                              std::to_string(value) +
+                              "' (accepted: " + accepted + ")");
+}
+
+}  // namespace
+
+double FaultConfig::steady_state_node_up() const noexcept {
+  if (!node_churn_enabled()) return 1.0;
+  return node_mtbf / (node_mtbf + node_mttr);
+}
+
+double FaultConfig::steady_state_filter_up() const noexcept {
+  if (!filter_flaps_enabled()) return 1.0;
+  return filter_flap_mtbf / (filter_flap_mtbf + filter_flap_mttr);
+}
+
+void FaultConfig::validate() const {
+  if (node_mtbf < 0.0)
+    reject("node_mtbf", node_mtbf, "0 to disable, or any positive mean");
+  if (node_churn_enabled() && node_mttr <= 0.0)
+    reject("node_mttr", node_mttr,
+           "a positive mean whenever node_mtbf > 0");
+  if (filter_flap_mtbf < 0.0)
+    reject("filter_flap_mtbf", filter_flap_mtbf,
+           "0 to disable, or any positive mean");
+  if (filter_flaps_enabled() && filter_flap_mttr <= 0.0)
+    reject("filter_flap_mttr", filter_flap_mttr,
+           "a positive mean whenever filter_flap_mtbf > 0");
+  if (lossy_fraction < 0.0 || lossy_fraction > 1.0)
+    reject("lossy_fraction", lossy_fraction, "a fraction in [0, 1]");
+}
+
+}  // namespace sos::faults

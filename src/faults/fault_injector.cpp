@@ -1,0 +1,93 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+
+namespace sos::faults {
+
+FaultInjector::FaultInjector(sosnet::SosOverlay& overlay, const FaultPlan& plan)
+    : overlay_(overlay), plan_(plan) {
+  if (!plan.lossy_nodes.empty()) {
+    lossy_mask_.assign(
+        static_cast<std::size_t>(overlay.network().size()), 0);
+    for (const int node : plan.lossy_nodes)
+      lossy_mask_.at(static_cast<std::size_t>(node)) = 1;
+  }
+}
+
+void FaultInjector::prime() {
+  auto& substrate = overlay_.substrate();
+  for (const int node : plan_.lossy_nodes)
+    substrate.set_node(node, sosnet::SubstrateState::kLossy);
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  auto& substrate = overlay_.substrate();
+  switch (event.kind) {
+    case FaultEventKind::kNodeCrash:
+      substrate.set_node(event.index, sosnet::SubstrateState::kCrashed);
+      break;
+    case FaultEventKind::kNodeRecover: {
+      const bool lossy =
+          !lossy_mask_.empty() &&
+          lossy_mask_[static_cast<std::size_t>(event.index)] != 0;
+      substrate.set_node(event.index, lossy ? sosnet::SubstrateState::kLossy
+                                            : sosnet::SubstrateState::kUp);
+      break;
+    }
+    case FaultEventKind::kFilterDown:
+      substrate.set_filter_flapped(event.index, true);
+      break;
+    case FaultEventKind::kFilterUp:
+      substrate.set_filter_flapped(event.index, false);
+      break;
+  }
+  ++applied_;
+}
+
+void FaultInjector::advance_to(double time) {
+  while (next_ < plan_.events.size() && plan_.events[next_].time <= time) {
+    apply(plan_.events[next_]);
+    ++next_;
+  }
+}
+
+void FaultInjector::apply_pending(std::size_t index) {
+  // An armed callback fires exactly once per event, but a manual
+  // advance_to may already have consumed it; the cursor arbitrates.
+  if (index != next_) return;
+  apply(plan_.events[index]);
+  ++next_;
+}
+
+void FaultInjector::arm(overlay::EventQueue& queue) {
+  for (std::size_t index = next_; index < plan_.events.size(); ++index) {
+    const double when = std::max(plan_.events[index].time, queue.now());
+    queue.schedule(when, [this, index] { apply_pending(index); });
+  }
+}
+
+void apply_steady_state_faults(const FaultConfig& config,
+                               sosnet::SosOverlay& overlay, common::Rng& rng) {
+  config.validate();
+  auto& substrate = overlay.substrate();
+  const double node_down = 1.0 - config.steady_state_node_up();
+  if (node_down > 0.0) {
+    for (int node = 0; node < overlay.network().size(); ++node)
+      if (rng.bernoulli(node_down))
+        substrate.set_node(node, sosnet::SubstrateState::kCrashed);
+  }
+  const double filter_down = 1.0 - config.steady_state_filter_up();
+  if (filter_down > 0.0) {
+    for (int filter = 0; filter < overlay.filter_count(); ++filter)
+      if (rng.bernoulli(filter_down))
+        substrate.set_filter_flapped(filter, true);
+  }
+  if (config.lossy_fraction > 0.0) {
+    for (int node = 0; node < overlay.network().size(); ++node)
+      if (!substrate.node_crashed(node) &&
+          rng.bernoulli(config.lossy_fraction))
+        substrate.set_node(node, sosnet::SubstrateState::kLossy);
+  }
+}
+
+}  // namespace sos::faults

@@ -1,0 +1,96 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace sos::faults {
+
+namespace {
+
+// Substream tags: each node/filter/the lossy draw gets an Rng derived from
+// the config seed and its own identity, never from position in a loop.
+constexpr std::uint64_t kNodeTag = 0x6e6f64655f75700aull;
+constexpr std::uint64_t kFilterTag = 0x66696c7465720a0aull;
+constexpr std::uint64_t kLossyTag = 0x6c6f7373790a0a0aull;
+
+/// Exponential draw with the given mean. next_double() < 1, so the argument
+/// of log1p stays in (-1, 0] and the draw is finite and >= 0.
+double exponential(common::Rng& rng, double mean) {
+  return -mean * std::log1p(-rng.next_double());
+}
+
+/// Appends alternating down/up events for one entity: up for ~Exp(mtbf),
+/// down for ~Exp(mttr), repeating until the horizon.
+void draw_alternating(std::vector<FaultEvent>& events, common::Rng rng,
+                      double mtbf, double mttr, double horizon, int index,
+                      FaultEventKind down_kind, FaultEventKind up_kind) {
+  double t = 0.0;
+  for (;;) {
+    t += exponential(rng, mtbf);
+    if (t > horizon) return;
+    events.push_back(FaultEvent{t, down_kind, index});
+    t += exponential(rng, mttr);
+    if (t > horizon) return;
+    events.push_back(FaultEvent{t, up_kind, index});
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::generate(int node_count, int filter_count,
+                              const FaultConfig& config, double horizon) {
+  config.validate();
+  if (node_count < 0 || filter_count < 0)
+    throw std::invalid_argument("FaultPlan::generate: negative entity count");
+  if (horizon < 0.0)
+    throw std::invalid_argument("FaultPlan::generate: negative horizon");
+
+  FaultPlan plan;
+  if (!config.enabled() || horizon == 0.0) return plan;
+
+  if (config.node_churn_enabled()) {
+    for (int node = 0; node < node_count; ++node) {
+      common::Rng rng{config.seed ^
+                      common::mix64(kNodeTag + static_cast<std::uint64_t>(node))};
+      draw_alternating(plan.events, rng, config.node_mtbf, config.node_mttr,
+                       horizon, node, FaultEventKind::kNodeCrash,
+                       FaultEventKind::kNodeRecover);
+    }
+  }
+  if (config.filter_flaps_enabled()) {
+    for (int filter = 0; filter < filter_count; ++filter) {
+      common::Rng rng{config.seed ^ common::mix64(kFilterTag +
+                                                  static_cast<std::uint64_t>(
+                                                      filter))};
+      draw_alternating(plan.events, rng, config.filter_flap_mtbf,
+                       config.filter_flap_mttr, horizon, filter,
+                       FaultEventKind::kFilterDown, FaultEventKind::kFilterUp);
+    }
+  }
+  if (config.lossy_fraction > 0.0 && node_count > 0) {
+    const auto k = static_cast<std::uint64_t>(
+        std::llround(config.lossy_fraction * node_count));
+    if (k > 0) {
+      common::Rng rng{config.seed ^ common::mix64(kLossyTag)};
+      const auto draws = rng.sample_without_replacement(
+          static_cast<std::uint64_t>(node_count), k);
+      plan.lossy_nodes.reserve(draws.size());
+      for (const std::uint64_t node : draws)
+        plan.lossy_nodes.push_back(static_cast<int>(node));
+      std::sort(plan.lossy_nodes.begin(), plan.lossy_nodes.end());
+    }
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.time, a.kind, a.index) <
+                     std::tie(b.time, b.kind, b.index);
+            });
+  return plan;
+}
+
+}  // namespace sos::faults

@@ -1,0 +1,52 @@
+// Deterministic benign-event schedules.
+//
+// A FaultPlan is the fully materialized timeline of every benign event that
+// will happen during a run: per-node crash/recover pairs drawn from
+// alternating exponential up/down durations (MTBF/MTTR), per-filter
+// down/up flap pairs, and the once-per-plan set of persistently lossy nodes.
+// Generation is a pure function of (node_count, filter_count, config,
+// horizon): every node and filter owns an independent substream derived from
+// FaultConfig::seed alone, so plans are reproducible, insensitive to
+// iteration order, and — crucially — never touch any attack or Monte Carlo
+// RNG stream. A disabled config produces an empty plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_config.h"
+
+namespace sos::faults {
+
+enum class FaultEventKind : std::uint8_t {
+  kNodeCrash = 0,
+  kNodeRecover = 1,
+  kFilterDown = 2,
+  kFilterUp = 3,
+};
+
+/// One scheduled benign event. `index` is an overlay-node index for the
+/// node kinds and a filter index for the filter kinds.
+struct FaultEvent {
+  double time = 0.0;
+  FaultEventKind kind = FaultEventKind::kNodeCrash;
+  int index = 0;
+};
+
+struct FaultPlan {
+  /// Events sorted by (time, kind, index) — a strict total order, so two
+  /// plans from the same inputs compare equal element by element.
+  std::vector<FaultEvent> events;
+  /// Nodes marked persistently lossy for the whole run (sorted, distinct).
+  std::vector<int> lossy_nodes;
+
+  bool empty() const noexcept { return events.empty() && lossy_nodes.empty(); }
+
+  /// Draws the schedule for `horizon` time units. Validates `config`.
+  /// Every node starts up and every filter starts clean at t = 0; the first
+  /// crash/flap of each is one exponential up-duration in.
+  static FaultPlan generate(int node_count, int filter_count,
+                            const FaultConfig& config, double horizon);
+};
+
+}  // namespace sos::faults

@@ -1,13 +1,21 @@
 #include "overlay/event_queue.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace sos::overlay {
 
 void EventQueue::schedule(double when, Callback callback) {
-  if (when < now_)
-    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  if (when < now_) {
+    if (overdue_policy_ == OverduePolicy::kReject)
+      throw std::invalid_argument(
+          "EventQueue: cannot schedule at t=" + std::to_string(when) +
+          " before now()=" + std::to_string(now_) +
+          " (policy kReject; set OverduePolicy::kClamp to run overdue "
+          "events at now())");
+    when = now_;
+  }
   if (!callback) throw std::invalid_argument("EventQueue: empty callback");
   events_.push(Event{when, next_sequence_++, std::move(callback)});
 }

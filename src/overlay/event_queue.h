@@ -13,11 +13,23 @@
 
 namespace sos::overlay {
 
+/// What schedule() does with a `when` that is already in the past.
+enum class OverduePolicy {
+  /// Reject: throw std::invalid_argument (the default — scheduling into
+  /// the past is almost always a logic error worth failing loudly on).
+  kReject,
+  /// Clamp: run the event at now(), after everything already queued for
+  /// now(). Useful when event times come from an external schedule (e.g. a
+  /// fault plan armed onto a queue that has already advanced).
+  kClamp,
+};
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `callback` at absolute time `when` (must be >= now()).
+  /// Schedules `callback` at absolute time `when`. `when` must be >= now();
+  /// an overdue `when` is handled per the queue's OverduePolicy.
   void schedule(double when, Callback callback);
 
   /// Schedules relative to the current time.
@@ -28,6 +40,11 @@ class EventQueue {
   double now() const noexcept { return now_; }
   bool empty() const noexcept { return events_.empty(); }
   std::size_t pending() const noexcept { return events_.size(); }
+
+  OverduePolicy overdue_policy() const noexcept { return overdue_policy_; }
+  void set_overdue_policy(OverduePolicy policy) noexcept {
+    overdue_policy_ = policy;
+  }
 
   /// Runs the next event; returns false when the queue is empty.
   bool step();
@@ -54,6 +71,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   std::uint64_t next_sequence_ = 0;
   double now_ = 0.0;
+  OverduePolicy overdue_policy_ = OverduePolicy::kReject;
 };
 
 }  // namespace sos::overlay

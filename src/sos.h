@@ -14,6 +14,7 @@
 //   overlay - Chord (static + dynamic), node population, event queue
 //   core    - the paper's models and design-space analysis
 //   sosnet  - a concrete SOS overlay + routing/protocol simulation
+//   faults  - benign-fault plans/injection (crashes, loss, filter flaps)
 //   attack  - attacker implementations
 //   sim     - Monte Carlo, repair/migration/timeline dynamics
 #pragma once
@@ -35,6 +36,7 @@
 
 #include "core/attack_config.h"
 #include "core/budget_frontier.h"
+#include "core/degraded_substrate.h"
 #include "core/design.h"
 #include "core/distribution.h"
 #include "core/exact_models.h"
@@ -46,9 +48,14 @@
 #include "core/sensitivity.h"
 #include "core/successive_model.h"
 
+#include "sosnet/health_state.h"
 #include "sosnet/protocol.h"
 #include "sosnet/sos_overlay.h"
 #include "sosnet/topology.h"
+
+#include "faults/fault_config.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 
 #include "attack/attack_outcome.h"
 #include "attack/knowledge.h"

@@ -1,0 +1,42 @@
+#include "sosnet/health_state.h"
+
+#include <algorithm>
+
+namespace sos::sosnet {
+
+HealthState::HealthState(int node_count, int filter_count) {
+  resize(node_count, filter_count);
+}
+
+void HealthState::resize(int node_count, int filter_count) {
+  nodes_.assign(static_cast<std::size_t>(node_count), SubstrateState::kUp);
+  filters_down_.assign(static_cast<std::size_t>(filter_count), 0);
+  crashed_ = lossy_ = flapped_ = 0;
+}
+
+void HealthState::reset() {
+  std::fill(nodes_.begin(), nodes_.end(), SubstrateState::kUp);
+  std::fill(filters_down_.begin(), filters_down_.end(),
+            static_cast<std::uint8_t>(0));
+  crashed_ = lossy_ = flapped_ = 0;
+}
+
+void HealthState::set_node(int index, SubstrateState state) {
+  auto& slot = nodes_.at(static_cast<std::size_t>(index));
+  if (slot == state) return;
+  if (slot == SubstrateState::kCrashed) --crashed_;
+  if (slot == SubstrateState::kLossy) --lossy_;
+  slot = state;
+  if (state == SubstrateState::kCrashed) ++crashed_;
+  if (state == SubstrateState::kLossy) ++lossy_;
+}
+
+void HealthState::set_filter_flapped(int index, bool down) {
+  auto& slot = filters_down_.at(static_cast<std::size_t>(index));
+  const bool was = slot != 0;
+  if (was == down) return;
+  slot = down ? 1 : 0;
+  flapped_ += down ? 1 : -1;
+}
+
+}  // namespace sos::sosnet

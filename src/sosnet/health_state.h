@@ -1,0 +1,75 @@
+// Benign substrate health, orthogonal to the attack state.
+//
+// overlay::NodeHealth records what the *attacker* did (broken-in,
+// congested); this layer records what the *environment* did: a node can be
+// crashed (down, does not route) or lossy (up, routes, but its message legs
+// drop packets in the protocol simulation), and a filter can be flapped
+// (rule-push glitch: temporarily blocks traffic like congestion does).
+// Keeping the two axes separate means recovery is trivial and correct — a
+// crashed-while-congested node that reboots is congested again, not
+// laundered clean — and the fault-free fast path stays free: a
+// default-initialized HealthState answers every query with "up" from a
+// pre-sized buffer, no RNG, no allocation.
+//
+// Counts are maintained on write so any_degraded() is O(1); the routing hot
+// path reads per-node bytes directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sos::sosnet {
+
+enum class SubstrateState : std::uint8_t {
+  kUp = 0,
+  kLossy = 1,
+  kCrashed = 2,
+};
+
+class HealthState {
+ public:
+  HealthState() = default;
+  HealthState(int node_count, int filter_count);
+
+  /// Re-sizes the buffers (allocates); everything starts up.
+  void resize(int node_count, int filter_count);
+  /// Restores every node and filter to up, reusing the buffers.
+  void reset();
+
+  int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+  int filter_count() const noexcept {
+    return static_cast<int>(filters_down_.size());
+  }
+
+  SubstrateState node(int index) const {
+    return nodes_[static_cast<std::size_t>(index)];
+  }
+  void set_node(int index, SubstrateState state);
+  bool node_crashed(int index) const {
+    return node(index) == SubstrateState::kCrashed;
+  }
+  bool node_lossy(int index) const {
+    return node(index) == SubstrateState::kLossy;
+  }
+
+  bool filter_flapped(int index) const {
+    return filters_down_[static_cast<std::size_t>(index)] != 0;
+  }
+  void set_filter_flapped(int index, bool down);
+
+  int crashed_count() const noexcept { return crashed_; }
+  int lossy_count() const noexcept { return lossy_; }
+  int flapped_filter_count() const noexcept { return flapped_; }
+  bool any_degraded() const noexcept {
+    return crashed_ + lossy_ + flapped_ > 0;
+  }
+
+ private:
+  std::vector<SubstrateState> nodes_;
+  std::vector<std::uint8_t> filters_down_;
+  int crashed_ = 0;
+  int lossy_ = 0;
+  int flapped_ = 0;
+};
+
+}  // namespace sos::sosnet

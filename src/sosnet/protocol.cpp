@@ -1,40 +1,108 @@
 #include "sosnet/protocol.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace sos::sosnet {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& owner, const std::string& field,
+                         double value, const std::string& accepted) {
+  throw std::invalid_argument(owner + ": bad " + field + " '" +
+                              std::to_string(value) +
+                              "' (accepted: " + accepted + ")");
+}
+
+}  // namespace
+
+void ProtocolFaults::validate() const {
+  if (loss < 0.0 || loss >= 1.0)
+    reject("ProtocolFaults", "loss", loss,
+           "a drop probability in [0, 1)");
+  if (lossy_extra < 0.0 || lossy_extra > 1.0)
+    reject("ProtocolFaults", "lossy_extra", lossy_extra,
+           "an added drop probability in [0, 1]");
+  if (jitter < 0.0)
+    reject("ProtocolFaults", "jitter", jitter,
+           "0 to disable, or any positive max delay");
+  if (max_retries < 0)
+    reject("ProtocolFaults", "max_retries", max_retries,
+           "0 (no retransmission) or any positive count");
+  if (backoff < 1.0)
+    reject("ProtocolFaults", "backoff", backoff,
+           "a timeout multiplier >= 1");
+}
+
+void ProtocolConfig::validate() const {
+  if (hop_delay < 0.0)
+    reject("ProtocolConfig", "hop_delay", hop_delay,
+           "any non-negative delay");
+  if (timeout <= 0.0)
+    reject("ProtocolConfig", "timeout", timeout, "any positive duration");
+  faults.validate();
+}
+
+bool ProtocolRouter::reach_candidate(double leg_loss, bool responsive,
+                                     common::Rng& rng, Attempt& attempt,
+                                     DeliveryOutcome& outcome) const {
+  // The retransmission schedule only exists when links can drop requests:
+  // with loss = 0 a silent candidate is deterministically dead and the
+  // sender moves on after one timeout, exactly the pre-fault protocol.
+  const bool lossy_link = config_.faults.loss > 0.0;
+  const int tries = lossy_link ? config_.faults.max_retries + 1 : 1;
+  double wait = config_.timeout;
+  for (int send = 0; send < tries; ++send) {
+    ++outcome.messages;
+    if (send > 0) ++outcome.retransmissions;
+    const bool lost = lossy_link && rng.bernoulli(leg_loss);
+    if (lost) ++outcome.lost_messages;
+    if (!lost && responsive) return true;
+    attempt.elapsed += wait;
+    ++outcome.timeouts;
+    wait *= config_.faults.backoff;
+  }
+  return false;
+}
 
 ProtocolRouter::Attempt ProtocolRouter::attempt_from(
     int layer, std::span<const int> candidates, common::Rng& rng,
     DeliveryOutcome& outcome) const {
   Attempt attempt;
   const int layers = overlay_.design().layers();
+  const ProtocolFaults& faults = config_.faults;
   std::vector<int> order(candidates.begin(), candidates.end());
   rng.shuffle(order);
 
   for (const int candidate : order) {
-    ++outcome.messages;
     if (layer == layers) {
       // Final hop: candidates are filter indices guarding the target.
-      if (overlay_.filter_congested(candidate)) {
-        attempt.elapsed += config_.timeout;
-        ++outcome.timeouts;
+      const bool open = !overlay_.filter_blocked(candidate);
+      if (!reach_candidate(faults.loss, open, rng, attempt, outcome))
         continue;
-      }
-      attempt.elapsed += 2.0 * config_.hop_delay;  // deliver + ACK
+      double roundtrip = 2.0 * config_.hop_delay;  // deliver + ACK
+      if (faults.jitter > 0.0) roundtrip += faults.jitter * rng.next_double();
+      attempt.elapsed += roundtrip;
       attempt.ok = true;
       return attempt;
     }
 
-    if (!overlay_.network().is_good(candidate)) {
-      // Congested or captured: silence, then the retransmission timer.
-      attempt.elapsed += config_.timeout;
-      ++outcome.timeouts;
+    // Congested, captured or crashed: silence. Lossy receivers answer, but
+    // their request leg drops more often.
+    const bool responsive = overlay_.node_usable(candidate);
+    double leg_loss = faults.loss;
+    if (leg_loss > 0.0 && overlay_.substrate().node_lossy(candidate))
+      leg_loss = std::min(1.0, leg_loss + faults.lossy_extra);
+    if (!reach_candidate(leg_loss, responsive, rng, attempt, outcome))
       continue;
-    }
 
     const Attempt sub = attempt_from(
         layer + 1, overlay_.topology().neighbors(candidate), rng, outcome);
-    attempt.elapsed +=
+    double roundtrip =
         config_.hop_delay + sub.elapsed + config_.hop_delay;  // fwd + reply
+    if (faults.jitter > 0.0) roundtrip += faults.jitter * rng.next_double();
+    attempt.elapsed += roundtrip;
     if (sub.ok) {
       attempt.ok = true;
       return attempt;

@@ -14,6 +14,18 @@
 // Latency model: a forwarded message costs `hop_delay`; an ACK/NACK reply
 // costs `hop_delay` back; a silent neighbor costs a full `timeout` before
 // the sender moves on. Units are abstract (one overlay hop = 1 by default).
+//
+// Benign link faults (ProtocolFaults): with `loss` > 0 each request leg is
+// independently dropped with probability loss (+ `lossy_extra` when the
+// receiving overlay node is substrate-lossy); the sender cannot tell a lost
+// message from a dead peer, so it retransmits the same candidate up to
+// `max_retries` times with exponential timeout backoff (timeout, then
+// timeout * backoff, ...) before failing over. `jitter` adds a uniform
+// [0, jitter) delay to each successful round trip. ACK/NACK replies are
+// modeled as reliable (piggybacked retransmission of replies is folded into
+// the request-leg loss rate). All fault machinery is gated: with loss and
+// jitter at 0 the router consumes exactly the RNG stream and produces
+// exactly the outcomes it did before faults existed — bit-for-bit.
 #pragma once
 
 #include <span>
@@ -23,6 +35,20 @@
 
 namespace sos::sosnet {
 
+struct ProtocolFaults {
+  double loss = 0.0;         // per-request-leg drop probability
+  double lossy_extra = 0.0;  // added loss toward substrate-lossy receivers
+  double jitter = 0.0;       // max uniform extra delay per successful hop
+  int max_retries = 2;       // retransmissions per candidate (loss > 0 only)
+  double backoff = 2.0;      // timeout multiplier per retransmission
+
+  bool active() const noexcept { return loss > 0.0 || jitter > 0.0; }
+
+  /// Throws std::invalid_argument naming the offending field and the
+  /// accepted values (mirrors NodeDistribution::parse error style).
+  void validate() const;
+};
+
 struct ProtocolConfig {
   double hop_delay = 1.0;
   double timeout = 4.0;
@@ -30,19 +56,28 @@ struct ProtocolConfig {
   /// false = the paper's semantics: commit to the first responsive
   ///         neighbor, fail if its subtree fails.
   bool backtrack = true;
+  ProtocolFaults faults;
+
+  /// Validates hop_delay/timeout and the nested faults; same error style.
+  void validate() const;
 };
 
 struct DeliveryOutcome {
   bool delivered = false;
   double latency = 0.0;  // time until the client learns the outcome
   int messages = 0;      // REQUESTs sent (ACK/NACK replies not counted)
-  int timeouts = 0;      // silent-neighbor timer expirations
+  int timeouts = 0;      // retransmission-timer expirations
+  int retransmissions = 0;  // re-sends to a candidate already tried
+  int lost_messages = 0;    // requests dropped by the benign loss model
 };
 
 class ProtocolRouter {
  public:
+  /// Validates `config` on construction (throws std::invalid_argument).
   ProtocolRouter(const SosOverlay& overlay, ProtocolConfig config)
-      : overlay_(overlay), config_(config) {}
+      : overlay_(overlay), config_(config) {
+    config_.validate();
+  }
 
   const ProtocolConfig& config() const noexcept { return config_; }
 
@@ -59,6 +94,13 @@ class ProtocolRouter {
   /// Runs the failover loop of one node (0-based layer) over `candidates`.
   Attempt attempt_from(int layer, std::span<const int> candidates,
                        common::Rng& rng, DeliveryOutcome& outcome) const;
+
+  /// Sends to one candidate with the retransmission schedule; returns true
+  /// when a request got through, charging timeouts/losses to `attempt` and
+  /// `outcome` either way. `leg_loss` is this candidate's request-leg drop
+  /// probability; `responsive` says whether the candidate would answer.
+  bool reach_candidate(double leg_loss, bool responsive, common::Rng& rng,
+                       Attempt& attempt, DeliveryOutcome& outcome) const;
 
   const SosOverlay& overlay_;
   ProtocolConfig config_;

@@ -16,7 +16,8 @@ SosOverlay::SosOverlay(const core::SosDesign& design, std::uint64_t seed)
         auto rng = topology_rng(seed ^ 0xa5a5a5a5a5a5a5a5ull);
         return Topology{design, rng};
       }()),
-      filter_congested_(static_cast<std::size_t>(design.filter_count), false) {}
+      filter_congested_(static_cast<std::size_t>(design.filter_count), false),
+      substrate_(design.total_overlay_nodes, design.filter_count) {}
 
 void SosOverlay::rebuild(std::uint64_t seed, TopologyWorkspace& workspace,
                          bool reseed_ids) {
@@ -28,6 +29,7 @@ void SosOverlay::rebuild(std::uint64_t seed, TopologyWorkspace& workspace,
   auto rng = topology_rng(seed ^ 0xa5a5a5a5a5a5a5a5ull);
   topology_.rebuild(rng, workspace);
   std::fill(filter_congested_.begin(), filter_congested_.end(), false);
+  substrate_.reset();
   chord_.reset();
   ring_to_overlay_.clear();
 }
@@ -38,7 +40,7 @@ int SosOverlay::migrate_member(int member, common::Rng& rng) {
   int recruit = -1;
   int seen = 0;
   for (int node = 0; node < network_.size(); ++node) {
-    if (topology_.is_sos_member(node) || !network_.is_good(node)) continue;
+    if (topology_.is_sos_member(node) || !node_usable(node)) continue;
     ++seen;
     if (rng.next_below(static_cast<std::uint64_t>(seen)) == 0) recruit = node;
   }
@@ -55,11 +57,13 @@ int SosOverlay::congested_filter_count() const {
 void SosOverlay::reset_health() {
   network_.reset_health();
   std::fill(filter_congested_.begin(), filter_congested_.end(), false);
+  substrate_.reset();
 }
 
 SosOverlay::LayerTally SosOverlay::tally(int layer) const {
   LayerTally out;
   for (const int node : topology_.members(layer)) {
+    if (substrate_.node_crashed(node)) ++out.crashed;
     switch (network_.health(node)) {
       case overlay::NodeHealth::kBrokenIn:
         ++out.broken;
@@ -79,11 +83,11 @@ std::optional<int> SosOverlay::pick_good(std::span<const int> candidates,
                                          common::Rng& rng) const {
   int good = 0;
   for (const int node : candidates)
-    if (network_.is_good(node)) ++good;
+    if (node_usable(node)) ++good;
   if (good == 0) return std::nullopt;
   int skip = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(good)));
   for (const int node : candidates) {
-    if (!network_.is_good(node)) continue;
+    if (!node_usable(node)) continue;
     if (skip-- == 0) return node;
   }
   return std::nullopt;  // unreachable
@@ -121,11 +125,11 @@ void SosOverlay::route_message(common::Rng& rng, WalkResult& result) const {
   const auto filters = topology_.neighbors(*current);
   int good = 0;
   for (const int filter : filters)
-    if (!filter_congested_[static_cast<std::size_t>(filter)]) ++good;
+    if (!filter_blocked(filter)) ++good;
   if (good == 0) return;
   int skip = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(good)));
   for (const int filter : filters) {
-    if (filter_congested_[static_cast<std::size_t>(filter)]) continue;
+    if (filter_blocked(filter)) continue;
     if (skip-- == 0) {
       result.filter_used = filter;
       break;
@@ -157,8 +161,7 @@ WalkResult SosOverlay::route_message_via_chord(common::Rng& rng) const {
     }
   }
   const auto is_alive = [this](int ring_index) {
-    return network_.is_good(
-        ring_to_overlay_[static_cast<std::size_t>(ring_index)]);
+    return node_usable(ring_to_overlay_[static_cast<std::size_t>(ring_index)]);
   };
   const auto chord_reachable = [&](int from_node, int to_node) {
     const int from_ring = ring.successor_index(network_.id_of(from_node));
@@ -185,7 +188,7 @@ WalkResult SosOverlay::route_message_via_chord(common::Rng& rng) const {
 
   const auto& filters = topology_.neighbors(*current);
   for (const int filter : filters) {
-    if (!filter_congested_[static_cast<std::size_t>(filter)]) {
+    if (!filter_blocked(filter)) {
       result.filter_used = filter;
       ++result.layer_hops;
       result.delivered = true;

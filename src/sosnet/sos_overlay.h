@@ -19,6 +19,7 @@
 #include "core/design.h"
 #include "overlay/chord.h"
 #include "overlay/network.h"
+#include "sosnet/health_state.h"
 #include "sosnet/topology.h"
 
 namespace sos::sosnet {
@@ -68,14 +69,36 @@ class SosOverlay {
   }
   int congested_filter_count() const;
 
+  /// Benign substrate health (crashes, lossiness, filter flaps), orthogonal
+  /// to the attack state above. All-up unless a fault injector (or test)
+  /// says otherwise; reset by rebuild()/reset_health().
+  HealthState& substrate() noexcept { return substrate_; }
+  const HealthState& substrate() const noexcept { return substrate_; }
+
+  /// A node forwards traffic iff the attacker left it good AND the
+  /// substrate has it up (lossy nodes still forward; the loss shows up in
+  /// the protocol simulation, not the walk).
+  bool node_usable(int node) const {
+    return network_.is_good(node) && !substrate_.node_crashed(node);
+  }
+  /// A filter blocks traffic when attacker-congested OR benignly flapped.
+  bool filter_blocked(int filter) const {
+    return filter_congested_[static_cast<std::size_t>(filter)] ||
+           substrate_.filter_flapped(filter);
+  }
+
   /// Restores every overlay node and filter to healthy.
   void reset_health();
 
-  /// Per-layer health tally (0-based layer; broken/congested counts).
+  /// Per-layer health tally (0-based layer). broken/congested/good split
+  /// the members by attack state; crashed counts members the substrate has
+  /// down (orthogonal — a crashed member also appears in its attack
+  /// bucket).
   struct LayerTally {
     int broken = 0;
     int congested = 0;
     int good = 0;
+    int crashed = 0;
   };
   LayerTally tally(int layer) const;
 
@@ -96,14 +119,15 @@ class SosOverlay {
   const overlay::ChordRing& chord() const;
 
  private:
-  /// Picks a uniformly random good entry of `candidates` (overlay nodes);
-  /// nullopt when all are bad.
+  /// Picks a uniformly random usable entry of `candidates` (overlay nodes:
+  /// attack-good and not crashed); nullopt when all are unusable.
   std::optional<int> pick_good(std::span<const int> candidates,
                                common::Rng& rng) const;
 
   overlay::Network network_;
   Topology topology_;
   std::vector<bool> filter_congested_;
+  HealthState substrate_;
   mutable std::unique_ptr<overlay::ChordRing> chord_;  // lazy
   mutable std::vector<int> ring_to_overlay_;           // ring index -> node
   mutable TopologyWorkspace walk_workspace_;  // contact-list scratch

@@ -1,0 +1,137 @@
+#include "core/degraded_substrate.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/one_burst_model.h"
+#include "core/successive_model.h"
+
+namespace sos::core {
+namespace {
+
+SosDesign design(int layers = 3) {
+  return SosDesign::make(10000, 100, layers, 10, MappingPolicy::one_to_two());
+}
+
+OneBurstAttack burst() { return OneBurstAttack{40, 2000, 0.5}; }
+
+SuccessiveAttack campaign() {
+  SuccessiveAttack attack;
+  attack.break_in_budget = 200;
+  attack.congestion_budget = 2000;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return attack;
+}
+
+TEST(DegradedSubstrate, IdealSubstrateIsBitIdenticalToEq1) {
+  const auto d = design();
+  const std::vector<double> bad{7.0, 3.5, 12.25, 2.0};  // layers 1..3 + filters
+  const auto ideal = DegradedSubstrateModel::path(d, bad, SubstrateFaults{});
+  const auto paper = path_probability(d, bad);
+  ASSERT_EQ(ideal.per_hop.size(), paper.per_hop.size());
+  for (std::size_t i = 0; i < paper.per_hop.size(); ++i)
+    EXPECT_EQ(ideal.per_hop[i], paper.per_hop[i]);  // exact, not NEAR
+  EXPECT_EQ(ideal.success, paper.success);
+}
+
+TEST(DegradedSubstrate, IdealOneBurstAndSuccessiveMatchPaperModels) {
+  const auto d = design();
+  EXPECT_EQ(DegradedSubstrateModel::one_burst(d, burst(), SubstrateFaults{}),
+            OneBurstModel::p_success(d, burst()));
+  EXPECT_EQ(
+      DegradedSubstrateModel::successive(d, campaign(), SubstrateFaults{}),
+      SuccessiveModel::p_success(d, campaign()));
+}
+
+TEST(DegradedSubstrate, ZeroNodeUpKillsThePath) {
+  SubstrateFaults faults;
+  faults.node_up = 0.0;
+  const auto result =
+      DegradedSubstrateModel::path(design(), {0.0, 0.0, 0.0, 0.0}, faults);
+  EXPECT_EQ(result.success, 0.0);
+}
+
+TEST(DegradedSubstrate, HopDeliveryMultipliesEveryHop) {
+  SubstrateFaults faults;
+  faults.hop_delivery = 0.9;
+  const auto d = design(3);
+  const auto result =
+      DegradedSubstrateModel::path(d, {0.0, 0.0, 0.0, 0.0}, faults);
+  // No attack, no crashes: every hop forwards with exactly hop_delivery,
+  // over L + 1 = 4 hops.
+  EXPECT_NEAR(result.success, std::pow(0.9, 4), 1e-12);
+}
+
+TEST(DegradedSubstrate, DowntimeDegradesMonotonically) {
+  const auto d = design();
+  double prev = 1.1;
+  for (const double downtime : {0.0, 0.1, 0.2, 0.4, 0.8}) {
+    SubstrateFaults faults;
+    faults.node_up = 1.0 - downtime;
+    const double p = DegradedSubstrateModel::successive(d, campaign(), faults);
+    EXPECT_LT(p, prev);
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+}
+
+TEST(DegradedSubstrate, FilterFlapsHitOnlyTheLastHop) {
+  // one-to-one: each exit node knows a single filter, so the fold has a
+  // closed form — the expected (1 - filter_up) * 10 flapped filters block
+  // with probability s/n, leaving P_S = filter_up exactly. (With m >= 2
+  // the combinatorial P masks part of the expected-bad mass instead.)
+  const auto d =
+      SosDesign::make(10000, 100, 3, 10, MappingPolicy::one_to_one());
+  SubstrateFaults flaps;
+  flaps.filter_up = 0.9;
+  const auto result =
+      DegradedSubstrateModel::path(d, {0.0, 0.0, 0.0, 0.0}, flaps);
+  // Only the filter hop degrades; the three node hops stay at 1.
+  EXPECT_NEAR(result.success, 0.9, 1e-12);
+  for (std::size_t i = 0; i + 1 < result.per_hop.size(); ++i)
+    EXPECT_EQ(result.per_hop[i], 1.0);
+}
+
+TEST(DeliveryAfterRetries, MatchesClosedForm) {
+  EXPECT_EQ(delivery_after_retries(0.0, 2), 1.0);  // exact at loss = 0
+  EXPECT_DOUBLE_EQ(delivery_after_retries(0.5, 0), 0.5);
+  EXPECT_DOUBLE_EQ(delivery_after_retries(0.5, 1), 0.75);
+  EXPECT_DOUBLE_EQ(delivery_after_retries(0.2, 2), 1.0 - 0.008);
+}
+
+TEST(DeliveryAfterRetries, ValidatesArguments) {
+  EXPECT_THROW(delivery_after_retries(1.0, 2), std::invalid_argument);
+  EXPECT_THROW(delivery_after_retries(-0.1, 2), std::invalid_argument);
+  EXPECT_THROW(delivery_after_retries(0.5, -1), std::invalid_argument);
+}
+
+TEST(SubstrateFaults, ValidateNamesFieldAndAcceptedValues) {
+  const auto expect_reject = [](SubstrateFaults faults, const char* field) {
+    try {
+      faults.validate();
+      FAIL() << "expected rejection of " << field;
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(field), std::string::npos) << what;
+      EXPECT_NE(what.find("(accepted:"), std::string::npos) << what;
+    }
+  };
+  SubstrateFaults faults;
+  faults.node_up = -0.1;
+  expect_reject(faults, "node_up");
+  faults = SubstrateFaults{};
+  faults.filter_up = 1.5;
+  expect_reject(faults, "filter_up");
+  faults = SubstrateFaults{};
+  faults.hop_delivery = 2.0;
+  expect_reject(faults, "hop_delivery");
+  EXPECT_NO_THROW(SubstrateFaults{}.validate());
+}
+
+}  // namespace
+}  // namespace sos::core

@@ -156,6 +156,16 @@ TEST(Figures, ExtTimelineChecksPass) {
   EXPECT_EQ(figure.series.size(), 3u);  // three defenses
 }
 
+TEST(Figures, ExtFaultsChecksPass) {
+  Params params = fast_params();
+  params.mc_trials = 40;
+  const auto figure = ext_fault_tolerance(params);
+  expect_well_formed(figure);
+  expect_all_checks_pass(figure);
+  // 3 budgets x (model, MC) + the loss-sweep delivery curve.
+  EXPECT_EQ(figure.series.size(), 7u);
+}
+
 TEST(Figures, ExtProfileChecksPass) {
   const auto figure = ext_mapping_profile(fast_params());
   expect_well_formed(figure);

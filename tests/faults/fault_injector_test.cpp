@@ -1,0 +1,187 @@
+#include "faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/design.h"
+#include "overlay/event_queue.h"
+#include "sosnet/sos_overlay.h"
+
+namespace sos::faults {
+namespace {
+
+core::SosDesign small_design() {
+  return core::SosDesign::make(500, 60, 3, 10,
+                               core::MappingPolicy::one_to_five());
+}
+
+FaultPlan manual_plan() {
+  FaultPlan plan;
+  plan.events = {
+      {1.0, FaultEventKind::kNodeCrash, 3},
+      {1.5, FaultEventKind::kFilterDown, 2},
+      {2.0, FaultEventKind::kNodeRecover, 3},
+      {2.5, FaultEventKind::kFilterUp, 2},
+  };
+  return plan;
+}
+
+TEST(FaultInjector, AdvanceToAppliesEventsInOrder) {
+  sosnet::SosOverlay overlay{small_design(), 1};
+  const auto plan = manual_plan();
+  FaultInjector injector{overlay, plan};
+  injector.prime();
+  EXPECT_EQ(injector.applied(), 0);
+
+  injector.advance_to(0.5);
+  EXPECT_EQ(injector.applied(), 0);
+  EXPECT_TRUE(overlay.node_usable(3));
+
+  injector.advance_to(1.6);
+  EXPECT_EQ(injector.applied(), 2);
+  EXPECT_FALSE(overlay.node_usable(3));
+  EXPECT_TRUE(overlay.substrate().node_crashed(3));
+  EXPECT_TRUE(overlay.filter_blocked(2));
+  EXPECT_FALSE(overlay.filter_congested(2));  // flapped, not attacked
+
+  injector.advance_to(10.0);
+  EXPECT_EQ(injector.applied(), 4);
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_TRUE(overlay.node_usable(3));
+  EXPECT_FALSE(overlay.filter_blocked(2));
+  EXPECT_FALSE(overlay.substrate().any_degraded());
+}
+
+TEST(FaultInjector, PrimeMarksLossyNodes) {
+  sosnet::SosOverlay overlay{small_design(), 2};
+  FaultPlan plan;
+  plan.lossy_nodes = {5, 9, 40};
+  FaultInjector injector{overlay, plan};
+  injector.prime();
+  EXPECT_EQ(overlay.substrate().lossy_count(), 3);
+  EXPECT_TRUE(overlay.substrate().node_lossy(9));
+  // Lossy nodes still forward traffic.
+  EXPECT_TRUE(overlay.node_usable(9));
+}
+
+TEST(FaultInjector, RecoveryRestoresLossyNotClean) {
+  sosnet::SosOverlay overlay{small_design(), 3};
+  FaultPlan plan;
+  plan.lossy_nodes = {7};
+  plan.events = {
+      {1.0, FaultEventKind::kNodeCrash, 7},
+      {2.0, FaultEventKind::kNodeRecover, 7},
+  };
+  FaultInjector injector{overlay, plan};
+  injector.prime();
+  EXPECT_TRUE(overlay.substrate().node_lossy(7));
+  injector.advance_to(1.0);
+  EXPECT_TRUE(overlay.substrate().node_crashed(7));
+  injector.advance_to(2.0);
+  EXPECT_TRUE(overlay.substrate().node_lossy(7));  // back to lossy, not kUp
+}
+
+TEST(FaultInjector, RecoveryKeepsAttackState) {
+  sosnet::SosOverlay overlay{small_design(), 4};
+  overlay.network().set_health(3, overlay::NodeHealth::kBrokenIn);
+  const auto plan = manual_plan();
+  FaultInjector injector{overlay, plan};
+  injector.prime();
+  injector.advance_to(10.0);
+  // Rebooting a captured node does not launder the compromise.
+  EXPECT_EQ(overlay.network().health(3), overlay::NodeHealth::kBrokenIn);
+  EXPECT_FALSE(overlay.node_usable(3));
+}
+
+TEST(FaultInjector, ArmPlaysEventsThroughTheQueue) {
+  sosnet::SosOverlay overlay{small_design(), 5};
+  const auto plan = manual_plan();
+  FaultInjector injector{overlay, plan};
+  injector.prime();
+  overlay::EventQueue queue;
+  injector.arm(queue);
+  EXPECT_EQ(queue.pending(), plan.events.size());
+
+  queue.run_until(1.2);
+  EXPECT_EQ(injector.applied(), 1);
+  EXPECT_FALSE(overlay.node_usable(3));
+  queue.run_until(3.0);
+  EXPECT_EQ(injector.applied(), 4);
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_FALSE(overlay.substrate().any_degraded());
+}
+
+TEST(FaultInjector, MixingArmAndAdvanceNeverDoubleApplies) {
+  sosnet::SosOverlay overlay{small_design(), 6};
+  const auto plan = manual_plan();
+  FaultInjector injector{overlay, plan};
+  injector.prime();
+  overlay::EventQueue queue;
+  injector.arm(queue);
+  // A manual advance past the first two events; the queue then replays the
+  // same times as no-ops before applying the rest.
+  injector.advance_to(1.7);
+  EXPECT_EQ(injector.applied(), 2);
+  queue.run_all();
+  EXPECT_EQ(injector.applied(), 4);
+  EXPECT_TRUE(overlay.node_usable(3));
+  EXPECT_FALSE(overlay.filter_blocked(2));
+}
+
+TEST(FaultInjector, ArmOnAnAdvancedQueueClampsOverdueEvents) {
+  sosnet::SosOverlay overlay{small_design(), 7};
+  const auto plan = manual_plan();
+  FaultInjector injector{overlay, plan};
+  overlay::EventQueue queue;
+  queue.schedule(2.2, [] {});
+  queue.run_all();  // now() = 2.2: the first three plan events are overdue
+  injector.prime();
+  injector.arm(queue);
+  queue.run_all();
+  EXPECT_EQ(injector.applied(), 4);
+  EXPECT_FALSE(overlay.substrate().any_degraded());
+}
+
+TEST(SteadyStateFaults, DisabledConfigConsumesNoDraws) {
+  sosnet::SosOverlay overlay{small_design(), 8};
+  common::Rng used{42}, untouched{42};
+  apply_steady_state_faults(FaultConfig{}, overlay, used);
+  EXPECT_FALSE(overlay.substrate().any_degraded());
+  // Bit-identity guarantee: the stream was not advanced.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(used.next_double(), untouched.next_double());
+}
+
+TEST(SteadyStateFaults, CrashesTrackTheSteadyStateRate) {
+  const auto design = core::SosDesign::make(4000, 60, 3, 10,
+                                            core::MappingPolicy::one_to_two());
+  sosnet::SosOverlay overlay{design, 9};
+  FaultConfig config;
+  config.node_mtbf = 3.0;
+  config.node_mttr = 1.0;  // steady-state up = 0.75
+  common::Rng rng{11};
+  apply_steady_state_faults(config, overlay, rng);
+  const double crashed_fraction =
+      static_cast<double>(overlay.substrate().crashed_count()) /
+      overlay.network().size();
+  EXPECT_NEAR(crashed_fraction, 0.25, 0.03);
+  EXPECT_EQ(overlay.substrate().lossy_count(), 0);
+}
+
+TEST(SteadyStateFaults, LossySkipsCrashedNodes) {
+  sosnet::SosOverlay overlay{small_design(), 10};
+  FaultConfig config;
+  config.node_mtbf = 1.0;
+  config.node_mttr = 1.0;  // half the nodes down
+  config.lossy_fraction = 1.0;  // every *up* node lossy
+  common::Rng rng{12};
+  apply_steady_state_faults(config, overlay, rng);
+  EXPECT_EQ(overlay.substrate().crashed_count() +
+                overlay.substrate().lossy_count(),
+            overlay.network().size());
+  EXPECT_GT(overlay.substrate().crashed_count(), 0);
+  EXPECT_GT(overlay.substrate().lossy_count(), 0);
+}
+
+}  // namespace
+}  // namespace sos::faults

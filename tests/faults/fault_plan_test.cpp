@@ -1,0 +1,183 @@
+#include "faults/fault_plan.h"
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace sos::faults {
+namespace {
+
+FaultConfig churn_config() {
+  FaultConfig config;
+  config.node_mtbf = 2.0;
+  config.node_mttr = 0.5;
+  config.filter_flap_mtbf = 3.0;
+  config.filter_flap_mttr = 0.25;
+  config.lossy_fraction = 0.25;
+  return config;
+}
+
+TEST(FaultPlan, DisabledConfigYieldsEmptyPlan) {
+  const auto plan = FaultPlan::generate(100, 10, FaultConfig{}, 50.0);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.events.empty());
+  EXPECT_TRUE(plan.lossy_nodes.empty());
+}
+
+TEST(FaultPlan, GenerationIsDeterministic) {
+  const auto a = FaultPlan::generate(200, 10, churn_config(), 30.0);
+  const auto b = FaultPlan::generate(200, 10, churn_config(), 30.0);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].index, b.events[i].index);
+  }
+  EXPECT_EQ(a.lossy_nodes, b.lossy_nodes);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentSchedules) {
+  FaultConfig other = churn_config();
+  other.seed ^= 0x1234;
+  const auto a = FaultPlan::generate(200, 10, churn_config(), 30.0);
+  const auto b = FaultPlan::generate(200, 10, other, 30.0);
+  const bool same = a.events.size() == b.events.size() &&
+                    a.lossy_nodes == b.lossy_nodes;
+  EXPECT_FALSE(same && a.events.size() > 0 &&
+               a.events.front().time == b.events.front().time);
+}
+
+TEST(FaultPlan, EventsSortedByTimeAndBounded) {
+  const double horizon = 25.0;
+  const auto plan = FaultPlan::generate(300, 12, churn_config(), horizon);
+  ASSERT_FALSE(plan.events.empty());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const auto& event = plan.events[i];
+    EXPECT_GE(event.time, 0.0);
+    EXPECT_LE(event.time, horizon);
+    if (i == 0) continue;
+    const auto& prev = plan.events[i - 1];
+    EXPECT_LE(std::tie(prev.time, prev.kind, prev.index),
+              std::tie(event.time, event.kind, event.index));
+  }
+}
+
+TEST(FaultPlan, PerEntityEventsAlternateStartingWithDown) {
+  const auto plan = FaultPlan::generate(100, 8, churn_config(), 40.0);
+  // Replay per entity: a node must crash before it can recover, a filter
+  // must go down before it comes up, and kinds strictly alternate.
+  std::vector<int> node_state(100, 0), filter_state(8, 0);
+  for (const auto& event : plan.events) {
+    switch (event.kind) {
+      case FaultEventKind::kNodeCrash:
+        EXPECT_EQ(node_state[event.index], 0) << "double crash";
+        node_state[event.index] = 1;
+        break;
+      case FaultEventKind::kNodeRecover:
+        EXPECT_EQ(node_state[event.index], 1) << "recover while up";
+        node_state[event.index] = 0;
+        break;
+      case FaultEventKind::kFilterDown:
+        EXPECT_EQ(filter_state[event.index], 0) << "double flap";
+        filter_state[event.index] = 1;
+        break;
+      case FaultEventKind::kFilterUp:
+        EXPECT_EQ(filter_state[event.index], 1) << "flap-up while up";
+        filter_state[event.index] = 0;
+        break;
+    }
+  }
+}
+
+TEST(FaultPlan, NodeScheduleIndependentOfFilterCount) {
+  // Per-entity substreams: adding filters must not shift node draws.
+  const auto a = FaultPlan::generate(150, 0, churn_config(), 30.0);
+  const auto b = FaultPlan::generate(150, 20, churn_config(), 30.0);
+  std::vector<FaultEvent> node_a, node_b;
+  for (const auto& event : a.events)
+    if (event.kind == FaultEventKind::kNodeCrash ||
+        event.kind == FaultEventKind::kNodeRecover)
+      node_a.push_back(event);
+  for (const auto& event : b.events)
+    if (event.kind == FaultEventKind::kNodeCrash ||
+        event.kind == FaultEventKind::kNodeRecover)
+      node_b.push_back(event);
+  ASSERT_EQ(node_a.size(), node_b.size());
+  for (std::size_t i = 0; i < node_a.size(); ++i) {
+    EXPECT_EQ(node_a[i].time, node_b[i].time);
+    EXPECT_EQ(node_a[i].index, node_b[i].index);
+  }
+  EXPECT_EQ(a.lossy_nodes, b.lossy_nodes);
+}
+
+TEST(FaultPlan, LossyNodesSortedDistinctAndProportional) {
+  FaultConfig config;
+  config.lossy_fraction = 0.25;
+  const auto plan = FaultPlan::generate(400, 10, config, 10.0);
+  EXPECT_EQ(plan.lossy_nodes.size(), 100u);  // llround(0.25 * 400)
+  for (std::size_t i = 1; i < plan.lossy_nodes.size(); ++i)
+    EXPECT_LT(plan.lossy_nodes[i - 1], plan.lossy_nodes[i]);
+  for (const int node : plan.lossy_nodes) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 400);
+  }
+  EXPECT_TRUE(plan.events.empty());  // lossiness alone schedules nothing
+}
+
+TEST(FaultConfig, SteadyStateMath) {
+  FaultConfig config;
+  EXPECT_EQ(config.steady_state_node_up(), 1.0);
+  EXPECT_EQ(config.steady_state_filter_up(), 1.0);
+  config.node_mtbf = 3.0;
+  config.node_mttr = 1.0;
+  EXPECT_DOUBLE_EQ(config.steady_state_node_up(), 0.75);
+  config.filter_flap_mtbf = 9.0;
+  config.filter_flap_mttr = 1.0;
+  EXPECT_DOUBLE_EQ(config.steady_state_filter_up(), 0.9);
+}
+
+TEST(FaultConfig, ValidateNamesFieldAndAcceptedValues) {
+  const auto expect_reject = [](FaultConfig config, const char* field) {
+    try {
+      config.validate();
+      FAIL() << "expected rejection of " << field;
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("FaultConfig"), std::string::npos) << what;
+      EXPECT_NE(what.find(field), std::string::npos) << what;
+      EXPECT_NE(what.find("(accepted:"), std::string::npos) << what;
+    }
+  };
+  FaultConfig config;
+  config.node_mtbf = -1.0;
+  expect_reject(config, "node_mtbf");
+
+  config = FaultConfig{};
+  config.node_mtbf = 1.0;
+  config.node_mttr = 0.0;
+  expect_reject(config, "node_mttr");
+
+  config = FaultConfig{};
+  config.filter_flap_mtbf = 1.0;
+  config.filter_flap_mttr = -0.5;
+  expect_reject(config, "filter_flap_mttr");
+
+  config = FaultConfig{};
+  config.lossy_fraction = 1.5;
+  expect_reject(config, "lossy_fraction");
+
+  EXPECT_NO_THROW(FaultConfig{}.validate());
+  EXPECT_NO_THROW(churn_config().validate());
+}
+
+TEST(FaultPlan, GenerateValidatesConfig) {
+  FaultConfig bad;
+  bad.lossy_fraction = -0.1;
+  EXPECT_THROW(FaultPlan::generate(10, 2, bad, 5.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sos::faults

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 namespace sos::overlay {
@@ -61,6 +62,41 @@ TEST(EventQueue, RejectsPastAndEmptyCallbacks) {
   EXPECT_THROW(queue.schedule(4.0, [] {}), std::invalid_argument);
   EXPECT_THROW(queue.schedule(6.0, EventQueue::Callback{}),
                std::invalid_argument);
+}
+
+TEST(EventQueue, DefaultOverduePolicyIsReject) {
+  const EventQueue queue;
+  EXPECT_EQ(queue.overdue_policy(), OverduePolicy::kReject);
+}
+
+TEST(EventQueue, ClampPolicyRunsOverdueEventsAtNow) {
+  EventQueue queue;
+  queue.set_overdue_policy(OverduePolicy::kClamp);
+  queue.schedule(5.0, [] {});
+  queue.run_all();
+  std::vector<int> order;
+  // Overdue events are clamped to now() and keep insertion order behind
+  // anything already queued for now().
+  queue.schedule(5.0, [&] { order.push_back(0); });
+  queue.schedule(2.0, [&] { order.push_back(1); });
+  queue.schedule(3.0, [&] { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.now(), 5.0);  // the clock never moves backwards
+}
+
+TEST(EventQueue, RejectMessageNamesThePolicyEscapeHatch) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.run_all();
+  try {
+    queue.schedule(4.0, [] {});
+    FAIL() << "expected rejection";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("EventQueue"), std::string::npos) << what;
+    EXPECT_NE(what.find("kClamp"), std::string::npos) << what;
+  }
 }
 
 TEST(EventQueue, StepReturnsFalseWhenEmpty) {

@@ -1,0 +1,179 @@
+// The benign-fault extension of the protocol simulation: per-leg loss with
+// bounded retransmission, lossy-receiver surcharge, and latency jitter —
+// plus the guarantee that all of it is inert at the defaults.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sosnet/protocol.h"
+
+namespace sos::sosnet {
+namespace {
+
+core::SosDesign small_design() {
+  return core::SosDesign::make(500, 60, 3, 10,
+                               core::MappingPolicy::one_to_five());
+}
+
+TEST(ProtocolFaults, ValidationNamesFieldAndAcceptedValues) {
+  const SosOverlay overlay{small_design(), 1};
+  const auto expect_reject = [&](ProtocolConfig config, const char* field) {
+    try {
+      const ProtocolRouter router{overlay, config};
+      FAIL() << "expected rejection of " << field;
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(field), std::string::npos) << what;
+      EXPECT_NE(what.find("(accepted:"), std::string::npos) << what;
+    }
+  };
+  ProtocolConfig config;
+  config.faults.loss = 1.0;  // loss must stay < 1 or retransmission diverges
+  expect_reject(config, "loss");
+  config = ProtocolConfig{};
+  config.faults.loss = -0.1;
+  expect_reject(config, "loss");
+  config = ProtocolConfig{};
+  config.faults.lossy_extra = 1.5;
+  expect_reject(config, "lossy_extra");
+  config = ProtocolConfig{};
+  config.faults.jitter = -1.0;
+  expect_reject(config, "jitter");
+  config = ProtocolConfig{};
+  config.faults.max_retries = -1;
+  expect_reject(config, "max_retries");
+  config = ProtocolConfig{};
+  config.faults.backoff = 0.5;
+  expect_reject(config, "backoff");
+  config = ProtocolConfig{};
+  config.hop_delay = -1.0;
+  expect_reject(config, "hop_delay");
+  config = ProtocolConfig{};
+  config.timeout = 0.0;
+  expect_reject(config, "timeout");
+  EXPECT_NO_THROW(ProtocolConfig{}.validate());
+}
+
+TEST(ProtocolFaults, DefaultsAreInertOnAHealthyOverlay) {
+  // The fault machinery must not change the legacy cost model: L = 3
+  // inter-node round trips plus the filter leg is exactly 8 hop delays and
+  // 4 request messages, with zero fault accounting.
+  const SosOverlay overlay{small_design(), 1};
+  const ProtocolRouter router{overlay, {}};
+  common::Rng rng{2};
+  for (int i = 0; i < 50; ++i) {
+    const auto outcome = router.deliver(rng);
+    EXPECT_TRUE(outcome.delivered);
+    EXPECT_DOUBLE_EQ(outcome.latency, 8.0);
+    EXPECT_EQ(outcome.messages, 4);
+    EXPECT_EQ(outcome.retransmissions, 0);
+    EXPECT_EQ(outcome.lost_messages, 0);
+  }
+}
+
+TEST(ProtocolFaults, LossTriggersRetransmissionAccounting) {
+  const SosOverlay overlay{small_design(), 3};
+  ProtocolConfig config;
+  config.faults.loss = 0.3;
+  const ProtocolRouter router{overlay, config};
+  common::Rng rng{4};
+  int delivered = 0, retransmissions = 0, lost = 0;
+  common::RunningStats messages;
+  for (int i = 0; i < 400; ++i) {
+    const auto outcome = router.deliver(rng);
+    delivered += outcome.delivered ? 1 : 0;
+    retransmissions += outcome.retransmissions;
+    lost += outcome.lost_messages;
+    messages.add(outcome.messages);
+    // Every retransmission chases a loss (responsive peers only go silent
+    // when the request leg dropped).
+    EXPECT_GE(outcome.messages, 4);
+  }
+  EXPECT_GT(retransmissions, 0);
+  EXPECT_GT(lost, 0);
+  EXPECT_GT(messages.mean(), 4.0);
+  // Per-hop delivery within the retry budget: 1 - 0.3^3 ≈ 0.973 over four
+  // hops with backtracking on a healthy overlay keeps delivery high.
+  EXPECT_GT(static_cast<double>(delivered) / 400, 0.85);
+}
+
+TEST(ProtocolFaults, RetriesRecoverDeliveryLostWithoutThem) {
+  // one-to-one leaves a single candidate per hop, so failover cannot mask
+  // a lost leg — only retransmission can recover it.
+  const SosOverlay overlay{
+      core::SosDesign::make(500, 60, 3, 10, core::MappingPolicy::one_to_one()),
+      5};
+  ProtocolConfig no_retries;
+  no_retries.backtrack = false;  // isolate the per-leg effect
+  no_retries.faults.loss = 0.4;
+  no_retries.faults.max_retries = 0;
+  ProtocolConfig retries = no_retries;
+  retries.faults.max_retries = 4;
+
+  int delivered_none = 0, delivered_retry = 0;
+  common::Rng rng_none{6}, rng_retry{6};
+  for (int i = 0; i < 300; ++i) {
+    delivered_none +=
+        ProtocolRouter(overlay, no_retries).deliver(rng_none).delivered;
+    delivered_retry +=
+        ProtocolRouter(overlay, retries).deliver(rng_retry).delivered;
+  }
+  EXPECT_GT(delivered_retry, delivered_none + 50);
+}
+
+TEST(ProtocolFaults, LossyReceiversPayTheSurcharge) {
+  SosOverlay lossy_overlay{small_design(), 7};
+  for (int node = 0; node < lossy_overlay.network().size(); ++node)
+    lossy_overlay.substrate().set_node(node, SubstrateState::kLossy);
+  const SosOverlay clean_overlay{small_design(), 7};
+
+  ProtocolConfig config;
+  config.faults.loss = 0.05;
+  config.faults.lossy_extra = 0.5;
+  common::Rng rng_lossy{8}, rng_clean{8};
+  int lost_lossy = 0, lost_clean = 0;
+  for (int i = 0; i < 300; ++i) {
+    lost_lossy +=
+        ProtocolRouter(lossy_overlay, config).deliver(rng_lossy).lost_messages;
+    lost_clean +=
+        ProtocolRouter(clean_overlay, config).deliver(rng_clean).lost_messages;
+  }
+  EXPECT_GT(lost_lossy, 2 * lost_clean);
+}
+
+TEST(ProtocolFaults, JitterStretchesLatencyWithoutLosingMessages) {
+  const SosOverlay overlay{small_design(), 9};
+  ProtocolConfig config;
+  config.faults.jitter = 0.5;
+  const ProtocolRouter router{overlay, config};
+  common::Rng rng{10};
+  common::RunningStats latency;
+  for (int i = 0; i < 200; ++i) {
+    const auto outcome = router.deliver(rng);
+    ASSERT_TRUE(outcome.delivered);
+    EXPECT_EQ(outcome.messages, 4);  // jitter alone never retransmits
+    EXPECT_GE(outcome.latency, 8.0);
+    EXPECT_LT(outcome.latency, 8.0 + 4 * 0.5);
+    latency.add(outcome.latency);
+  }
+  // Four hops each adding U[0, 0.5): mean extra = 1.0.
+  EXPECT_NEAR(latency.mean(), 9.0, 0.2);
+}
+
+TEST(ProtocolFaults, HighLossStillTerminates) {
+  const SosOverlay overlay{small_design(), 11};
+  ProtocolConfig config;
+  config.faults.loss = 0.95;
+  config.faults.max_retries = 1;
+  const ProtocolRouter router{overlay, config};
+  common::Rng rng{12};
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i)
+    delivered += router.deliver(rng).delivered ? 1 : 0;
+  EXPECT_LT(delivered, 60);  // mostly undeliverable, but always returns
+}
+
+}  // namespace
+}  // namespace sos::sosnet
