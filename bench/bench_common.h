@@ -1,23 +1,33 @@
 // Shared scaffolding for the figure-regeneration binaries.
 //
-// Every figure bench accepts the same flags:
+// Every figure binary is a thin wrapper over the campaign registry: it
+// names a registered figure id and run_registered_figure does the rest
+// (flag parsing, generation or campaign-cached execution, rendering, CSV).
+//
+// Flags (all binaries):
 //   --n=<int>          total overlay nodes N        (default 10000)
 //   --sos=<int>        SOS nodes n                  (default 100)
 //   --filters=<int>    filter count                 (default 10)
 //   --pb=<double>      break-in success P_B         (default 0.5)
-//   --mc-trials=<int>  Monte Carlo trials per point (default varies; 0 =
-//                      analytical curves only for the paper figures)
+//   --mc-trials=<int>  Monte Carlo trials per point (default = the figure's
+//                      registered default; 0 = analytical curves only)
 //   --mc-walks=<int>   client walks per trial       (default 10)
 //   --seed=<uint>      RNG seed
 //   --csv=<path>       additionally write the figure's table as CSV
+//                      (crash-safe: temp file + atomic rename)
+//   --store=<dir>      route the run through the campaign engine against
+//                      this result store: a warm store serves the figure
+//                      without recomputation, a cold one computes and
+//                      checkpoints it (see docs/CAMPAIGNS.md)
 #pragma once
 
 #include <cstdio>
 #include <exception>
-#include <fstream>
 #include <string>
 
+#include "campaign/campaign.h"
 #include "common/cli.h"
+#include "common/files.h"
 #include "experiments/figures.h"
 
 namespace sos::bench {
@@ -38,15 +48,24 @@ inline experiments::Params params_from_args(const common::Args& args,
   return params;
 }
 
-/// Runs one figure generator with standard flag handling; returns the
-/// process exit code.
-template <typename Generator>
-int run_figure_bench(int argc, char** argv, int default_mc_trials,
-                     Generator&& generator) {
+/// Runs one registered figure with standard flag handling; returns the
+/// process exit code. Without --store this generates the figure directly
+/// (byte-identical to the pre-campaign binaries); with --store it runs a
+/// single-figure campaign against that store, so repeated invocations are
+/// warm-cache hits.
+inline int run_registered_figure(int argc, char** argv,
+                                 const char* figure_id) {
   try {
+    const campaign::RegisteredFigure* entry = campaign::find_figure(figure_id);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "internal error: figure '%s' is not registered\n",
+                   figure_id);
+      return 1;
+    }
     const common::Args args{argc, argv};
-    const auto params = params_from_args(args, default_mc_trials);
+    const auto params = params_from_args(args, entry->default_mc_trials);
     const std::string csv_path = args.get_string("csv", "");
+    const std::string store_dir = args.get_string("store", "");
     const auto unused = args.unused_keys();
     if (!unused.empty()) {
       std::fprintf(stderr, "unknown flag(s):");
@@ -54,17 +73,25 @@ int run_figure_bench(int argc, char** argv, int default_mc_trials,
       std::fprintf(stderr, "\n");
       return 2;
     }
-    const auto figure = generator(params);
-    const std::string text = experiments::render_figure(figure);
-    std::fwrite(text.data(), 1, text.size(), stdout);
-    if (!csv_path.empty()) {
-      std::ofstream out{csv_path};
-      if (!out) {
-        std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
-        return 1;
-      }
-      out << figure.table.to_csv();
+
+    std::string text;
+    std::string csv;
+    if (store_dir.empty()) {
+      const auto figure = entry->generate(params);
+      text = experiments::render_figure(figure);
+      csv = figure.table.to_csv();
+    } else {
+      const auto spec =
+          campaign::figure_spec(figure_id, params, params.mc_trials);
+      campaign::CampaignOptions options;
+      options.store_dir = store_dir;
+      campaign::CampaignRunner runner{spec, options};
+      runner.run();
+      text = runner.figure_render(figure_id);
+      csv = runner.figure_csv(figure_id);
     }
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (!csv_path.empty()) common::write_file_atomic(csv_path, csv);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

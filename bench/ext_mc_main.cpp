@@ -1,10 +1,7 @@
-// Regenerates ext_model_vs_montecarlo (see DESIGN.md experiment index). Flags: bench_common.h.
+// Regenerates ext_mc via the campaign registry (see docs/CAMPAIGNS.md and
+// bench_common.h for flags, including --store for cached reruns).
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
-  return sos::bench::run_figure_bench(
-      argc, argv, /*default_mc_trials=*/60,
-      [](const sos::experiments::Params& params) {
-        return sos::experiments::ext_model_vs_montecarlo(params);
-      });
+  return sos::bench::run_registered_figure(argc, argv, "ext_mc");
 }

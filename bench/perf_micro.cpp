@@ -4,7 +4,12 @@
 // fine-grained a parameter sweep can be.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
 #include "attack/one_burst_attacker.h"
+#include "campaign/campaign.h"
 #include "attack/successive_attacker.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -438,5 +443,185 @@ void BM_SweepEngine(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SweepEngine)->Unit(benchmark::kMillisecond);
+
+// --- Campaign engine: scheduler overhead per point, cold vs warm store ---
+//
+// The Cold/Warm pairs below run the same spec against a content-addressed
+// result store. Cold computes every point and checkpoints it; warm serves
+// every point from the store. The points/s ratio between the pair is the
+// warm-cache speedup scripts/bench_baseline records in BENCH_campaign.json,
+// and the warm number alone bounds the engine's per-point overhead (digest
+// + store lookup + CSV assembly, no model evaluation).
+
+std::string bench_store_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("sos_perf_micro_" + std::to_string(::getpid()) + "_" + tag);
+  return dir.string();
+}
+
+// 48-point analytic sweep (2 mappings x 2 layer counts x 12 budgets),
+// mirroring the fig4a grid shape at model-only cost.
+campaign::ScenarioSpec bench_campaign_spec() {
+  campaign::ScenarioSpec spec;
+  spec.name = "bench_sweep";
+  spec.mode = campaign::ScenarioSpec::Mode::kSweep;
+  spec.mc_trials = 0;
+  spec.attacker = "one-burst";
+  spec.break_in = {0};
+  spec.congestion.clear();
+  for (int budget = 0; budget <= 5500; budget += 500)
+    spec.congestion.push_back(budget);
+  spec.mappings = {"one-to-all", "one-to-one"};
+  spec.layers = {1, 3};
+  return spec;
+}
+
+void BM_CampaignColdSweep(benchmark::State& state) {
+  const auto spec = bench_campaign_spec();
+  const auto store = bench_store_dir("cold_sweep");
+  std::size_t points = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(store);
+    state.ResumeTiming();
+    campaign::CampaignOptions options;
+    options.store_dir = store;
+    campaign::CampaignRunner runner{spec, options};
+    const auto report = runner.run();
+    points = report.total;
+    benchmark::DoNotOptimize(report.computed);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignColdSweep)
+    ->UseRealTime()  // points are sharded across pool threads
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWarmSweep(benchmark::State& state) {
+  const auto spec = bench_campaign_spec();
+  const auto store = bench_store_dir("warm_sweep");
+  std::filesystem::remove_all(store);
+  campaign::CampaignOptions options;
+  options.store_dir = store;
+  campaign::CampaignRunner{spec, options}.run();  // prime the store
+  std::size_t points = 0;
+  for (auto _ : state) {
+    campaign::CampaignRunner runner{spec, options};
+    const auto report = runner.run();
+    points = report.total;
+    benchmark::DoNotOptimize(report.cached);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignWarmSweep)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Single registered figure (fig4a, analytic only) through the campaign
+// path: cold pays the full legacy generator cost plus one checkpoint,
+// warm is one store hit plus render.
+void BM_CampaignColdFigure(benchmark::State& state) {
+  experiments::Params params;
+  params.mc_trials = 0;
+  const auto spec = campaign::figure_spec("fig4a", params, 0);
+  const auto store = bench_store_dir("cold_figure");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(store);
+    state.ResumeTiming();
+    campaign::CampaignOptions options;
+    options.store_dir = store;
+    campaign::CampaignRunner runner{spec, options};
+    const auto report = runner.run();
+    benchmark::DoNotOptimize(report.computed);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["figures/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignColdFigure)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWarmFigure(benchmark::State& state) {
+  experiments::Params params;
+  params.mc_trials = 0;
+  const auto spec = campaign::figure_spec("fig4a", params, 0);
+  const auto store = bench_store_dir("warm_figure");
+  std::filesystem::remove_all(store);
+  campaign::CampaignOptions options;
+  options.store_dir = store;
+  campaign::CampaignRunner{spec, options}.run();  // prime the store
+  for (auto _ : state) {
+    campaign::CampaignRunner runner{spec, options};
+    const auto report = runner.run();
+    benchmark::DoNotOptimize(runner.figure_csv("fig4a").size());
+    benchmark::DoNotOptimize(report.cached);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["figures/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignWarmFigure)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The whole registered figure suite as one campaign (the run_all.sh
+// --resume workload) at a tiny Monte Carlo load: cold regenerates all 22
+// figures, warm serves the entire suite from the store. Their figures/s
+// ratio is the full-suite warm-cache rerun speedup.
+experiments::Params suite_bench_params() {
+  experiments::Params params;
+  params.mc_trials = 4;
+  params.mc_walks = 2;
+  params.seed = 7;
+  return params;
+}
+
+void BM_CampaignColdSuite(benchmark::State& state) {
+  const auto spec = campaign::suite_spec(suite_bench_params(), 4);
+  const auto store = bench_store_dir("cold_suite");
+  std::size_t points = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(store);
+    state.ResumeTiming();
+    campaign::CampaignOptions options;
+    options.store_dir = store;
+    campaign::CampaignRunner runner{spec, options};
+    const auto report = runner.run();
+    points = report.total;
+    benchmark::DoNotOptimize(report.computed);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["figures/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignColdSuite)
+    ->Iterations(1)  // one full 22-figure regeneration per repetition
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWarmSuite(benchmark::State& state) {
+  const auto spec = campaign::suite_spec(suite_bench_params(), 4);
+  const auto store = bench_store_dir("warm_suite");
+  std::filesystem::remove_all(store);
+  campaign::CampaignOptions options;
+  options.store_dir = store;
+  campaign::CampaignRunner{spec, options}.run();  // prime the store
+  std::size_t points = 0;
+  for (auto _ : state) {
+    campaign::CampaignRunner runner{spec, options};
+    const auto report = runner.run();
+    points = report.total;
+    benchmark::DoNotOptimize(report.cached);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["figures/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignWarmSuite)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -5,6 +5,12 @@
 #
 # Example: scripts/run_all.sh build results --mc-trials=60
 #
+# Pass --resume (anywhere in the extra flags) to route the figure suite
+# through the campaign engine: results are checkpointed per figure into
+# $results_dir/.campaign, so an interrupted suite picks up where it left
+# off and an unchanged rerun is served entirely from the warm cache. The
+# final $results_dir/*.{csv,txt} files are byte-identical either way.
+#
 # Pass --asan-build=DIR (anywhere in the extra flags) to additionally run
 # the ASan-labelled fault-subsystem tests from an address-sanitized build
 # tree (cmake -B DIR -DSOS_SANITIZE=address && cmake --build DIR) via
@@ -16,10 +22,12 @@ results_dir="${2:-results}"
 shift $(( $# >= 2 ? 2 : $# )) || true
 
 asan_build=""
+resume=0
 filtered=()
 for arg in "$@"; do
   case "$arg" in
     --asan-build=*) asan_build="${arg#--asan-build=}" ;;
+    --resume) resume=1 ;;
     *) filtered+=("$arg") ;;
   esac
 done
@@ -37,18 +45,39 @@ if [[ ! -d "$build_dir/bench" ]]; then
 fi
 
 mkdir -p "$results_dir"
-for bench in "$build_dir"/bench/*; do
-  [[ -x "$bench" && -f "$bench" ]] || continue
-  name="$(basename "$bench")"
-  if [[ "$name" == perf_micro ]]; then
-    echo "== $name"
-    "$bench" "$@" | tee "$results_dir/$name.txt" >/dev/null || true
-    continue
+
+run_perf_micro() {
+  local bench="$build_dir/bench/perf_micro"
+  [[ -x "$bench" ]] || return 0
+  echo "== perf_micro"
+  "$bench" "$@" | tee "$results_dir/perf_micro.txt" >/dev/null || true
+}
+
+if [[ "$resume" == 1 ]]; then
+  campaign_cli="$build_dir/tools/sos_campaign"
+  if [[ ! -x "$campaign_cli" ]]; then
+    echo "error: $campaign_cli not found; build first" >&2
+    exit 1
   fi
-  echo "== $name"
-  "$bench" --csv="$results_dir/$name.csv" "$@" | tee "$results_dir/$name.txt" \
-    | grep -E '\[(PASS|FAIL)\]' || true
-done
+  echo "== figure suite via campaign engine (store: $results_dir/.campaign)"
+  "$campaign_cli" run all --store="$results_dir/.campaign" \
+    --results="$results_dir" "$@"
+  run_perf_micro  # perf_micro takes google-benchmark flags, not sweep flags
+  grep -hE '\[(PASS|FAIL)\]' "$results_dir"/*.txt || true
+else
+  for bench in "$build_dir"/bench/*; do
+    [[ -x "$bench" && -f "$bench" ]] || continue
+    name="$(basename "$bench")"
+    if [[ "$name" == perf_micro ]]; then
+      echo "== $name"
+      "$bench" "$@" | tee "$results_dir/$name.txt" >/dev/null || true
+      continue
+    fi
+    echo "== $name"
+    "$bench" --csv="$results_dir/$name.csv" "$@" | tee "$results_dir/$name.txt" \
+      | grep -E '\[(PASS|FAIL)\]' || true
+  done
+fi
 
 echo
 echo "results written to $results_dir/"

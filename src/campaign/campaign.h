@@ -1,0 +1,10 @@
+// Umbrella header for the campaign engine: declarative scenario specs,
+// figure registry, content-addressed result store and the checkpointing
+// runner. See docs/CAMPAIGNS.md for the spec format and store layout.
+#pragma once
+
+#include "campaign/digest.h"        // IWYU pragma: export
+#include "campaign/registry.h"      // IWYU pragma: export
+#include "campaign/result_store.h"  // IWYU pragma: export
+#include "campaign/runner.h"        // IWYU pragma: export
+#include "campaign/scenario_spec.h" // IWYU pragma: export

@@ -1,0 +1,31 @@
+#include "campaign/digest.h"
+
+namespace sos::campaign {
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string to_hex16(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string salted_digest(std::string_view content) {
+  std::string material{kCodeVersionSalt};
+  material += '\n';
+  material += content;
+  return to_hex16(fnv1a64(material));
+}
+
+}  // namespace sos::campaign

@@ -1,0 +1,88 @@
+#include "campaign/result_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/files.h"
+
+namespace sos::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.txt";
+
+bool looks_like_digest(const std::string& name) {
+  if (name.size() != 16) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  objects_dir_ = (fs::path(dir_) / "objects").string();
+  std::error_code error;
+  fs::create_directories(objects_dir_, error);
+  if (error)
+    throw std::runtime_error("ResultStore: cannot create store at '" + dir_ +
+                             "'");
+}
+
+bool ResultStore::has(const std::string& digest) const {
+  std::error_code error;
+  return fs::exists(object_path(digest), error);
+}
+
+std::optional<std::string> ResultStore::load(const std::string& digest) const {
+  return common::read_file(object_path(digest));
+}
+
+void ResultStore::put(const std::string& digest,
+                      const std::string& content) const {
+  common::write_file_atomic(object_path(digest), content);
+}
+
+std::string ResultStore::object_path(const std::string& digest) const {
+  return (fs::path(objects_dir_) / digest).string();
+}
+
+void ResultStore::write_manifest(const std::string& text) const {
+  common::write_file_atomic(manifest_path(), text);
+}
+
+std::optional<std::string> ResultStore::read_manifest() const {
+  return common::read_file(manifest_path());
+}
+
+std::string ResultStore::manifest_path() const {
+  return (fs::path(dir_) / kManifestName).string();
+}
+
+int ResultStore::clean() const {
+  int removed = 0;
+  std::error_code error;
+  for (const auto& digest : object_digests()) {
+    if (fs::remove(object_path(digest), error)) ++removed;
+  }
+  if (fs::remove(manifest_path(), error)) ++removed;
+  return removed;
+}
+
+std::vector<std::string> ResultStore::object_digests() const {
+  std::vector<std::string> digests;
+  std::error_code error;
+  fs::directory_iterator it{objects_dir_, error};
+  if (error) return digests;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (looks_like_digest(name)) digests.push_back(name);
+  }
+  std::sort(digests.begin(), digests.end());
+  return digests;
+}
+
+}  // namespace sos::campaign

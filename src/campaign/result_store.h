@@ -1,0 +1,64 @@
+// ResultStore — the on-disk half of the campaign cache.
+//
+// Layout of one campaign store directory:
+//
+//   <dir>/manifest.txt        header (campaign name, spec + code-version
+//                             digests, seed, point count) followed by one
+//                             "<index>\t<digest>\t<key>" line per point,
+//                             in execution order
+//   <dir>/objects/<digest>    one completed point's result bytes
+//
+// Objects are content-addressed by the point digest (spec scope + point key
+// + code-version salt), so existence IS the checkpoint: a point is done iff
+// its object file exists, and every write goes through
+// common::write_file_atomic, so a kill -9 at any instant leaves either no
+// object or a complete one — never a truncated result. Resume is therefore
+// a pure read: re-expand the spec, skip every digest already present.
+//
+// The store is append-only per campaign (clean() is the only deletion) and
+// shared across campaigns: two specs whose points agree on scope + key hit
+// the same objects, which is what serves warm-cache reruns.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sos::campaign {
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`. Throws
+  /// std::runtime_error if the directories cannot be created.
+  explicit ResultStore(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  bool has(const std::string& digest) const;
+  std::optional<std::string> load(const std::string& digest) const;
+
+  /// Durably stores one completed point: atomic temp-file + rename, so the
+  /// object either fully exists or does not exist at all.
+  void put(const std::string& digest, const std::string& content) const;
+
+  std::string object_path(const std::string& digest) const;
+
+  /// Atomically (re)writes the campaign manifest.
+  void write_manifest(const std::string& text) const;
+  std::optional<std::string> read_manifest() const;
+  std::string manifest_path() const;
+
+  /// Removes the manifest and every stored object (only files this store
+  /// recognizes); returns the number of files removed. The directory itself
+  /// is left in place.
+  int clean() const;
+
+  /// Digests of every object currently present.
+  std::vector<std::string> object_digests() const;
+
+ private:
+  std::string dir_;
+  std::string objects_dir_;
+};
+
+}  // namespace sos::campaign

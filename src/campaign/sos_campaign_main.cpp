@@ -1,0 +1,202 @@
+// sos_campaign — CLI front end for the campaign engine.
+//
+//   sos_campaign list
+//       Registered figures (id, bench binary, default trials) and built-in
+//       campaign names.
+//   sos_campaign run <spec> [flags]
+//       <spec> is a spec file path, a registered figure id, or "all" (the
+//       whole figure suite). Computes pending points against the store,
+//       serves the rest warm, writes final outputs.
+//       Flags: --store=DIR (default campaign-store/<name>), --results=DIR
+//       (default results), --checkpoint-interval=N, and the usual parameter
+//       overrides --n --sos --filters --pb --mc-trials --mc-walks --seed.
+//       --abort-after=N is a crash-test hook: the process SIGKILLs itself
+//       after N checkpoints, so resume behavior can be exercised end to end.
+//   sos_campaign status <store-dir>
+//       Completed/pending point counts from the manifest + object files.
+//   sos_campaign clean <store-dir>
+//       Removes the manifest and every stored result object.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "common/cli.h"
+#include "common/strings.h"
+
+namespace {
+
+using namespace sos;  // NOLINT: CLI-local brevity
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: sos_campaign list\n"
+               "       sos_campaign run <spec-file|figure-id|all> "
+               "[--store=DIR] [--results=DIR]\n"
+               "                    [--checkpoint-interval=N] "
+               "[--abort-after=N] [--n=..] [--sos=..]\n"
+               "                    [--filters=..] [--pb=..] [--mc-trials=..] "
+               "[--mc-walks=..] [--seed=..]\n"
+               "       sos_campaign status <store-dir>\n"
+               "       sos_campaign clean <store-dir>\n");
+  return out == stdout ? 0 : 2;
+}
+
+int reject_unused(const common::Args& args) {
+  const auto unused = args.unused_keys();
+  if (unused.empty()) return 0;
+  std::fprintf(stderr, "unknown flag(s):");
+  for (const auto& key : unused) std::fprintf(stderr, " --%s", key.c_str());
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int cmd_list() {
+  std::printf("registered figures (usable as 'sos_campaign run <id>'):\n");
+  std::printf("  %-14s %-28s %s\n", "id", "bench binary", "default trials");
+  for (const auto& entry : campaign::figure_registry())
+    std::printf("  %-14s %-28s %d\n", entry.id, entry.bench_name,
+                entry.default_mc_trials);
+  std::printf("\nbuilt-in campaigns:\n");
+  std::printf("  all            every registered figure (the run_all.sh "
+              "suite)\n");
+  std::printf("\nanything else is treated as a spec file path; see "
+              "docs/CAMPAIGNS.md for the format.\n");
+  return 0;
+}
+
+/// Applies the standard parameter-override flags on top of a loaded spec.
+void apply_overrides(const common::Args& args, campaign::ScenarioSpec& spec) {
+  spec.total_overlay =
+      static_cast<int>(args.get_int("n", spec.total_overlay));
+  spec.sos_nodes = static_cast<int>(args.get_int("sos", spec.sos_nodes));
+  spec.filters = static_cast<int>(args.get_int("filters", spec.filters));
+  spec.p_break = args.get_double("pb", spec.p_break);
+  spec.mc_trials = static_cast<int>(args.get_int("mc-trials", spec.mc_trials));
+  spec.mc_walks = static_cast<int>(args.get_int("mc-walks", spec.mc_walks));
+  spec.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(spec.seed)));
+}
+
+campaign::ScenarioSpec resolve_spec(const std::string& target,
+                                    const common::Args& args) {
+  campaign::ScenarioSpec spec;
+  if (std::filesystem::exists(target)) {
+    spec = campaign::ScenarioSpec::parse_file(target);
+  } else if (target == "all") {
+    spec = campaign::suite_spec(experiments::Params{});
+  } else if (campaign::find_figure(target) != nullptr) {
+    spec = campaign::figure_spec(target, experiments::Params{});
+  } else {
+    throw std::invalid_argument(
+        "unknown campaign '" + target +
+        "' (accepted: a spec file path, a registered figure id, or 'all'; "
+        "see sos_campaign list)");
+  }
+  apply_overrides(args, spec);
+  spec.validate();
+  return spec;
+}
+
+int cmd_run(const common::Args& args) {
+  if (args.positional().size() < 2) return usage(stderr);
+  auto spec = resolve_spec(args.positional()[1], args);
+
+  campaign::CampaignOptions options;
+  options.store_dir = args.get_string(
+      "store", (std::filesystem::path("campaign-store") / spec.name).string());
+  options.checkpoint_interval = static_cast<int>(
+      args.get_int("checkpoint-interval", options.checkpoint_interval));
+  const std::string results_dir = args.get_string("results", "results");
+
+  const auto abort_after = args.get_int("abort-after", 0);
+  if (abort_after > 0) {
+    options.checkpoint_hook = [abort_after](int completed) {
+      if (completed >= abort_after) {
+        std::fprintf(stderr,
+                     "sos_campaign: --abort-after=%lld reached, "
+                     "SIGKILLing self\n",
+                     static_cast<long long>(abort_after));
+        ::kill(::getpid(), SIGKILL);
+      }
+    };
+  }
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+
+  campaign::CampaignRunner runner{spec, options};
+  std::printf("campaign %s: %zu points, store %s\n", spec.name.c_str(),
+              runner.points().size(), options.store_dir.c_str());
+  const auto report = runner.run();
+  std::printf("  cached: %d, computed: %d\n", report.cached, report.computed);
+  for (const auto& path : runner.write_outputs(results_dir))
+    std::printf("  wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_status(const common::Args& args) {
+  if (args.positional().size() < 2) return usage(stderr);
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+  const campaign::ResultStore store{args.positional()[1]};
+  const auto manifest = store.read_manifest();
+  if (!manifest) {
+    std::fprintf(stderr, "error: no manifest at %s\n", store.dir().c_str());
+    return 1;
+  }
+  int total = 0;
+  int done = 0;
+  std::vector<std::string> pending;
+  for (const auto& line : common::split(*manifest, '\n')) {
+    const auto fields = common::split(line, '\t');
+    if (fields.size() < 3) {
+      // Header line — echo the campaign identity for the operator.
+      if (!line.empty()) std::printf("%s\n", std::string(line).c_str());
+      continue;
+    }
+    ++total;
+    if (store.has(std::string(fields[1]))) {
+      ++done;
+    } else {
+      pending.push_back(std::string(fields[2]));
+    }
+  }
+  std::printf("done %d/%d\n", done, total);
+  for (const auto& key : pending) std::printf("  pending: %s\n", key.c_str());
+  return 0;
+}
+
+int cmd_clean(const common::Args& args) {
+  if (args.positional().size() < 2) return usage(stderr);
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+  const campaign::ResultStore store{args.positional()[1]};
+  std::printf("removed %d files from %s\n", store.clean(),
+              store.dir().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const common::Args args{argc, argv};
+    if (args.positional().empty()) return usage(stderr);
+    const std::string& command = args.positional()[0];
+    if (command == "list") {
+      if (const int rc = reject_unused(args); rc != 0) return rc;
+      return cmd_list();
+    }
+    if (command == "run") return cmd_run(args);
+    if (command == "status") return cmd_status(args);
+    if (command == "clean") return cmd_clean(args);
+    if (command == "help") return usage(stdout);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage(stderr);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

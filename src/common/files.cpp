@@ -1,0 +1,62 @@
+#include "common/files.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sos::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("write_file_atomic: " + what + " '" + path + "'");
+}
+
+/// Distinct temp names per process *and* per call, so two writers racing on
+/// the same target never scribble into each other's temp file; last rename
+/// wins and both leave a complete file.
+std::string temp_name_for(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string temp = temp_name_for(path);
+  {
+    std::ofstream out{temp, std::ios::binary | std::ios::trunc};
+    if (!out) fail("cannot open temp file", temp);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(temp.c_str());
+      fail("short write to temp file", temp);
+    }
+  }
+  std::error_code error;
+  std::filesystem::rename(temp, path, error);
+  if (error) {
+    std::remove(temp.c_str());
+    fail("rename failed onto", path);
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read_file: I/O error on '" + path + "'");
+  return buffer.str();
+}
+
+}  // namespace sos::common

@@ -1,0 +1,27 @@
+// Crash-safe file writing shared by the experiment harness and the campaign
+// result store.
+//
+// A figure regeneration or campaign checkpoint that dies mid-write must
+// never leave a truncated file behind: readers (resume logic, plotting
+// scripts) treat file existence as completion. write_file_atomic gives that
+// guarantee with the classic temp-file-in-same-directory + rename dance —
+// on POSIX, rename over an existing path is atomic, so observers see either
+// the old content or the complete new content, never a prefix.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sos::common {
+
+/// Atomically replaces `path` with `content`. Writes to a hidden temp file
+/// in the same directory (same filesystem, so the final rename cannot turn
+/// into a copy), then renames it over the target. Throws std::runtime_error
+/// on any I/O failure, removing the temp file first.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Whole-file read (binary). Returns std::nullopt if the file cannot be
+/// opened; throws std::runtime_error if it opens but reading fails.
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace sos::common

@@ -1,5 +1,9 @@
 #include "experiments/figure.h"
 
+#include <stdexcept>
+
+#include "common/files.h"
+
 namespace sos::experiments {
 
 std::string render_figure(const Figure& figure) {
@@ -35,6 +39,25 @@ std::string render_figure(const Figure& figure) {
   for (const auto& note : figure.notes) out += "note: " + note + "\n";
   if (!figure.notes.empty()) out += "\n";
   return out;
+}
+
+void write_figure_csv(const Figure& figure, const std::string& path) {
+  common::write_file_atomic(path, figure.table.to_csv());
+}
+
+std::string extract_figure_csv(const std::string& render_text) {
+  constexpr const char* kBegin = "# CSV begin";
+  constexpr const char* kEnd = "# CSV end";
+  const auto begin_mark = render_text.find(kBegin);
+  if (begin_mark == std::string::npos)
+    throw std::invalid_argument("extract_figure_csv: no '# CSV begin' fence");
+  const auto start = render_text.find('\n', begin_mark);
+  const auto end = start == std::string::npos
+                       ? std::string::npos
+                       : render_text.find(kEnd, start);
+  if (start == std::string::npos || end == std::string::npos)
+    throw std::invalid_argument("extract_figure_csv: no '# CSV end' fence");
+  return render_text.substr(start + 1, end - start - 1);
 }
 
 Check make_check(std::string claim, bool passed, std::string detail) {

@@ -17,6 +17,7 @@
 //   faults  - benign-fault plans/injection (crashes, loss, filter flaps)
 //   attack  - attacker implementations
 //   sim     - Monte Carlo, repair/migration/timeline dynamics
+//   campaign - declarative scenario specs, cached + resumable execution
 #pragma once
 
 #include "common/ascii_plot.h"
@@ -67,3 +68,5 @@
 #include "sim/monte_carlo.h"
 #include "sim/repair.h"
 #include "sim/timeline.h"
+
+#include "campaign/campaign.h"

@@ -1,0 +1,140 @@
+// ResultStore + the atomic file helper: content-addressed object round
+// trips, manifest handling, clean() scoping, and the no-temp-file-left
+// guarantee every checkpoint durability claim rests on.
+#include "campaign/result_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "campaign/digest.h"
+#include "common/files.h"
+
+namespace sos::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sos_store_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  int file_count(const fs::path& where) const {
+    int count = 0;
+    if (!fs::exists(where)) return 0;
+    for (const auto& entry : fs::directory_iterator(where))
+      count += entry.is_regular_file() ? 1 : 0;
+    return count;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ResultStoreTest, PutHasLoadRoundTrip) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  EXPECT_FALSE(store.has(digest));
+  EXPECT_FALSE(store.load(digest).has_value());
+
+  store.put(digest, "0,500,one-to-one,3,0.5120\n");
+  EXPECT_TRUE(store.has(digest));
+  ASSERT_TRUE(store.load(digest).has_value());
+  EXPECT_EQ(*store.load(digest), "0,500,one-to-one,3,0.5120\n");
+}
+
+TEST_F(ResultStoreTest, PutOverwritesAtomically) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "old");
+  store.put(digest, "new");
+  EXPECT_EQ(*store.load(digest), "new");
+  // The temp-file + rename protocol must not leave stray temp files behind.
+  EXPECT_EQ(file_count(fs::path(dir()) / "objects"), 1);
+}
+
+TEST_F(ResultStoreTest, ObjectDigestsListsStoredPoints) {
+  ResultStore store{dir()};
+  EXPECT_TRUE(store.object_digests().empty());
+  store.put(salted_digest("a"), "a");
+  store.put(salted_digest("b"), "b");
+  const auto digests = store.object_digests();
+  EXPECT_EQ(digests.size(), 2u);
+}
+
+TEST_F(ResultStoreTest, ManifestRoundTrip) {
+  ResultStore store{dir()};
+  EXPECT_FALSE(store.read_manifest().has_value());
+  store.write_manifest("sos-campaign-manifest v1\npoints = 0\n");
+  ASSERT_TRUE(store.read_manifest().has_value());
+  EXPECT_EQ(*store.read_manifest(), "sos-campaign-manifest v1\npoints = 0\n");
+}
+
+TEST_F(ResultStoreTest, CleanRemovesOnlyWhatTheStoreOwns) {
+  ResultStore store{dir()};
+  store.put(salted_digest("a"), "a");
+  store.put(salted_digest("b"), "b");
+  store.write_manifest("m");
+  // A foreign file in objects/ (wrong name shape) must survive clean().
+  const fs::path foreign = fs::path(dir()) / "objects" / "README";
+  std::ofstream{foreign} << "not an object";
+
+  EXPECT_EQ(store.clean(), 3);  // two objects + the manifest
+  EXPECT_TRUE(store.object_digests().empty());
+  EXPECT_FALSE(store.read_manifest().has_value());
+  EXPECT_TRUE(fs::exists(foreign));
+}
+
+TEST_F(ResultStoreTest, ReopeningSeesExistingObjects) {
+  const auto digest = salted_digest("persistent");
+  {
+    ResultStore store{dir()};
+    store.put(digest, "kept");
+  }
+  ResultStore reopened{dir()};
+  EXPECT_TRUE(reopened.has(digest));
+  EXPECT_EQ(*reopened.load(digest), "kept");
+}
+
+TEST(WriteFileAtomic, WritesAndLeavesNoTempFiles) {
+  const fs::path dir =
+      fs::temp_directory_path() / "sos_write_atomic_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto path = (dir / "out.csv").string();
+
+  common::write_file_atomic(path, "a,b\n1,2\n");
+  EXPECT_EQ(*common::read_file(path), "a,b\n1,2\n");
+  common::write_file_atomic(path, "replaced");
+  EXPECT_EQ(*common::read_file(path), "replaced");
+
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    files += entry.is_regular_file() ? 1 : 0;
+  EXPECT_EQ(files, 1);  // just out.csv — every temp file was renamed away
+  fs::remove_all(dir);
+}
+
+TEST(WriteFileAtomic, MissingDirectoryThrows) {
+  EXPECT_THROW(common::write_file_atomic(
+                   "/nonexistent-sos-dir/x/y.csv", "content"),
+               std::runtime_error);
+}
+
+TEST(ReadFile, MissingFileIsNullopt) {
+  EXPECT_FALSE(common::read_file("/nonexistent-sos-dir/x").has_value());
+}
+
+}  // namespace
+}  // namespace sos::campaign
