@@ -11,6 +11,16 @@
 # off and an unchanged rerun is served entirely from the warm cache. The
 # final $results_dir/*.{csv,txt} files are byte-identical either way.
 #
+# Pass --supervised to additionally route that campaign through the
+# supervisor: each figure computes in a forked worker subprocess, worker
+# crashes/hangs are retried and, past the retry budget, quarantined — so
+# one poisoned figure degrades the suite instead of killing it. Implies
+# --resume. The script fails (exit 3) if the run completes degraded.
+#
+# Pass --chaos-tests=DIR to run the chaos harness (`ctest -L chaos`) from
+# build tree DIR before the figure sweep — the supervision layer's own
+# fault-injection suite.
+#
 # Pass --asan-build=DIR (anywhere in the extra flags) to additionally run
 # the ASan-labelled fault-subsystem tests from an address-sanitized build
 # tree (cmake -B DIR -DSOS_SANITIZE=address && cmake --build DIR) via
@@ -22,12 +32,16 @@ results_dir="${2:-results}"
 shift $(( $# >= 2 ? 2 : $# )) || true
 
 asan_build=""
+chaos_tests=""
 resume=0
+supervised=0
 filtered=()
 for arg in "$@"; do
   case "$arg" in
     --asan-build=*) asan_build="${arg#--asan-build=}" ;;
+    --chaos-tests=*) chaos_tests="${arg#--chaos-tests=}" ;;
     --resume) resume=1 ;;
+    --supervised) supervised=1; resume=1 ;;
     *) filtered+=("$arg") ;;
   esac
 done
@@ -36,6 +50,11 @@ set -- ${filtered+"${filtered[@]}"}
 if [[ -n "$asan_build" ]]; then
   echo "== asan-labelled fault tests ($asan_build)"
   ctest --test-dir "$asan_build" -L asan --output-on-failure
+fi
+
+if [[ -n "$chaos_tests" ]]; then
+  echo "== chaos harness ($chaos_tests)"
+  ctest --test-dir "$chaos_tests" -L chaos --output-on-failure
 fi
 
 if [[ ! -d "$build_dir/bench" ]]; then
@@ -59,9 +78,22 @@ if [[ "$resume" == 1 ]]; then
     echo "error: $campaign_cli not found; build first" >&2
     exit 1
   fi
-  echo "== figure suite via campaign engine (store: $results_dir/.campaign)"
+  supervise_flags=()
+  if [[ "$supervised" == 1 ]]; then
+    supervise_flags=(--supervised)
+    echo "== figure suite via supervised campaign (store: $results_dir/.campaign)"
+  else
+    echo "== figure suite via campaign engine (store: $results_dir/.campaign)"
+  fi
+  # A degraded (exit 3) supervised run still wrote every completed figure;
+  # surface the failure after the summary instead of dying mid-script.
+  campaign_rc=0
   "$campaign_cli" run all --store="$results_dir/.campaign" \
-    --results="$results_dir" "$@"
+    --results="$results_dir" ${supervise_flags+"${supervise_flags[@]}"} "$@" \
+    || campaign_rc=$?
+  if [[ "$campaign_rc" != 0 && "$campaign_rc" != 3 ]]; then
+    exit "$campaign_rc"
+  fi
   run_perf_micro  # perf_micro takes google-benchmark flags, not sweep flags
   grep -hE '\[(PASS|FAIL)\]' "$results_dir"/*.txt || true
 else
@@ -82,4 +114,9 @@ fi
 echo
 echo "results written to $results_dir/"
 grep -h '\[FAIL\]' "$results_dir"/*.txt 2>/dev/null && exit 1
+if [[ "${campaign_rc:-0}" == 3 ]]; then
+  echo "campaign completed DEGRADED (quarantined points; see" \
+       "$build_dir/tools/sos_campaign status $results_dir/.campaign)" >&2
+  exit 3
+fi
 echo "all qualitative checks PASS"

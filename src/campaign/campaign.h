@@ -1,6 +1,7 @@
 // Umbrella header for the campaign engine: declarative scenario specs,
-// figure registry, content-addressed result store and the checkpointing
-// runner. See docs/CAMPAIGNS.md for the spec format and store layout.
+// figure registry, content-addressed result store, the checkpointing
+// runner and the crash-tolerant supervisor. See docs/CAMPAIGNS.md for the
+// spec format, store layout and supervision semantics.
 #pragma once
 
 #include "campaign/digest.h"        // IWYU pragma: export
@@ -8,3 +9,4 @@
 #include "campaign/result_store.h"  // IWYU pragma: export
 #include "campaign/runner.h"        // IWYU pragma: export
 #include "campaign/scenario_spec.h" // IWYU pragma: export
+#include "campaign/supervisor.h"    // IWYU pragma: export

@@ -16,10 +16,11 @@
 namespace sos::campaign {
 
 /// Bump whenever a code change alters any computed result byte at a fixed
-/// spec (model math, simulation RNG streams, number formatting). Stale
-/// objects are then simply never matched again; `sos_campaign clean`
-/// reclaims the space.
-inline constexpr std::string_view kCodeVersionSalt = "sos-campaign-v1";
+/// spec (model math, simulation RNG streams, number formatting) or the
+/// on-disk object container format. Stale objects are then simply never
+/// matched again; `sos_campaign clean` reclaims the space.
+/// v2: objects gained the validated length+sentinel container.
+inline constexpr std::string_view kCodeVersionSalt = "sos-campaign-v2";
 
 /// FNV-1a 64-bit over the bytes of `data`.
 std::uint64_t fnv1a64(std::string_view data) noexcept;

@@ -1,10 +1,13 @@
 #include "campaign/result_store.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <stdexcept>
 
 #include "common/files.h"
+#include "common/logging.h"
+#include "common/strings.h"
 
 namespace sos::campaign {
 
@@ -13,6 +16,44 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kManifestName = "manifest.txt";
+
+// Object container: "<header> <payload length>\n" + payload + sentinel.
+// The explicit length plus end sentinel make truncation (any prefix cut)
+// and appended garbage both detectable with one read.
+constexpr const char* kObjectHeader = "sos-object v1 ";
+constexpr const char* kObjectSentinel = "sos-object-end\n";
+
+constexpr const char* kFailureHeader = "sos-point-failure v1\n";
+
+std::string encode_object(const std::string& payload) {
+  std::string out = kObjectHeader + std::to_string(payload.size()) + "\n";
+  out += payload;
+  out += kObjectSentinel;
+  return out;
+}
+
+/// Decodes a container; nullopt on any structural mismatch.
+std::optional<std::string> decode_object(const std::string& file) {
+  const std::string_view header{kObjectHeader};
+  const std::string_view sentinel{kObjectSentinel};
+  if (file.size() < header.size() || file.compare(0, header.size(), header) != 0)
+    return std::nullopt;
+  const std::size_t newline = file.find('\n', header.size());
+  if (newline == std::string::npos) return std::nullopt;
+  std::uint64_t length = 0;
+  for (std::size_t i = header.size(); i < newline; ++i) {
+    const char c = file[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + static_cast<std::uint64_t>(c - '0');
+    if (length > file.size()) return std::nullopt;  // early overflow guard
+  }
+  const std::size_t payload_begin = newline + 1;
+  if (file.size() != payload_begin + length + sentinel.size())
+    return std::nullopt;
+  if (file.compare(payload_begin + length, sentinel.size(), sentinel) != 0)
+    return std::nullopt;
+  return file.substr(payload_begin, length);
+}
 
 bool looks_like_digest(const std::string& name) {
   if (name.size() != 16) return false;
@@ -23,31 +64,122 @@ bool looks_like_digest(const std::string& name) {
 
 }  // namespace
 
+std::string PointFailure::render() const {
+  std::string out = kFailureHeader;
+  out += "index = " + std::to_string(index) + "\n";
+  out += "key = " + key + "\n";
+  out += "attempts = " + std::to_string(attempts) + "\n";
+  out += "reason = " + reason + "\n";
+  return out;
+}
+
+std::optional<PointFailure> PointFailure::parse(const std::string& text) {
+  const std::string_view header{kFailureHeader};
+  if (text.size() < header.size() ||
+      text.compare(0, header.size(), header) != 0)
+    return std::nullopt;
+  PointFailure failure;
+  bool saw_index = false, saw_key = false, saw_attempts = false,
+       saw_reason = false;
+  for (const auto& line : common::split(text.substr(header.size()), '\n')) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string field{line.substr(0, eq)};
+    const std::string value{line.substr(eq + 3)};
+    try {
+      if (field == "index") {
+        failure.index = std::stoi(value);
+        saw_index = true;
+      } else if (field == "key") {
+        failure.key = value;
+        saw_key = true;
+      } else if (field == "attempts") {
+        failure.attempts = std::stoi(value);
+        saw_attempts = true;
+      } else if (field == "reason") {
+        failure.reason = value;
+        saw_reason = true;
+      } else {
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (!(saw_index && saw_key && saw_attempts && saw_reason))
+    return std::nullopt;
+  return failure;
+}
+
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
   objects_dir_ = (fs::path(dir_) / "objects").string();
+  quarantine_dir_ = (fs::path(dir_) / "quarantine").string();
   std::error_code error;
   fs::create_directories(objects_dir_, error);
+  if (!error) fs::create_directories(quarantine_dir_, error);
   if (error)
     throw std::runtime_error("ResultStore: cannot create store at '" + dir_ +
                              "'");
 }
 
 bool ResultStore::has(const std::string& digest) const {
-  std::error_code error;
-  return fs::exists(object_path(digest), error);
+  return load(digest).has_value();
 }
 
 std::optional<std::string> ResultStore::load(const std::string& digest) const {
-  return common::read_file(object_path(digest));
+  const auto file = common::read_file(object_path(digest));
+  if (!file) return std::nullopt;
+  auto payload = decode_object(*file);
+  if (!payload) {
+    SOS_LOG_WARN() << "ResultStore: object " << digest
+                   << " is truncated or corrupted (" << file->size()
+                   << " bytes) — treating as missing, point will recompute";
+    return std::nullopt;
+  }
+  return payload;
 }
 
 void ResultStore::put(const std::string& digest,
                       const std::string& content) const {
-  common::write_file_atomic(object_path(digest), content);
+  common::write_file_atomic(object_path(digest), encode_object(content));
+  clear_quarantine(digest);
 }
 
 std::string ResultStore::object_path(const std::string& digest) const {
   return (fs::path(objects_dir_) / digest).string();
+}
+
+void ResultStore::quarantine(const std::string& digest,
+                             const PointFailure& failure) const {
+  common::write_file_atomic(quarantine_path(digest),
+                            encode_object(failure.render()));
+}
+
+bool ResultStore::is_quarantined(const std::string& digest) const {
+  return load_failure(digest).has_value();
+}
+
+std::optional<PointFailure> ResultStore::load_failure(
+    const std::string& digest) const {
+  const auto file = common::read_file(quarantine_path(digest));
+  if (!file) return std::nullopt;
+  const auto payload = decode_object(*file);
+  if (!payload) {
+    SOS_LOG_WARN() << "ResultStore: quarantine record " << digest
+                   << " is truncated or corrupted — ignoring it";
+    return std::nullopt;
+  }
+  return PointFailure::parse(*payload);
+}
+
+void ResultStore::clear_quarantine(const std::string& digest) const {
+  std::error_code error;
+  fs::remove(quarantine_path(digest), error);
+}
+
+std::string ResultStore::quarantine_path(const std::string& digest) const {
+  return (fs::path(quarantine_dir_) / digest).string();
 }
 
 void ResultStore::write_manifest(const std::string& text) const {
@@ -67,6 +199,14 @@ int ResultStore::clean() const {
   std::error_code error;
   for (const auto& digest : object_digests()) {
     if (fs::remove(object_path(digest), error)) ++removed;
+  }
+  fs::directory_iterator it{quarantine_dir_, error};
+  if (!error) {
+    for (const auto& entry : it) {
+      const std::string name = entry.path().filename().string();
+      if (looks_like_digest(name) && fs::remove(entry.path(), error))
+        ++removed;
+    }
   }
   if (fs::remove(manifest_path(), error)) ++removed;
   return removed;

@@ -2,18 +2,30 @@
 //
 // Layout of one campaign store directory:
 //
-//   <dir>/manifest.txt        header (campaign name, spec + code-version
-//                             digests, seed, point count) followed by one
-//                             "<index>\t<digest>\t<key>" line per point,
-//                             in execution order
-//   <dir>/objects/<digest>    one completed point's result bytes
+//   <dir>/manifest.txt          header (campaign name, spec + code-version
+//                               digests, seed, point count) followed by one
+//                               "<index>\t<digest>\t<key>" line per point,
+//                               in execution order
+//   <dir>/objects/<digest>      one completed point's result bytes, wrapped
+//                               in a validated container (header with the
+//                               payload length + end sentinel)
+//   <dir>/quarantine/<digest>   a typed PointFailure record for a point the
+//                               supervisor gave up on (see below)
 //
 // Objects are content-addressed by the point digest (spec scope + point key
 // + code-version salt), so existence IS the checkpoint: a point is done iff
-// its object file exists, and every write goes through
+// its object file exists *and decodes*, and every write goes through
 // common::write_file_atomic, so a kill -9 at any instant leaves either no
-// object or a complete one — never a truncated result. Resume is therefore
-// a pure read: re-expand the spec, skip every digest already present.
+// object or a complete one. The container check is the second line of
+// defense: a file truncated or corrupted by anything outside that protocol
+// (power loss on a non-journaled filesystem, a bad disk, a stray editor) is
+// detected on read and treated as missing-with-warning instead of leaking
+// garbage bytes into CSV assembly — the point simply recomputes.
+//
+// Quarantine records are how a supervised campaign degrades instead of
+// dying: a point that kept crashing its worker is recorded as a typed
+// PointFailure, never silently dropped. An object, once present, always
+// wins over a stale quarantine record.
 //
 // The store is append-only per campaign (clean() is the only deletion) and
 // shared across campaigns: two specs whose points agree on scope + key hit
@@ -26,6 +38,22 @@
 
 namespace sos::campaign {
 
+/// The typed record of a point the supervisor retried to exhaustion and
+/// quarantined. Stored under <dir>/quarantine/<digest> so degraded
+/// campaigns keep an auditable trail instead of silently dropping points.
+struct PointFailure {
+  int index = 0;        // point index within the campaign expansion
+  std::string key;      // the point's canonical key
+  int attempts = 0;     // total attempts made (1 + retries)
+  std::string reason;   // last failure, e.g. "signal 9 (SIGKILL)",
+                        // "deadline 0.25s exceeded", "truncated result frame"
+
+  /// Round-trippable rendering ("sos-point-failure v1" + key=value lines).
+  std::string render() const;
+  /// Parses render() output; nullopt on any malformed/truncated record.
+  static std::optional<PointFailure> parse(const std::string& text);
+};
+
 class ResultStore {
  public:
   /// Opens (creating if needed) the store rooted at `dir`. Throws
@@ -34,31 +62,46 @@ class ResultStore {
 
   const std::string& dir() const noexcept { return dir_; }
 
+  /// True iff the object exists AND its container decodes. A truncated or
+  /// corrupted object is reported once (warning log) and then counts as
+  /// missing, so resume recomputes it instead of trusting garbage.
   bool has(const std::string& digest) const;
   std::optional<std::string> load(const std::string& digest) const;
 
-  /// Durably stores one completed point: atomic temp-file + rename, so the
-  /// object either fully exists or does not exist at all.
+  /// Durably stores one completed point: container-wrapped content via an
+  /// atomic temp-file + rename + fsync sequence, so the object either fully
+  /// exists or does not exist at all. Also clears any stale quarantine
+  /// record for the digest — a computed result supersedes past failures.
   void put(const std::string& digest, const std::string& content) const;
 
   std::string object_path(const std::string& digest) const;
+
+  // --- Quarantine records. ---
+  void quarantine(const std::string& digest,
+                  const PointFailure& failure) const;
+  bool is_quarantined(const std::string& digest) const;
+  std::optional<PointFailure> load_failure(const std::string& digest) const;
+  void clear_quarantine(const std::string& digest) const;
+  std::string quarantine_path(const std::string& digest) const;
 
   /// Atomically (re)writes the campaign manifest.
   void write_manifest(const std::string& text) const;
   std::optional<std::string> read_manifest() const;
   std::string manifest_path() const;
 
-  /// Removes the manifest and every stored object (only files this store
-  /// recognizes); returns the number of files removed. The directory itself
-  /// is left in place.
+  /// Removes the manifest, every stored object and every quarantine record
+  /// (only files this store recognizes); returns the number of files
+  /// removed. The directory itself is left in place.
   int clean() const;
 
-  /// Digests of every object currently present.
+  /// Digests of every object currently present (valid or not — this is an
+  /// inventory of files, not a validation pass).
   std::vector<std::string> object_digests() const;
 
  private:
   std::string dir_;
   std::string objects_dir_;
+  std::string quarantine_dir_;
 };
 
 }  // namespace sos::campaign

@@ -111,8 +111,17 @@ CampaignReport CampaignRunner::status() const {
   CampaignReport report;
   report.total = static_cast<int>(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    PointStatus status{points_[i], digests_[i], store_.has(digests_[i])};
-    if (status.done) ++report.cached;
+    PointStatus status{points_[i], digests_[i], store_.has(digests_[i]),
+                       false};
+    if (status.done) {
+      ++report.cached;
+    } else if (auto failure = store_.load_failure(digests_[i])) {
+      // An object always wins over a stale quarantine record, so only
+      // not-done points count as quarantined.
+      status.quarantined = true;
+      ++report.quarantined;
+      report.failures.push_back(std::move(*failure));
+    }
     report.points.push_back(std::move(status));
   }
   return report;
@@ -217,6 +226,35 @@ void CampaignRunner::run_sweep_points(const std::vector<int>& pending,
   }
 }
 
+std::string CampaignRunner::compute_point_bytes(int index) const {
+  const CampaignPoint& point = points_.at(static_cast<std::size_t>(index));
+
+  if (spec_.mode == ScenarioSpec::Mode::kFigures) {
+    const RegisteredFigure* entry = find_figure(point.figure_id);
+    if (entry == nullptr)
+      throw std::logic_error("CampaignRunner: unregistered figure '" +
+                             point.figure_id + "'");
+    return experiments::render_figure(
+        entry->generate(spec_.params_with_trials(point.mc_trials)));
+  }
+
+  const double model = sweep_model_value(point);
+  if (spec_.mc_trials <= 0) return sweep_row(point, model, nullptr);
+
+  common::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : common::ThreadPool::shared();
+  sim::SweepRunner runner{&pool};
+  sim::MonteCarloConfig config;
+  config.trials = spec_.mc_trials;
+  config.walks_per_trial = spec_.mc_walks;
+  config.seed = spec_.seed;
+  config.pool = &pool;
+  const int slot = runner.add(sweep_design(spec_, point),
+                              sweep_attack_fn(spec_, point), config);
+  runner.run();
+  return sweep_row(point, model, &runner.result(slot));
+}
+
 double CampaignRunner::sweep_model_value(const CampaignPoint& point) const {
   const auto design = sweep_design(spec_, point);
   const core::SubstrateFaults substrate{spec_.faults.steady_state_node_up(),
@@ -251,6 +289,14 @@ std::string CampaignRunner::sweep_row(const CampaignPoint& point, double model,
   return csv_line(cells);
 }
 
+std::string CampaignRunner::sweep_na_row(const CampaignPoint& point) const {
+  std::vector<std::string> cells{
+      std::to_string(point.break_in), std::to_string(point.congestion),
+      point.mapping, std::to_string(point.layers), "NA"};
+  if (spec_.mc_trials > 0) cells.insert(cells.end(), {"NA", "NA", "NA"});
+  return csv_line(cells);
+}
+
 std::vector<std::string> CampaignRunner::sweep_headers() const {
   std::vector<std::string> headers{"N_T", "N_C", "mapping", "L", "P_S_model"};
   if (spec_.mc_trials > 0)
@@ -281,7 +327,17 @@ std::string CampaignRunner::figure_csv(const std::string& figure_id) const {
 
 std::string CampaignRunner::sweep_csv() const {
   std::string out = csv_line(sweep_headers());
-  for (const auto& point : points_) out += loaded(point.index);
+  for (const auto& point : points_) {
+    const std::string& digest =
+        digests_[static_cast<std::size_t>(point.index)];
+    if (auto content = store_.load(digest)) {
+      out += *content;
+    } else if (store_.is_quarantined(digest)) {
+      out += sweep_na_row(point);  // degraded mode: keep the row, mark NA
+    } else {
+      out += loaded(point.index);  // pending — throws with the point key
+    }
+  }
   return out;
 }
 
@@ -305,6 +361,10 @@ std::vector<std::string> CampaignRunner::write_outputs(
     return written;
   }
   for (const auto& point : points_) {
+    const std::string& digest =
+        digests_[static_cast<std::size_t>(point.index)];
+    if (!store_.has(digest) && store_.is_quarantined(digest))
+      continue;  // degraded mode: a quarantined figure has no bytes to emit
     const RegisteredFigure* entry = find_figure(point.figure_id);
     const std::string render = loaded(point.index);
     emit(std::string(entry->bench_name) + ".txt", render);

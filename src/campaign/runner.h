@@ -63,15 +63,25 @@ struct PointStatus {
   CampaignPoint point;
   std::string digest;
   bool done = false;
+  bool quarantined = false;  // a PointFailure record exists and !done
 };
 
 struct CampaignReport {
   int total = 0;
   int cached = 0;    // points served from the store without recomputation
   int computed = 0;  // points computed and checkpointed by this run
+  int retried = 0;   // supervised runs: point attempts beyond the first
+  int quarantined = 0;  // points recorded as PointFailure, not computed
   std::vector<PointStatus> points;
+  std::vector<PointFailure> failures;  // one per quarantined point
 
   bool complete() const noexcept { return cached + computed == total; }
+  /// Every point is either done or formally quarantined — the terminal
+  /// state a supervised run guarantees (degraded mode when quarantined>0).
+  bool settled() const noexcept {
+    return cached + computed + quarantined == total;
+  }
+  bool degraded() const noexcept { return quarantined > 0; }
 };
 
 class CampaignRunner {
@@ -92,8 +102,19 @@ class CampaignRunner {
 
   /// Writes the manifest, computes every pending point, checkpoints each
   /// one. Exceptions (including from the checkpoint hook) propagate after
-  /// all completed points are durable.
+  /// all completed points are durable. In-process runs ignore quarantine
+  /// records: a previously quarantined point is simply pending and, once
+  /// computed, its record is cleared.
   CampaignReport run();
+
+  /// Computes one point's result bytes in-process, with no store
+  /// interaction — the unit of work a supervised worker subprocess
+  /// executes. Bit-identical to what run() would checkpoint for the same
+  /// point: figures mode invokes the registered generator; sweep mode is
+  /// exactly the checkpoint_interval=1 chunk path (analytic column +
+  /// optional SweepRunner Monte Carlo overlay with the trial-indexed
+  /// deterministic reduction).
+  std::string compute_point_bytes(int index) const;
 
   // --- Final outputs, assembled from the store (points must be done). ---
 
@@ -102,7 +123,9 @@ class CampaignRunner {
   std::string figure_csv(const std::string& figure_id) const;
 
   /// Sweep mode: the campaign's CSV (header + one row per point, in
-  /// expansion order).
+  /// expansion order). Quarantined points emit an NA row (axis values kept,
+  /// every result column NA) so degraded campaigns still assemble without
+  /// silently dropping rows; genuinely pending points still throw.
   std::string sweep_csv() const;
 
   /// Writes the campaign's final outputs under `results_dir` — figures
@@ -118,6 +141,7 @@ class CampaignRunner {
   double sweep_model_value(const CampaignPoint& point) const;
   std::string sweep_row(const CampaignPoint& point, double model,
                         const sim::MonteCarloResult* mc) const;
+  std::string sweep_na_row(const CampaignPoint& point) const;
   std::vector<std::string> sweep_headers() const;
 
   ScenarioSpec spec_;

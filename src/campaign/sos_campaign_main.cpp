@@ -12,10 +12,24 @@
 //       overrides --n --sos --filters --pb --mc-trials --mc-walks --seed.
 //       --abort-after=N is a crash-test hook: the process SIGKILLs itself
 //       after N checkpoints, so resume behavior can be exercised end to end.
+//       --supervised executes the points in forked worker subprocesses
+//       under the campaign supervisor: worker crashes/hangs are retried
+//       with backoff and, past --max-retries, quarantined so the campaign
+//       completes degraded instead of dying. Chaos flags (--chaos-*)
+//       inject worker faults for testing the supervision itself.
 //   sos_campaign status <store-dir>
-//       Completed/pending point counts from the manifest + object files.
+//       Completed/pending/quarantined point counts from the manifest +
+//       object files + quarantine records.
 //   sos_campaign clean <store-dir>
-//       Removes the manifest and every stored result object.
+//       Removes the manifest, every stored result object and every
+//       quarantine record.
+//
+// Exit codes (scriptable contract, also shown by `sos_campaign help`):
+//   0  success; status: campaign complete
+//   1  hard error (bad spec, missing manifest, I/O failure)
+//   2  usage error; status: pending points remain
+//   3  quarantined points present (run completed degraded / status sees
+//      quarantine records)
 #include <signal.h>
 #include <unistd.h>
 
@@ -42,10 +56,31 @@ int usage(std::FILE* out) {
                "[--abort-after=N] [--n=..] [--sos=..]\n"
                "                    [--filters=..] [--pb=..] [--mc-trials=..] "
                "[--mc-walks=..] [--seed=..]\n"
+               "                    [--supervised] [--max-workers=N] "
+               "[--points-per-worker=N]\n"
+               "                    [--point-deadline=SECONDS] "
+               "[--max-retries=N]\n"
+               "                    [--backoff-base=SECONDS] "
+               "[--backoff-max=SECONDS]\n"
+               "                    [--chaos-sigkill=P] [--chaos-hang=P] "
+               "[--chaos-bad-exit=P]\n"
+               "                    [--chaos-truncate=P] [--chaos-seed=N] "
+               "[--chaos-max-fires=N]\n"
                "       sos_campaign status <store-dir>\n"
-               "       sos_campaign clean <store-dir>\n");
+               "       sos_campaign clean <store-dir>\n"
+               "\n"
+               "exit codes:\n"
+               "  0  success; status: campaign complete\n"
+               "  1  hard error (bad spec, missing manifest, I/O failure)\n"
+               "  2  usage error; status: pending points remain\n"
+               "  3  quarantined points present (degraded run / status sees\n"
+               "     quarantine records)\n");
   return out == stdout ? 0 : 2;
 }
+
+/// Scriptable exit code for quarantine presence (documented in usage()).
+constexpr int kExitQuarantined = 3;
+constexpr int kExitPending = 2;
 
 int reject_unused(const common::Args& args) {
   const auto unused = args.unused_keys();
@@ -103,16 +138,79 @@ campaign::ScenarioSpec resolve_spec(const std::string& target,
   return spec;
 }
 
+/// Prints the report and final outputs; returns the run exit code (0
+/// complete, kExitQuarantined degraded).
+int finish_run(const campaign::CampaignRunner& runner,
+               const campaign::CampaignReport& report,
+               const std::string& results_dir) {
+  std::printf("  cached: %d, computed: %d", report.cached, report.computed);
+  if (report.retried > 0 || report.quarantined > 0)
+    std::printf(", retried: %d, quarantined: %d", report.retried,
+                report.quarantined);
+  std::printf("\n");
+  for (const auto& failure : report.failures)
+    std::printf("  quarantined: %s (attempts %d: %s)\n", failure.key.c_str(),
+                failure.attempts, failure.reason.c_str());
+  for (const auto& path : runner.write_outputs(results_dir))
+    std::printf("  wrote %s\n", path.c_str());
+  if (report.degraded()) {
+    std::fprintf(stderr,
+                 "sos_campaign: campaign completed DEGRADED (%d point(s) "
+                 "quarantined)\n",
+                 report.quarantined);
+    return kExitQuarantined;
+  }
+  return 0;
+}
+
+int run_supervised(const campaign::ScenarioSpec& spec,
+                   const common::Args& args, const std::string& store_dir,
+                   const std::string& results_dir) {
+  campaign::SupervisorOptions options;
+  options.store_dir = store_dir;
+  options.max_workers =
+      static_cast<int>(args.get_int("max-workers", options.max_workers));
+  options.points_per_worker = static_cast<int>(
+      args.get_int("points-per-worker", options.points_per_worker));
+  options.point_deadline_s =
+      args.get_double("point-deadline", options.point_deadline_s);
+  options.max_retries =
+      static_cast<int>(args.get_int("max-retries", options.max_retries));
+  options.backoff_base_s =
+      args.get_double("backoff-base", options.backoff_base_s);
+  options.backoff_max_s = args.get_double("backoff-max", options.backoff_max_s);
+  options.chaos.seed = static_cast<std::uint64_t>(args.get_int(
+      "chaos-seed", static_cast<std::int64_t>(options.chaos.seed)));
+  options.chaos.sigkill = args.get_double("chaos-sigkill", 0.0);
+  options.chaos.hang = args.get_double("chaos-hang", 0.0);
+  options.chaos.bad_exit = args.get_double("chaos-bad-exit", 0.0);
+  options.chaos.truncate = args.get_double("chaos-truncate", 0.0);
+  options.chaos.max_fires_per_point = static_cast<int>(
+      args.get_int("chaos-max-fires", options.chaos.max_fires_per_point));
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+
+  campaign::Supervisor supervisor{spec, options};
+  std::printf("campaign %s: %zu points, store %s (supervised, %d workers)\n",
+              spec.name.c_str(), supervisor.runner().points().size(),
+              store_dir.c_str(), options.max_workers);
+  const auto report = supervisor.run();
+  return finish_run(supervisor.runner(), report, results_dir);
+}
+
 int cmd_run(const common::Args& args) {
   if (args.positional().size() < 2) return usage(stderr);
   auto spec = resolve_spec(args.positional()[1], args);
 
-  campaign::CampaignOptions options;
-  options.store_dir = args.get_string(
+  const std::string store_dir = args.get_string(
       "store", (std::filesystem::path("campaign-store") / spec.name).string());
+  const std::string results_dir = args.get_string("results", "results");
+  if (args.get_bool("supervised", false))
+    return run_supervised(spec, args, store_dir, results_dir);
+
+  campaign::CampaignOptions options;
+  options.store_dir = store_dir;
   options.checkpoint_interval = static_cast<int>(
       args.get_int("checkpoint-interval", options.checkpoint_interval));
-  const std::string results_dir = args.get_string("results", "results");
 
   const auto abort_after = args.get_int("abort-after", 0);
   if (abort_after > 0) {
@@ -132,10 +230,7 @@ int cmd_run(const common::Args& args) {
   std::printf("campaign %s: %zu points, store %s\n", spec.name.c_str(),
               runner.points().size(), options.store_dir.c_str());
   const auto report = runner.run();
-  std::printf("  cached: %d, computed: %d\n", report.cached, report.computed);
-  for (const auto& path : runner.write_outputs(results_dir))
-    std::printf("  wrote %s\n", path.c_str());
-  return 0;
+  return finish_run(runner, report, results_dir);
 }
 
 int cmd_status(const common::Args& args) {
@@ -150,6 +245,7 @@ int cmd_status(const common::Args& args) {
   int total = 0;
   int done = 0;
   std::vector<std::string> pending;
+  std::vector<campaign::PointFailure> quarantined;
   for (const auto& line : common::split(*manifest, '\n')) {
     const auto fields = common::split(line, '\t');
     if (fields.size() < 3) {
@@ -158,14 +254,27 @@ int cmd_status(const common::Args& args) {
       continue;
     }
     ++total;
-    if (store.has(std::string(fields[1]))) {
-      ++done;
+    const std::string digest{fields[1]};
+    if (store.has(digest)) {
+      ++done;  // an object always wins over a stale quarantine record
+    } else if (auto failure = store.load_failure(digest)) {
+      quarantined.push_back(std::move(*failure));
     } else {
       pending.push_back(std::string(fields[2]));
     }
   }
-  std::printf("done %d/%d\n", done, total);
+  std::printf("done %d/%d", done, total);
+  if (!quarantined.empty())
+    std::printf(" (%zu quarantined)", quarantined.size());
+  std::printf("\n");
   for (const auto& key : pending) std::printf("  pending: %s\n", key.c_str());
+  for (const auto& failure : quarantined)
+    std::printf("  quarantined: %s (attempts %d: %s)\n", failure.key.c_str(),
+                failure.attempts, failure.reason.c_str());
+  // Scriptable: 0 complete, kExitPending pending, kExitQuarantined when
+  // quarantine records are present (quarantine outranks pending).
+  if (!quarantined.empty()) return kExitQuarantined;
+  if (!pending.empty()) return kExitPending;
   return 0;
 }
 

@@ -1,0 +1,399 @@
+#include "campaign/supervisor.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/proc.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace sos::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Which chaos fault (if any) fires for this (point, attempt). Draws come
+/// from a stream keyed on (seed, index), advanced to the attempt, so a
+/// schedule replays identically however the supervisor interleaves work.
+enum class ChaosAction { kNone, kSigkill, kHang, kBadExit, kTruncate };
+
+ChaosAction chaos_action(const ChaosConfig& chaos, int index, int attempt) {
+  if (!chaos.enabled()) return ChaosAction::kNone;
+  if (chaos.max_fires_per_point > 0 && attempt >= chaos.max_fires_per_point)
+    return ChaosAction::kNone;
+  common::Rng rng{chaos.seed ^ common::mix64(static_cast<std::uint64_t>(
+                                   0x9e3779b9u + static_cast<unsigned>(index)))};
+  for (int skip = 0; skip < attempt; ++skip) rng.next();
+  const double roll = rng.next_double();
+  double acc = chaos.sigkill;
+  if (roll < acc) return ChaosAction::kSigkill;
+  acc += chaos.hang;
+  if (roll < acc) return ChaosAction::kHang;
+  acc += chaos.bad_exit;
+  if (roll < acc) return ChaosAction::kBadExit;
+  acc += chaos.truncate;
+  if (roll < acc) return ChaosAction::kTruncate;
+  return ChaosAction::kNone;
+}
+
+/// Result frame payload: [u32 point index][result bytes].
+std::string result_payload(int index, const std::string& bytes) {
+  std::string payload;
+  payload.reserve(4 + bytes.size());
+  common::append_u32le(payload, static_cast<std::uint32_t>(index));
+  payload += bytes;
+  return payload;
+}
+
+/// The chaos "torn frame" write: a length prefix announcing the full
+/// payload, followed by only half of it. To the supervisor this is exactly
+/// what a worker dying mid-checkpoint-write looks like.
+void write_truncated_frame(int fd, const std::string& payload) {
+  std::string frame;
+  common::append_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload.data(), payload.size() / 2);
+  // Best effort: the parent may already be gone, which is fine for chaos.
+  [[maybe_unused]] const ::ssize_t n = ::write(fd, frame.data(), frame.size());
+}
+
+/// Worker body, run in the forked child: compute assigned points in order,
+/// stream one frame per result. Returning is exiting (via _exit in
+/// Subprocess::spawn).
+int worker_main(const CampaignRunner& runner, const ChaosConfig& chaos,
+                const std::vector<int>& shard, const std::vector<int>& attempts,
+                int write_fd) {
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    switch (chaos_action(chaos, shard[i], attempts[i])) {
+      case ChaosAction::kSigkill:
+        ::raise(SIGKILL);
+        break;
+      case ChaosAction::kHang:
+        ::raise(SIGSTOP);  // silent: only the supervisor's deadline saves us
+        break;
+      case ChaosAction::kBadExit:
+        return kChaosBadExitCode;
+      case ChaosAction::kTruncate:
+        write_truncated_frame(
+            write_fd, result_payload(shard[i], "chaos-torn-frame"));
+        return 0;  // the lying worker: clean exit, torn result
+      case ChaosAction::kNone:
+        break;
+    }
+    const std::string bytes = runner.compute_point_bytes(shard[i]);
+    if (!common::write_frame(write_fd, result_payload(shard[i], bytes)))
+      return 1;  // supervisor is gone; stop quietly
+  }
+  return 0;
+}
+
+}  // namespace
+
+void ChaosConfig::validate() const {
+  const auto check_prob = [](const char* field, double value) {
+    if (!(value >= 0.0 && value <= 1.0))
+      throw std::invalid_argument(
+          "ChaosConfig: bad " + std::string(field) + " '" +
+          common::format_double(value, 4) +
+          "' (accepted: probability in [0, 1])");
+  };
+  check_prob("sigkill", sigkill);
+  check_prob("hang", hang);
+  check_prob("bad_exit", bad_exit);
+  check_prob("truncate", truncate);
+  if (max_fires_per_point < 0)
+    throw std::invalid_argument(
+        "ChaosConfig: bad max_fires_per_point '" +
+        std::to_string(max_fires_per_point) +
+        "' (accepted: 0 = unlimited, or a positive fire budget)");
+}
+
+void SupervisorOptions::validate() const {
+  if (max_workers < 1)
+    throw std::invalid_argument("SupervisorOptions: bad max_workers '" +
+                                std::to_string(max_workers) +
+                                "' (accepted: >= 1)");
+  if (points_per_worker < 1)
+    throw std::invalid_argument("SupervisorOptions: bad points_per_worker '" +
+                                std::to_string(points_per_worker) +
+                                "' (accepted: >= 1)");
+  if (!(point_deadline_s > 0.0))
+    throw std::invalid_argument("SupervisorOptions: bad point_deadline_s '" +
+                                common::format_double(point_deadline_s, 4) +
+                                "' (accepted: > 0 seconds)");
+  if (max_retries < 0)
+    throw std::invalid_argument("SupervisorOptions: bad max_retries '" +
+                                std::to_string(max_retries) +
+                                "' (accepted: >= 0)");
+  if (backoff_base_s < 0.0 || backoff_max_s < 0.0)
+    throw std::invalid_argument(
+        "SupervisorOptions: bad backoff '" +
+        common::format_double(backoff_base_s, 4) + "/" +
+        common::format_double(backoff_max_s, 4) +
+        "' (accepted: base and max both >= 0 seconds)");
+  chaos.validate();
+}
+
+Supervisor::Supervisor(ScenarioSpec spec, SupervisorOptions options)
+    : runner_(std::move(spec),
+              CampaignOptions{options.store_dir, nullptr, 1, nullptr}),
+      options_(std::move(options)) {
+  options_.validate();
+}
+
+CampaignReport Supervisor::run() {
+  const ResultStore& store = runner_.store();
+  store.write_manifest(runner_.manifest_text());
+
+  const int total = static_cast<int>(runner_.points().size());
+
+  struct PointState {
+    int failures = 0;  // charged attempts that ended in a worker fault
+    Clock::time_point eligible_at{};  // backoff gate; default = epoch = now
+  };
+  std::vector<PointState> state(static_cast<std::size_t>(total));
+
+  std::deque<int> queue;
+  int cached = 0;
+  for (int i = 0; i < total; ++i) {
+    if (store.has(runner_.digest(i))) {
+      ++cached;
+    } else {
+      queue.push_back(i);  // includes previously quarantined points
+    }
+  }
+
+  struct Worker {
+    common::Subprocess proc;
+    common::FrameBuffer frames;
+    std::vector<int> shard;
+    std::size_t cursor = 0;  // shard[cursor] is the point in flight
+    Clock::time_point deadline;
+    bool finished = false;
+  };
+  std::vector<Worker> workers;
+
+  int computed = 0;
+  int retried = 0;
+  common::Rng jitter_rng{options_.jitter_seed};
+  const auto deadline_budget = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.point_deadline_s));
+
+  const auto backoff_for = [&](int failures) {
+    double delay = options_.backoff_base_s *
+                   std::pow(2.0, std::max(0, failures - 1));
+    delay = std::min(delay, options_.backoff_max_s);
+    delay *= 1.0 + 0.5 * jitter_rng.next_double();  // jitter factor [1, 1.5)
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(delay));
+  };
+
+  // Launches one worker over up to points_per_worker currently eligible
+  // points (earliest first, preserving expansion order); returns false when
+  // nothing is eligible.
+  const auto spawn_worker = [&]() {
+    const auto now = Clock::now();
+    std::vector<int> shard;
+    std::vector<int> attempts;
+    std::deque<int> waiting;
+    while (!queue.empty() &&
+           shard.size() < static_cast<std::size_t>(options_.points_per_worker)) {
+      const int index = queue.front();
+      queue.pop_front();
+      if (state[static_cast<std::size_t>(index)].eligible_at <= now) {
+        shard.push_back(index);
+        attempts.push_back(state[static_cast<std::size_t>(index)].failures);
+      } else {
+        waiting.push_back(index);
+      }
+    }
+    for (auto it = waiting.rbegin(); it != waiting.rend(); ++it)
+      queue.push_front(*it);
+    if (shard.empty()) return false;
+
+    const ChaosConfig chaos = options_.chaos;
+    const CampaignRunner* runner = &runner_;
+    workers.push_back(Worker{
+        common::Subprocess::spawn(
+            [runner, chaos, &shard, &attempts](int write_fd) {
+              return worker_main(*runner, chaos, shard, attempts, write_fd);
+            }),
+        common::FrameBuffer{},
+        std::move(shard),  // braced init: spawn above runs first
+        /*cursor=*/0,
+        Clock::now() + deadline_budget,
+        /*finished=*/false});
+    return true;
+  };
+
+  // A worker died (or lied). Charge the poison point — the first unfinished
+  // one, since workers compute in order — and reschedule the innocent rest.
+  const auto handle_failure = [&](Worker& worker, const std::string& reason) {
+    const auto now = Clock::now();
+    std::vector<int> unfinished(worker.shard.begin() +
+                                    static_cast<std::ptrdiff_t>(worker.cursor),
+                                worker.shard.end());
+    std::deque<int> requeue;
+    if (!unfinished.empty()) {
+      const int culprit = unfinished.front();
+      PointState& ps = state[static_cast<std::size_t>(culprit)];
+      ps.failures += 1;
+      if (ps.failures > options_.max_retries) {
+        PointFailure failure;
+        failure.index = culprit;
+        failure.key = runner_.points()[static_cast<std::size_t>(culprit)].key;
+        failure.attempts = ps.failures;
+        failure.reason = reason;
+        store.quarantine(runner_.digest(culprit), failure);
+        // Quarantined: NOT requeued; the campaign degrades around it.
+      } else {
+        ++retried;
+        ps.eligible_at = now + backoff_for(ps.failures);
+        requeue.push_back(culprit);
+      }
+      for (std::size_t i = 1; i < unfinished.size(); ++i)
+        requeue.push_back(unfinished[i]);  // innocent: eligible immediately
+    }
+    for (auto it = requeue.rbegin(); it != requeue.rend(); ++it)
+      queue.push_front(*it);
+    worker.finished = true;
+  };
+
+  const auto on_result_frame = [&](Worker& worker, const std::string& frame) {
+    if (frame.size() < 4) return false;  // protocol corruption
+    const int index = static_cast<int>(common::read_u32le(frame.data()));
+    // Robustness: accept any unfinished shard member, though in-order
+    // workers always deliver shard[cursor] next.
+    const auto it = std::find(worker.shard.begin() +
+                                  static_cast<std::ptrdiff_t>(worker.cursor),
+                              worker.shard.end(), index);
+    if (it == worker.shard.end()) return false;  // not ours / duplicate
+    store.put(runner_.digest(index), frame.substr(4));
+    std::iter_swap(worker.shard.begin() +
+                       static_cast<std::ptrdiff_t>(worker.cursor),
+                   it);
+    ++worker.cursor;
+    ++computed;
+    if (options_.checkpoint_hook) options_.checkpoint_hook(computed);
+    worker.deadline = Clock::now() + deadline_budget;
+    return true;
+  };
+
+  while (!queue.empty() || !workers.empty()) {
+    while (static_cast<int>(workers.size()) < options_.max_workers) {
+      if (!spawn_worker()) break;
+    }
+
+    if (workers.empty()) {
+      // Everything pending is backing off: sleep until the earliest gate.
+      auto earliest = Clock::time_point::max();
+      for (const int index : queue)
+        earliest = std::min(earliest,
+                            state[static_cast<std::size_t>(index)].eligible_at);
+      const auto now = Clock::now();
+      if (earliest > now)
+        std::this_thread::sleep_for(
+            std::min<Clock::duration>(earliest - now,
+                                      std::chrono::milliseconds(200)));
+      continue;
+    }
+
+    std::vector<::pollfd> fds;
+    fds.reserve(workers.size());
+    auto wake_at = Clock::time_point::max();
+    for (const auto& worker : workers) {
+      fds.push_back({worker.proc.read_fd(), POLLIN, 0});
+      wake_at = std::min(wake_at, worker.deadline);
+    }
+    if (static_cast<int>(workers.size()) < options_.max_workers)
+      for (const int index : queue)
+        wake_at = std::min(wake_at,
+                           state[static_cast<std::size_t>(index)].eligible_at);
+
+    const auto now_before = Clock::now();
+    int timeout_ms = 1;
+    if (wake_at > now_before)
+      timeout_ms = static_cast<int>(std::clamp<long long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(wake_at -
+                                                                now_before)
+                  .count() +
+              1,
+          1, 1000));
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      Worker& worker = workers[w];
+      if (worker.finished) continue;
+
+      if (fds[w].revents & (POLLIN | POLLHUP | POLLERR)) {
+        char buffer[65536];
+        const ::ssize_t n =
+            ::read(worker.proc.read_fd(), buffer, sizeof(buffer));
+        if (n > 0) {
+          worker.frames.feed(buffer, static_cast<std::size_t>(n));
+          bool protocol_ok = true;
+          while (auto frame = worker.frames.next_frame()) {
+            if (!on_result_frame(worker, *frame)) {
+              protocol_ok = false;
+              break;
+            }
+          }
+          if (!protocol_ok || worker.frames.corrupt()) {
+            worker.proc.kill();
+            worker.proc.wait_exit();
+            handle_failure(worker, "corrupt result frame stream");
+            continue;
+          }
+        } else if (n == 0) {
+          // EOF: the worker is exiting (or dead). Reap and classify.
+          const auto exit = worker.proc.wait_exit();
+          const bool all_done = worker.cursor == worker.shard.size();
+          if (exit.clean() && all_done && !worker.frames.mid_frame()) {
+            worker.finished = true;  // clean success
+          } else if (worker.frames.mid_frame()) {
+            handle_failure(worker,
+                           "truncated result frame (" + exit.describe() + ")");
+          } else {
+            handle_failure(worker, exit.describe());
+          }
+          continue;
+        }
+        // n < 0: EINTR or spurious wakeup; the next poll retries.
+      }
+
+      if (!worker.finished && Clock::now() >= worker.deadline) {
+        // Silent past the per-point deadline (hang, livelock, SIGSTOP):
+        // SIGKILL terminates even a stopped process.
+        worker.proc.kill();
+        worker.proc.wait_exit();
+        handle_failure(worker, "deadline " +
+                                   common::format_double(
+                                       options_.point_deadline_s, 2) +
+                                   "s exceeded");
+      }
+    }
+
+    workers.erase(std::remove_if(workers.begin(), workers.end(),
+                                 [](const Worker& worker) {
+                                   return worker.finished;
+                                 }),
+                  workers.end());
+  }
+
+  CampaignReport report = runner_.status();
+  report.cached = cached;
+  report.computed = computed;
+  report.retried = retried;
+  return report;
+}
+
+}  // namespace sos::campaign

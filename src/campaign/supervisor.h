@@ -1,0 +1,138 @@
+// Supervisor — crash-tolerant campaign execution over process-isolated
+// workers.
+//
+// PR 4's CampaignRunner is crash-*safe* (atomic checkpoints, resume) but
+// not crash-*tolerant*: a single hung Monte Carlo point, an FP trap, or an
+// OOM kill takes the whole campaign process down. The Supervisor gives the
+// execution layer the same treatment the simulated substrate got from the
+// fault-injection subsystem: worker faults are expected, detected, retried
+// and degraded around — never fatal.
+//
+// Execution model:
+//
+//   * Pending points are sharded onto up to `max_workers` forked worker
+//     subprocesses (common::Subprocess), `points_per_worker` points each.
+//   * A worker computes its points IN ORDER via
+//     CampaignRunner::compute_point_bytes — the exact in-process unit of
+//     work, so bytes are bit-identical to an unsupervised run — and streams
+//     each finished result to the supervisor as one length-prefixed frame
+//     ([u32 point index][result bytes]).
+//   * The supervisor durably checkpoints every frame on arrival and arms a
+//     fresh per-point wall-clock deadline. A worker that exits nonzero, is
+//     signal-killed, goes silent past its deadline (SIGKILLed), or lies
+//     (exit 0 with unfinished points / a torn frame) is reaped and its
+//     unfinished points rescheduled.
+//   * Because workers compute in order, the FIRST unfinished point is the
+//     one that was in flight when the worker died — the poison point. Only
+//     it is charged an attempt and backed off (exponential + jitter); the
+//     innocent remainder requeues immediately. After `max_retries` charged
+//     failures the point is quarantined: a typed PointFailure record in the
+//     store, an NA row in sweep CSVs, and the campaign completes in
+//     degraded mode instead of dying.
+//
+// The chaos harness (ChaosConfig) is the proof: a seeded, test-only fault
+// injector that makes workers SIGKILL themselves, hang under SIGSTOP, exit
+// with bogus codes, or tear a frame mid-write. Chaos draws are
+// deterministic per (seed, point, attempt), so every schedule is
+// reproducible, and the chaos tests assert each one converges to a
+// complete-or-quarantined report with zero lost checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+
+namespace sos::campaign {
+
+/// Exit code a chaos "bogus exit" worker terminates with (test-visible so
+/// failure reasons can be asserted against it).
+inline constexpr int kChaosBadExitCode = 41;
+
+/// Seeded, test-only worker fault injector — the execution-layer sibling of
+/// faults::FaultConfig. Each probability selects one way for a worker to
+/// die immediately before computing a point; draws are deterministic per
+/// (seed, point index, attempt), so schedules replay exactly. Inert by
+/// default.
+struct ChaosConfig {
+  std::uint64_t seed = 0x5055ULL;
+  double sigkill = 0.0;   // raise(SIGKILL): instant worker death
+  double hang = 0.0;      // raise(SIGSTOP): silent hang until the deadline
+  double bad_exit = 0.0;  // _exit(kChaosBadExitCode) without computing
+  double truncate = 0.0;  // write half a result frame, then exit "cleanly"
+
+  /// Faults fire on at most this many attempts per point (so a chaotic
+  /// point deterministically succeeds once retried past them). 0 means
+  /// unlimited: every attempt re-rolls, and a certain fault (p=1.0) drives
+  /// the point into quarantine.
+  int max_fires_per_point = 1;
+
+  bool enabled() const noexcept {
+    return sigkill > 0 || hang > 0 || bad_exit > 0 || truncate > 0;
+  }
+
+  /// Throws std::invalid_argument ("(accepted:)" style) on out-of-range
+  /// probabilities or a negative max_fires_per_point.
+  void validate() const;
+};
+
+struct SupervisorOptions {
+  std::string store_dir;
+
+  int max_workers = 2;        // concurrent worker subprocesses
+  int points_per_worker = 16; // max shard size per worker launch
+
+  /// Per-point wall-clock deadline: rearmed every time a worker delivers a
+  /// result, so it bounds single-point silence, not whole-shard runtime.
+  double point_deadline_s = 300.0;
+
+  /// Charged failures a point survives before quarantine. A point is
+  /// attempted at most 1 + max_retries times.
+  int max_retries = 2;
+
+  /// Retry backoff: min(backoff_max_s, backoff_base_s * 2^(failures-1)),
+  /// stretched by a deterministic jitter factor in [1, 1.5) drawn from
+  /// jitter_seed.
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 2.0;
+  std::uint64_t jitter_seed = 0x5055ULL;
+
+  ChaosConfig chaos;  // test-only fault injection, inert by default
+
+  /// Same contract as CampaignOptions::checkpoint_hook: invoked after each
+  /// newly computed point is durable, with the running count. A throwing
+  /// hook aborts the supervisor (workers are killed and reaped); every
+  /// checkpoint written so far survives.
+  std::function<void(int completed)> checkpoint_hook;
+
+  /// Throws std::invalid_argument ("(accepted:)" style) on non-positive
+  /// worker counts/deadline, negative retry/backoff values, or an invalid
+  /// chaos config.
+  void validate() const;
+};
+
+class Supervisor {
+ public:
+  /// Validates options, expands the spec and opens the store (via an
+  /// embedded CampaignRunner, which also serves output assembly).
+  Supervisor(ScenarioSpec spec, SupervisorOptions options);
+
+  const CampaignRunner& runner() const noexcept { return runner_; }
+  const SupervisorOptions& options() const noexcept { return options_; }
+
+  /// Supervised execution of every pending point (previously quarantined
+  /// points count as pending and get a fresh set of attempts). Worker
+  /// faults never throw — they are retried/quarantined per the options —
+  /// so the returned report always satisfies settled(): every point is
+  /// cached, computed, or quarantined. report.retried counts charged
+  /// retries; degraded() flags quarantine.
+  CampaignReport run();
+
+ private:
+  CampaignRunner runner_;
+  SupervisorOptions options_;
+};
+
+}  // namespace sos::campaign

@@ -1,8 +1,10 @@
 #include "common/files.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +14,12 @@
 namespace sos::common {
 
 namespace {
+
+WriteFileHook g_write_hook;
+
+void hook(std::string_view step, const std::string& path) {
+  if (g_write_hook) g_write_hook(step, path);
+}
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw std::runtime_error("write_file_atomic: " + what + " '" + path + "'");
@@ -26,28 +34,87 @@ std::string temp_name_for(const std::string& path) {
          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
+/// write(2) until done, retrying EINTR. Returns false on any other error.
+bool write_fully(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int retrying_fsync(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
 }  // namespace
+
+void set_write_file_atomic_hook(WriteFileHook new_hook) {
+  g_write_hook = std::move(new_hook);
+}
 
 void write_file_atomic(const std::string& path, const std::string& content) {
   const std::string temp = temp_name_for(path);
-  {
-    std::ofstream out{temp, std::ios::binary | std::ios::trunc};
-    if (!out) fail("cannot open temp file", temp);
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(temp.c_str());
-      fail("short write to temp file", temp);
-    }
+
+  const int fd =
+      ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot open temp file", temp);
+  hook("open_temp", temp);
+
+  if (!write_fully(fd, content.data(), content.size())) {
+    ::close(fd);
+    std::remove(temp.c_str());
+    fail("short write to temp file", temp);
   }
+  hook("write", temp);
+
+  // Data must be persistent BEFORE the rename publishes the name, or a
+  // power loss could leave the final path pointing at rolled-back bytes.
+  if (retrying_fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(temp.c_str());
+    fail("fsync failed on temp file", temp);
+  }
+  hook("fsync_temp", temp);
+
+  if (::close(fd) != 0) {
+    std::remove(temp.c_str());
+    fail("close failed on temp file", temp);
+  }
+  hook("close_temp", temp);
+
   std::error_code error;
   std::filesystem::rename(temp, path, error);
   if (error) {
     std::remove(temp.c_str());
     fail("rename failed onto", path);
   }
+  hook("rename", path);
+
+  // The rename is only durable once the directory entry itself is synced.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const std::string dir_or_dot = dir.empty() ? std::string(".") : dir;
+  const int dir_fd =
+      ::open(dir_or_dot.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) fail("cannot open parent directory of", path);
+  hook("open_dir", dir_or_dot);
+  if (retrying_fsync(dir_fd) != 0) {
+    ::close(dir_fd);
+    fail("fsync failed on parent directory of", path);
+  }
+  hook("fsync_dir", dir_or_dot);
+  ::close(dir_fd);
+  hook("close_dir", dir_or_dot);
 }
 
 std::optional<std::string> read_file(const std::string& path) {

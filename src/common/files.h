@@ -7,18 +7,40 @@
 // guarantee with the classic temp-file-in-same-directory + rename dance —
 // on POSIX, rename over an existing path is atomic, so observers see either
 // the old content or the complete new content, never a prefix.
+//
+// Atomicity alone is not durability: after a power loss the rename itself,
+// or the renamed file's *contents*, may be rolled back unless the data hit
+// the disk first. write_file_atomic therefore fsyncs the temp file before
+// the rename (the bytes are persistent before the name flips) and fsyncs
+// the parent directory after it (the directory entry — the checkpoint's
+// existence — is persistent before the call returns). The exact syscall
+// sequence is observable through a test-only hook so the ordering is pinned
+// by tests, not just by comments.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace sos::common {
 
-/// Atomically replaces `path` with `content`. Writes to a hidden temp file
-/// in the same directory (same filesystem, so the final rename cannot turn
-/// into a copy), then renames it over the target. Throws std::runtime_error
-/// on any I/O failure, removing the temp file first.
+/// Atomically and durably replaces `path` with `content`. Writes to a
+/// hidden temp file in the same directory (same filesystem, so the final
+/// rename cannot turn into a copy), fsyncs it, renames it over the target,
+/// then fsyncs the parent directory. Throws std::runtime_error on any I/O
+/// failure, removing the temp file first.
 void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Test-only observation hook for write_file_atomic: called once per
+/// durability-relevant step, in execution order, with the step name and the
+/// path it applies to. Steps: "open_temp", "write", "fsync_temp",
+/// "close_temp", "rename", "open_dir", "fsync_dir", "close_dir".
+/// Not thread-safe: install/clear only while no concurrent writers run
+/// (tests). Pass nullptr-equivalent (default-constructed) to clear.
+using WriteFileHook =
+    std::function<void(std::string_view step, const std::string& path)>;
+void set_write_file_atomic_hook(WriteFileHook hook);
 
 /// Whole-file read (binary). Returns std::nullopt if the file cannot be
 /// opened; throws std::runtime_error if it opens but reading fails.

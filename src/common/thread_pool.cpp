@@ -78,9 +78,34 @@ void ThreadPool::worker_loop(int worker_id) {
   }
 }
 
+namespace {
+
+// Heap-allocated (never destroyed) rather than a function-local static so a
+// forked child can abandon the parent's copy: a static's exit-time
+// destructor would try to join worker threads that do not exist in the
+// child. The creation mutex is only contended on first use.
+std::atomic<ThreadPool*> g_shared_pool{nullptr};
+std::mutex g_shared_pool_mutex;
+
+}  // namespace
+
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
-  return pool;
+  ThreadPool* pool = g_shared_pool.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::lock_guard<std::mutex> lock(g_shared_pool_mutex);
+  pool = g_shared_pool.load(std::memory_order_relaxed);
+  if (pool == nullptr) {
+    pool = new ThreadPool;
+    g_shared_pool.store(pool, std::memory_order_release);
+  }
+  return *pool;
+}
+
+void ThreadPool::reset_shared_after_fork() noexcept {
+  // Plain store, no lock: the freshly forked child is single-threaded, and
+  // taking the creation mutex here could deadlock if another parent thread
+  // held it at fork time. The old pool object is leaked on purpose.
+  g_shared_pool.store(nullptr, std::memory_order_release);
 }
 
 }  // namespace sos::common

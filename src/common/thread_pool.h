@@ -50,6 +50,14 @@ class ThreadPool {
   /// these workers.
   static ThreadPool& shared();
 
+  /// Fork support: a forked child inherits the shared pool object but NOT
+  /// its worker threads, so any parallel_for through the stale pool would
+  /// hang forever. Subprocess::spawn calls this in the child immediately
+  /// after fork: the parent's pool copy is abandoned (deliberately leaked —
+  /// its threads do not exist here, so destroying it would hang too) and
+  /// the next shared() call lazily builds a fresh pool in the child.
+  static void reset_shared_after_fork() noexcept;
+
  private:
   void worker_loop(int worker_id);
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Pins the sos_campaign exit-code contract (documented in `sos_campaign
+# help`):
+#
+#   run:    0 complete, 3 completed degraded (quarantined points)
+#   status: 0 complete, 2 pending points remain, 3 quarantined present
+#
+# Scripts (run_all.sh --supervised, CI gates) branch on these numbers, so
+# they are API: this test drives the real binary through complete, pending
+# and quarantined stores and asserts each code.
+#
+# Usage: cli_exit_codes_test.sh <path-to-sos_campaign>
+set -uo pipefail
+
+cli="${1:?usage: cli_exit_codes_test.sh <path-to-sos_campaign>}"
+work="$(mktemp -d "${TMPDIR:-/tmp}/sos_cli_exit_XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+failures=0
+expect_rc() {
+  local want="$1" got="$2" what="$3"
+  if [[ "$got" != "$want" ]]; then
+    echo "FAIL: $what: expected exit $want, got $got" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $what -> exit $got"
+  fi
+}
+
+# A tiny 4-point sweep, cheap enough to run many times.
+spec="$work/tiny.spec"
+cat > "$spec" <<'EOF'
+campaign = clitiny
+mode = sweep
+n = 1000
+mc_trials = 2
+mc_walks = 2
+seed = 7
+layers = 1,3
+mappings = one-to-one
+break_in = 0,50
+congestion = 200
+EOF
+
+# help exits 0 and documents the contract.
+"$cli" help > "$work/help.txt" 2>&1
+expect_rc 0 $? "help"
+grep -q "exit codes:" "$work/help.txt" || {
+  echo "FAIL: help does not document exit codes" >&2
+  failures=$((failures + 1))
+}
+
+# Usage errors exit 2.
+"$cli" run > /dev/null 2>&1
+expect_rc 2 $? "run without a spec (usage error)"
+
+# Hard errors (missing manifest) exit 1.
+"$cli" status "$work/empty-store" > /dev/null 2>&1
+expect_rc 1 $? "status on a store with no manifest"
+
+# A complete run exits 0, and status over its store exits 0.
+"$cli" run "$spec" --store="$work/store" --results="$work/results" \
+  > /dev/null 2>&1
+expect_rc 0 $? "clean run"
+"$cli" status "$work/store" > /dev/null 2>&1
+expect_rc 0 $? "status of a complete store"
+
+# An interrupted run leaves pending points: status exits 2.
+"$cli" run "$spec" --store="$work/partial" --results="$work/results" \
+  --abort-after=2 > /dev/null 2>&1  # SIGKILLs itself; rc is the signal
+"$cli" status "$work/partial" > "$work/partial_status.txt" 2>&1
+expect_rc 2 $? "status with pending points"
+grep -q "pending:" "$work/partial_status.txt" || {
+  echo "FAIL: pending status does not list pending points" >&2
+  failures=$((failures + 1))
+}
+
+# A supervised run whose workers always die quarantines every point:
+# run exits 3 (degraded), status exits 3, and the records carry the
+# chaos exit code.
+"$cli" run "$spec" --store="$work/degraded" --results="$work/results" \
+  --supervised --max-retries=1 --backoff-base=0.01 --backoff-max=0.05 \
+  --chaos-bad-exit=1.0 --chaos-max-fires=0 > "$work/degraded_run.txt" 2>&1
+expect_rc 3 $? "supervised run degraded by certain worker faults"
+"$cli" status "$work/degraded" > "$work/degraded_status.txt" 2>&1
+expect_rc 3 $? "status with quarantined points"
+grep -q "quarantined:" "$work/degraded_status.txt" || {
+  echo "FAIL: degraded status does not list quarantined points" >&2
+  failures=$((failures + 1))
+}
+
+# Supervised retry path: faults on the first attempt only -> the campaign
+# completes (exit 0) and its store reads complete (exit 0).
+"$cli" run "$spec" --store="$work/retried" --results="$work/results" \
+  --supervised --backoff-base=0.01 --backoff-max=0.05 \
+  --chaos-sigkill=1.0 > /dev/null 2>&1
+expect_rc 0 $? "supervised run that retries past first-attempt faults"
+"$cli" status "$work/retried" > /dev/null 2>&1
+expect_rc 0 $? "status after supervised recovery"
+
+# Quarantine is not a tombstone: a later supervised run without chaos
+# recomputes the quarantined points and clears the records.
+"$cli" run "$spec" --store="$work/degraded" --results="$work/results" \
+  --supervised --backoff-base=0.01 --backoff-max=0.05 > /dev/null 2>&1
+expect_rc 0 $? "supervised rerun recovers the quarantined store"
+"$cli" status "$work/degraded" > /dev/null 2>&1
+expect_rc 0 $? "status after quarantine recovery"
+
+if [[ "$failures" != 0 ]]; then
+  echo "$failures exit-code contract violation(s)" >&2
+  exit 1
+fi
+echo "exit-code contract holds"

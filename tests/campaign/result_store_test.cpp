@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "campaign/digest.h"
 #include "common/files.h"
@@ -107,6 +109,88 @@ TEST_F(ResultStoreTest, ReopeningSeesExistingObjects) {
   EXPECT_EQ(*reopened.load(digest), "kept");
 }
 
+TEST_F(ResultStoreTest, TruncatedObjectCountsAsMissing) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "0,500,one-to-one,3,0.5120\n");
+  ASSERT_TRUE(store.has(digest));
+
+  // Hand-truncate the object on disk — the power-loss/bad-disk case the
+  // container check exists for. The point must read as missing (so resume
+  // recomputes it), never as garbage bytes.
+  const auto path = store.object_path(digest);
+  const auto full = *common::read_file(path);
+  std::ofstream{path, std::ios::binary | std::ios::trunc}
+      << full.substr(0, full.size() / 2);
+
+  EXPECT_FALSE(store.has(digest));
+  EXPECT_FALSE(store.load(digest).has_value());
+
+  // put() repairs it.
+  store.put(digest, "recomputed");
+  EXPECT_EQ(*store.load(digest), "recomputed");
+}
+
+TEST_F(ResultStoreTest, AppendedGarbageCountsAsMissing) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "payload");
+  std::ofstream{store.object_path(digest), std::ios::binary | std::ios::app}
+      << "trailing junk";
+  EXPECT_FALSE(store.has(digest));
+}
+
+TEST_F(ResultStoreTest, QuarantineRecordRoundTrips) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("poison");
+  EXPECT_FALSE(store.is_quarantined(digest));
+
+  PointFailure failure;
+  failure.index = 5;
+  failure.key = "nt=50 nc=200 mapping=one-to-all layers=3";
+  failure.attempts = 3;
+  failure.reason = "signal 9 (SIGKILL)";
+  store.quarantine(digest, failure);
+
+  EXPECT_TRUE(store.is_quarantined(digest));
+  const auto loaded = store.load_failure(digest);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->index, 5);
+  EXPECT_EQ(loaded->key, failure.key);
+  EXPECT_EQ(loaded->attempts, 3);
+  EXPECT_EQ(loaded->reason, "signal 9 (SIGKILL)");
+}
+
+TEST_F(ResultStoreTest, PutClearsTheQuarantineRecord) {
+  // An object, once present, always wins over a stale quarantine record.
+  ResultStore store{dir()};
+  const auto digest = salted_digest("poison");
+  store.quarantine(digest, PointFailure{1, "key", 3, "exit 41"});
+  ASSERT_TRUE(store.is_quarantined(digest));
+  store.put(digest, "finally computed");
+  EXPECT_FALSE(store.is_quarantined(digest));
+  EXPECT_TRUE(store.has(digest));
+}
+
+TEST_F(ResultStoreTest, CleanRemovesQuarantineRecords) {
+  ResultStore store{dir()};
+  store.put(salted_digest("a"), "a");
+  store.quarantine(salted_digest("b"), PointFailure{0, "b", 3, "exit 41"});
+  store.write_manifest("m");
+  EXPECT_EQ(store.clean(), 3);  // object + quarantine record + manifest
+  EXPECT_FALSE(store.is_quarantined(salted_digest("b")));
+}
+
+TEST_F(ResultStoreTest, PointFailureParseRejectsTruncatedRecords) {
+  PointFailure failure{2, "some key", 4, "deadline 0.25s exceeded"};
+  const auto text = failure.render();
+  ASSERT_TRUE(PointFailure::parse(text).has_value());
+  // Any prefix that loses a field is rejected, not half-parsed.
+  EXPECT_FALSE(PointFailure::parse(text.substr(0, text.size() / 2))
+                   .has_value());
+  EXPECT_FALSE(PointFailure::parse("not a record").has_value());
+}
+
 TEST(WriteFileAtomic, WritesAndLeavesNoTempFiles) {
   const fs::path dir =
       fs::temp_directory_path() / "sos_write_atomic_test";
@@ -134,6 +218,33 @@ TEST(WriteFileAtomic, MissingDirectoryThrows) {
 
 TEST(ReadFile, MissingFileIsNullopt) {
   EXPECT_FALSE(common::read_file("/nonexistent-sos-dir/x").has_value());
+}
+
+TEST(WriteFileAtomic, DurabilitySyscallSequenceIsPinned) {
+  // The crash-consistency argument is an ordering argument: the temp
+  // file's bytes must be on disk before the rename makes them visible,
+  // and the directory entry must be on disk before the call returns.
+  // This test pins that order via the observation hook so a refactor
+  // cannot silently drop an fsync.
+  const fs::path dir = fs::temp_directory_path() / "sos_write_sequence_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto path = (dir / "out.csv").string();
+
+  std::vector<std::string> steps;
+  common::set_write_file_atomic_hook(
+      [&steps](std::string_view step, const std::string&) {
+        steps.emplace_back(step);
+      });
+  common::write_file_atomic(path, "a,b\n");
+  common::set_write_file_atomic_hook({});
+
+  const std::vector<std::string> expected{
+      "open_temp", "write",    "fsync_temp", "close_temp",
+      "rename",    "open_dir", "fsync_dir",  "close_dir"};
+  EXPECT_EQ(steps, expected);
+  EXPECT_EQ(*common::read_file(path), "a,b\n");
+  fs::remove_all(dir);
 }
 
 }  // namespace

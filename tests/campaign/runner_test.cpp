@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
@@ -44,8 +47,11 @@ ScenarioSpec tiny_sweep() {
 class CampaignTestBase : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Pid-unique: the CampaignSmoke bodies run twice under parallel ctest
+    // (discovered test + the `-L campaign-smoke` aggregate), and two
+    // processes sharing a root would race remove_all against store writes.
     root_ = fs::temp_directory_path() /
-            ("sos_campaign_test_" +
+            ("sos_campaign_test_" + std::to_string(::getpid()) + "_" +
              std::string(::testing::UnitTest::GetInstance()
                              ->current_test_info()
                              ->name()));
@@ -242,6 +248,47 @@ TEST_F(CampaignRunnerTest, ManifestPinsTheExpansion) {
   EXPECT_NE(manifest->find("points = 8\n"), std::string::npos);
   EXPECT_NE(manifest->find("nt=50 nc=200 mapping=one-to-all layers=3"),
             std::string::npos);
+}
+
+TEST_F(CampaignRunnerTest, CheckpointHookThrowingMidChunkKeepsCountsExact) {
+  // A hook that throws in the middle of a sharded chunk (interval 3, crash
+  // after the 4th durable point — one point into the second chunk) must
+  // leave the store holding exactly the checkpointed points: nothing from
+  // the chunk's in-flight remainder, nothing lost.
+  const auto spec = tiny_sweep();
+
+  CampaignOptions reference_options;
+  reference_options.store_dir = store("reference");
+  CampaignRunner reference{spec, reference_options};
+  reference.run();
+
+  CampaignOptions crash_options;
+  crash_options.store_dir = store("crashed");
+  crash_options.checkpoint_interval = 3;
+  crash_options.checkpoint_hook = [](int completed) {
+    if (completed == 4) throw std::runtime_error("mid-chunk crash");
+  };
+  EXPECT_THROW((CampaignRunner{spec, crash_options}.run()),
+               std::runtime_error);
+
+  CampaignOptions resume_options;
+  resume_options.store_dir = store("crashed");
+  const auto after = CampaignRunner{spec, resume_options}.status();
+  EXPECT_EQ(after.cached, 4);  // the durable prefix, nothing else
+  EXPECT_EQ(after.quarantined, 0);
+  EXPECT_TRUE(std::none_of(
+      after.points.begin(), after.points.end(),
+      [](const PointStatus& p) { return p.quarantined; }));
+
+  // Resume recomputes only the in-flight remainder, and the merged bytes
+  // match an uninterrupted run.
+  CampaignRunner resumed{spec, resume_options};
+  const auto report = resumed.run();
+  EXPECT_EQ(report.cached, 4);
+  EXPECT_EQ(report.computed, 4);
+  EXPECT_TRUE(report.complete());
+  EXPECT_TRUE(report.settled());
+  EXPECT_EQ(resumed.sweep_csv(), reference.sweep_csv());
 }
 
 TEST_F(CampaignRunnerTest, FiguresModeResumesAcrossFigures) {

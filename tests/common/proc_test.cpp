@@ -1,0 +1,180 @@
+// Process isolation primitives: frame round trips through real pipes,
+// incremental decoding across arbitrary read boundaries, the corruption
+// and mid-frame EOF states the supervisor's health checks rest on, and
+// Subprocess exit classification (clean, nonzero, signaled, escaping
+// exception).
+#include "common/proc.h"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace sos::common {
+namespace {
+
+std::string frame_bytes(const std::string& payload) {
+  std::string out;
+  append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+TEST(FrameBuffer, DecodesFramesAcrossArbitrarySplits) {
+  const std::string stream =
+      frame_bytes("first") + frame_bytes("") + frame_bytes("third result");
+  // Feed one byte at a time — the worst read(2) fragmentation possible.
+  FrameBuffer buffer;
+  std::vector<std::string> frames;
+  for (const char byte : stream) {
+    buffer.feed(&byte, 1);
+    while (auto frame = buffer.next_frame()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "first");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_EQ(frames[2], "third result");
+  EXPECT_FALSE(buffer.mid_frame());
+  EXPECT_FALSE(buffer.corrupt());
+}
+
+TEST(FrameBuffer, MidFrameReportsAWriterCutOffMidResult) {
+  const std::string stream = frame_bytes("complete") + frame_bytes("torn");
+  FrameBuffer buffer;
+  buffer.feed(stream.data(), stream.size() - 2);  // cut the last frame short
+  ASSERT_TRUE(buffer.next_frame().has_value());
+  EXPECT_FALSE(buffer.next_frame().has_value());
+  EXPECT_TRUE(buffer.mid_frame());  // at EOF this means truncation
+  EXPECT_FALSE(buffer.corrupt());
+}
+
+TEST(FrameBuffer, ImpossibleLengthPrefixMarksTheStreamCorrupt) {
+  std::string stream;
+  append_u32le(stream, kMaxFrameBytes + 1);
+  stream += "garbage";
+  FrameBuffer buffer;
+  buffer.feed(stream.data(), stream.size());
+  EXPECT_FALSE(buffer.next_frame().has_value());
+  EXPECT_TRUE(buffer.corrupt());
+  // Corruption is sticky: further feeds cannot resurrect the stream.
+  const std::string good = frame_bytes("late");
+  buffer.feed(good.data(), good.size());
+  EXPECT_FALSE(buffer.next_frame().has_value());
+  EXPECT_TRUE(buffer.corrupt());
+}
+
+TEST(FrameBuffer, U32RoundTrip) {
+  std::string bytes;
+  append_u32le(bytes, 0);
+  append_u32le(bytes, 0xdeadbeefu);
+  EXPECT_EQ(read_u32le(bytes.data()), 0u);
+  EXPECT_EQ(read_u32le(bytes.data() + 4), 0xdeadbeefu);
+}
+
+/// Drains a subprocess's pipe to EOF and decodes every frame.
+std::vector<std::string> drain_frames(Subprocess& child) {
+  FrameBuffer buffer;
+  std::vector<std::string> frames;
+  char chunk[4096];
+  for (;;) {
+    const ::ssize_t n = ::read(child.read_fd(), chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.feed(chunk, static_cast<std::size_t>(n));
+    while (auto frame = buffer.next_frame()) frames.push_back(*frame);
+  }
+  return frames;
+}
+
+TEST(Subprocess, StreamsFramesAndExitsClean) {
+  auto child = Subprocess::spawn([](int write_fd) {
+    if (!write_frame(write_fd, "alpha")) return 1;
+    if (!write_frame(write_fd, "beta")) return 1;
+    return 0;
+  });
+  const auto frames = drain_frames(child);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "alpha");
+  EXPECT_EQ(frames[1], "beta");
+  const auto exit = child.wait_exit();
+  EXPECT_TRUE(exit.clean());
+  EXPECT_EQ(exit.describe(), "exit 0");
+}
+
+TEST(Subprocess, NonzeroExitCodeIsReported) {
+  auto child = Subprocess::spawn([](int) { return 41; });
+  const auto exit = child.wait_exit();
+  EXPECT_FALSE(exit.clean());
+  EXPECT_FALSE(exit.signaled);
+  EXPECT_EQ(exit.code, 41);
+  EXPECT_EQ(exit.describe(), "exit 41");
+}
+
+TEST(Subprocess, SigkillIsClassifiedAsSignaled) {
+  auto child = Subprocess::spawn([](int) {
+    ::raise(SIGKILL);
+    return 0;  // unreachable
+  });
+  const auto exit = child.wait_exit();
+  EXPECT_TRUE(exit.signaled);
+  EXPECT_EQ(exit.code, SIGKILL);
+  EXPECT_EQ(exit.describe(), "signal 9 (SIGKILL)");
+}
+
+TEST(Subprocess, EscapingExceptionExitsSeventy) {
+  auto child = Subprocess::spawn(
+      [](int) -> int { throw std::runtime_error("worker bug"); });
+  const auto exit = child.wait_exit();
+  EXPECT_FALSE(exit.signaled);
+  EXPECT_EQ(exit.code, 70);  // EX_SOFTWARE
+}
+
+TEST(Subprocess, KillTerminatesAStoppedChild) {
+  // SIGSTOP-ed children are the supervisor's deadline case: SIGKILL must
+  // get through anyway.
+  auto child = Subprocess::spawn([](int) {
+    ::raise(SIGSTOP);
+    return 0;
+  });
+  child.kill();
+  const auto exit = child.wait_exit();
+  EXPECT_TRUE(exit.signaled);
+  EXPECT_EQ(exit.code, SIGKILL);
+}
+
+TEST(Subprocess, PollExitIsNonBlockingAndCaches) {
+  auto child = Subprocess::spawn([](int) { return 0; });
+  const auto exit = child.wait_exit();
+  EXPECT_TRUE(exit.clean());
+  // After reaping, poll_exit keeps returning the cached result.
+  const auto again = child.poll_exit();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->clean());
+}
+
+TEST(Subprocess, TruncatedFrameIsVisibleAtEof) {
+  auto child = Subprocess::spawn([](int write_fd) {
+    // A length prefix promising 8 bytes, then death after 3.
+    std::string partial;
+    append_u32le(partial, 8);
+    partial += "cut";
+    [[maybe_unused]] const ::ssize_t n =
+        ::write(write_fd, partial.data(), partial.size());
+    return 0;
+  });
+  FrameBuffer buffer;
+  char chunk[256];
+  for (;;) {
+    const ::ssize_t n = ::read(child.read_fd(), chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.feed(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_FALSE(buffer.next_frame().has_value());
+  EXPECT_TRUE(buffer.mid_frame());  // the lying-worker detection
+  EXPECT_TRUE(child.wait_exit().clean());
+}
+
+}  // namespace
+}  // namespace sos::common
