@@ -1,0 +1,7 @@
+// Regenerates ext_scale via the campaign registry (see docs/CAMPAIGNS.md and
+// bench_common.h for flags, including --store for cached reruns).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return sos::bench::run_registered_figure(argc, argv, "ext_scale");
+}

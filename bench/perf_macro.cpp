@@ -1,0 +1,139 @@
+// Macrobenchmarks: whole-trial cost of the Monte Carlo substrate as the
+// overlay grows from the paper's N = 1e4 to 1e7. Where perf_micro times the
+// primitives (model evals, single walks, topology rebuilds at paper scale),
+// these benches time the unit the engine actually repeats — rebuild + attack
+// + walk batch — so the O(touched)-reset claim is pinned as a ratio:
+// BM_ScaleSteadyTrial vs BM_ScaleFullResetTrial at the same N is the dirty-
+// list speedup scripts/bench_baseline records in BENCH_scale.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "attack/successive_attacker.h"
+#include "common/rng.h"
+#include "common/scan_mode.h"
+#include "sosnet/sos_overlay.h"
+#include "sosnet/topology.h"
+
+namespace {
+
+using namespace sos;  // NOLINT: bench-local brevity
+
+constexpr int kWalksPerTrial = 10;
+
+// The ext_scale figure configuration: paper attack budgets (NT=200, NC=2000,
+// R=3), L=4, one-to-two mapping, n=100 SOS nodes; only the bystander
+// population grows with N.
+core::SosDesign scale_design(int total_nodes) {
+  return core::SosDesign::make(total_nodes, 100, 4, 10,
+                               core::MappingPolicy::one_to_two());
+}
+
+core::SuccessiveAttack scale_attack() {
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 200;
+  attack.congestion_budget = 2000;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return attack;
+}
+
+// One steady-state Monte Carlo trial: in-place rebuild (ring ids kept — the
+// engine only reseeds them in Chord mode), attack execution, walk batch.
+void run_trial(sosnet::SosOverlay& overlay,
+               const attack::SuccessiveAttacker& attacker,
+               sosnet::TopologyWorkspace& workspace, sosnet::WalkResult& walk,
+               std::uint64_t trial) {
+  const std::uint64_t trial_seed = 0x5055ULL ^ common::mix64(0x7261696c5ull + trial);
+  overlay.rebuild(trial_seed, workspace, /*reseed_ids=*/false);
+  common::Rng rng{common::mix64(trial_seed)};
+  attacker.execute(overlay, rng);
+  for (int w = 0; w < kWalksPerTrial; ++w) overlay.route_message(rng, walk);
+}
+
+// Steady-state per-trial cost with the O(touched) reset paths live (the
+// default). The first trial after construction is excluded by a warm-up so
+// every timed iteration sees warmed buffers.
+void BM_ScaleSteadyTrial(benchmark::State& state) {
+  const auto design = scale_design(static_cast<int>(state.range(0)));
+  const attack::SuccessiveAttacker attacker{scale_attack()};
+  sosnet::SosOverlay overlay{design, 0x5055};
+  sosnet::TopologyWorkspace workspace;
+  sosnet::WalkResult walk;
+  std::uint64_t trial = 0;
+  run_trial(overlay, attacker, workspace, walk, trial++);  // warm-up
+  for (auto _ : state) {
+    run_trial(overlay, attacker, workspace, walk, trial++);
+    benchmark::DoNotOptimize(walk.delivered);
+  }
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["walks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kWalksPerTrial,
+      benchmark::Counter::kIsRate);
+  state.counters["bytes/node"] =
+      static_cast<double>(overlay.footprint_bytes()) /
+      static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ScaleSteadyTrial)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Arg(10000000)
+    ->Unit(benchmark::kMillisecond);
+
+// The same trial with every dirty-list consumer forced onto its O(N)
+// reference branch (common::set_force_full_scan). The trials/s ratio against
+// BM_ScaleSteadyTrial at the same Arg is the acceptance speedup; the pair
+// stops at 1e6 because the forced path is O(N) per trial by construction and
+// 1e7 adds nothing but wall-clock.
+void BM_ScaleFullResetTrial(benchmark::State& state) {
+  const auto design = scale_design(static_cast<int>(state.range(0)));
+  const attack::SuccessiveAttacker attacker{scale_attack()};
+  sosnet::SosOverlay overlay{design, 0x5055};
+  sosnet::TopologyWorkspace workspace;
+  sosnet::WalkResult walk;
+  std::uint64_t trial = 0;
+  common::set_force_full_scan(true);
+  run_trial(overlay, attacker, workspace, walk, trial++);  // warm-up
+  for (auto _ : state) {
+    run_trial(overlay, attacker, workspace, walk, trial++);
+    benchmark::DoNotOptimize(walk.delivered);
+  }
+  common::set_force_full_scan(false);
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScaleFullResetTrial)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// Cold start: overlay construction (health fill + membership + neighbor
+// tables; ring ids stay lazy) plus the first trial. This is the one O(N)
+// cost a Monte Carlo run pays per worker, amortized over all its trials.
+void BM_ScaleColdFirstTrial(benchmark::State& state) {
+  const auto design = scale_design(static_cast<int>(state.range(0)));
+  const attack::SuccessiveAttacker attacker{scale_attack()};
+  sosnet::WalkResult walk;
+  for (auto _ : state) {
+    sosnet::SosOverlay overlay{design, 0x5055};
+    sosnet::TopologyWorkspace workspace;
+    run_trial(overlay, attacker, workspace, walk, 0);
+    benchmark::DoNotOptimize(walk.delivered);
+  }
+  state.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScaleColdFirstTrial)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Arg(10000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -25,6 +25,12 @@
 # the ASan-labelled fault-subsystem tests from an address-sanitized build
 # tree (cmake -B DIR -DSOS_SANITIZE=address && cmake --build DIR) via
 # `ctest -L asan` before the figure sweep.
+#
+# Pass --scale to run the million-node substrate pass: the scale-smoke
+# acceptance tests (`ctest -L scale-smoke`: N=1e6 end-to-end trial,
+# dirty-vs-full reset identity, memory budget) followed by the
+# bench/perf_macro BM_Scale* macrobenches (steady-state vs forced-full-reset
+# vs cold trials at N up to 1e7, the BENCH_scale.json workload).
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -35,6 +41,7 @@ asan_build=""
 chaos_tests=""
 resume=0
 supervised=0
+scale=0
 filtered=()
 for arg in "$@"; do
   case "$arg" in
@@ -42,6 +49,7 @@ for arg in "$@"; do
     --chaos-tests=*) chaos_tests="${arg#--chaos-tests=}" ;;
     --resume) resume=1 ;;
     --supervised) supervised=1; resume=1 ;;
+    --scale) scale=1 ;;
     *) filtered+=("$arg") ;;
   esac
 done
@@ -72,6 +80,17 @@ run_perf_micro() {
   "$bench" "$@" | tee "$results_dir/perf_micro.txt" >/dev/null || true
 }
 
+if [[ "$scale" == 1 ]]; then
+  echo "== scale-smoke acceptance tests ($build_dir)"
+  ctest --test-dir "$build_dir" -L scale-smoke --output-on-failure
+  macro="$build_dir/bench/perf_macro"
+  if [[ -x "$macro" ]]; then
+    echo "== perf_macro (BM_Scale*)"
+    "$macro" --benchmark_filter='BM_Scale' \
+      | tee "$results_dir/perf_macro.txt" >/dev/null || true
+  fi
+fi
+
 if [[ "$resume" == 1 ]]; then
   campaign_cli="$build_dir/tools/sos_campaign"
   if [[ ! -x "$campaign_cli" ]]; then
@@ -100,6 +119,9 @@ else
   for bench in "$build_dir"/bench/*; do
     [[ -x "$bench" && -f "$bench" ]] || continue
     name="$(basename "$bench")"
+    if [[ "$name" == perf_macro ]]; then
+      continue  # google-benchmark flags only; runs under --scale above
+    fi
     if [[ "$name" == perf_micro ]]; then
       echo "== $name"
       "$bench" "$@" | tee "$results_dir/$name.txt" >/dev/null || true

@@ -1,7 +1,10 @@
 #include "attack/congestion.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
+
+#include "common/scan_mode.h"
 
 namespace sos::attack {
 
@@ -12,6 +15,20 @@ struct Target {
   bool is_filter = false;
   int index = -1;
 };
+
+/// k-th (0-based) element of [0, N) \ excl, with `excl` sorted ascending.
+/// Fixed-point iteration on x = k + #{e in excl : e <= x}; converges to the
+/// least fixed point, which is exactly the k-th complement element.
+int kth_of_complement(const std::vector<int>& excl, std::uint64_t k) {
+  auto x = static_cast<std::int64_t>(k);
+  for (;;) {
+    const auto it =
+        std::upper_bound(excl.begin(), excl.end(), static_cast<int>(x));
+    const auto next = static_cast<std::int64_t>(k) + (it - excl.begin());
+    if (next == x) return static_cast<int>(x);
+    x = next;
+  }
+}
 
 }  // namespace
 
@@ -36,14 +53,26 @@ void execute_congestion_phase(sosnet::SosOverlay& overlay,
   // contents (and the consumed random stream) are identical to fresh
   // buffers.
   thread_local std::vector<Target> targets;
+  thread_local std::vector<int> disclosed_nodes;
   thread_local std::vector<int> pool;
   thread_local std::vector<std::uint64_t> picks;
   thread_local common::SampleScratch sample_scratch;
 
-  // Assemble the disclosed target list (N_D).
+  const int big_n = overlay.network().size();
+  const bool full_scan = common::force_full_scan();
+
+  // Assemble the disclosed target list (N_D) in ascending node order. The
+  // knowledge's disclosed list enumerates exactly the nodes a population
+  // scan would find, in O(disclosed).
   targets.clear();
-  for (int node = 0; node < overlay.network().size(); ++node) {
-    if (!knowledge.disclosed(node)) continue;
+  if (full_scan) {
+    disclosed_nodes.clear();
+    for (int node = 0; node < big_n; ++node)
+      if (knowledge.disclosed(node)) disclosed_nodes.push_back(node);
+  } else {
+    knowledge.disclosed_into(disclosed_nodes);
+  }
+  for (const int node : disclosed_nodes) {
     if (overlay.network().health(node) == overlay::NodeHealth::kBrokenIn)
       continue;  // already controlled; not worth congesting
     targets.push_back(Target{false, node});
@@ -76,11 +105,46 @@ void execute_congestion_phase(sosnet::SosOverlay& overlay,
   if (budget == 0) return;
 
   // Spill-over: random good, undisclosed overlay nodes (Eq. 8's second
-  // term). Enumerate the pool once — budgets here are a sizable fraction of
-  // N, so rejection sampling would degenerate.
+  // term). The pool is the complement of a small exclusion set (disclosed
+  // nodes plus nodes the attack already took off kGood — all recorded in
+  // the network's dirty list), so instead of enumerating all N nodes we
+  // sample positions in [0, pool_size) and map each to its complement
+  // element. Population and draw order match the explicit-pool reference
+  // exactly, so the consumed stream and chosen nodes are bit-identical.
+  const bool dirty_ok = !full_scan && !overlay.network().health_scan_saturated();
+  if (dirty_ok) {
+    auto& excl = pool;
+    excl.clear();
+    excl.insert(excl.end(), disclosed_nodes.begin(), disclosed_nodes.end());
+    for (const int node : overlay.network().touched_health())
+      if (!overlay.network().is_good(node)) excl.push_back(node);
+    std::sort(excl.begin(), excl.end());
+    excl.erase(std::unique(excl.begin(), excl.end()), excl.end());
+    const int pool_size = big_n - static_cast<int>(excl.size());
+    if (pool_size > budget) {
+      rng.sample_without_replacement_into(
+          static_cast<std::uint64_t>(pool_size),
+          static_cast<std::uint64_t>(budget), picks, sample_scratch);
+      for (const auto pick : picks)
+        congest_node(overlay, kth_of_complement(excl, pick), outcome);
+      return;
+    }
+    // Budget covers the whole pool: walk the complement in ascending order
+    // (inherently O(N), as is congesting nearly every node).
+    auto next_excluded = excl.begin();
+    for (int node = 0; node < big_n; ++node) {
+      while (next_excluded != excl.end() && *next_excluded < node)
+        ++next_excluded;
+      if (next_excluded != excl.end() && *next_excluded == node) continue;
+      congest_node(overlay, node, outcome);
+    }
+    return;
+  }
+
+  // Reference O(N) path: materialize the pool by scanning the population.
   pool.clear();
-  pool.reserve(static_cast<std::size_t>(overlay.network().size()));
-  for (int node = 0; node < overlay.network().size(); ++node) {
+  pool.reserve(static_cast<std::size_t>(big_n));
+  for (int node = 0; node < big_n; ++node) {
     if (knowledge.disclosed(node)) continue;
     if (!overlay.network().is_good(node)) continue;
     pool.push_back(node);

@@ -1,27 +1,60 @@
 #include "attack/knowledge.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/scan_mode.h"
 
 namespace sos::attack {
 
-AttackerKnowledge::AttackerKnowledge(int node_count, int filter_count)
-    : attempted_(static_cast<std::size_t>(node_count), false),
-      disclosed_(static_cast<std::size_t>(node_count), false),
-      filter_disclosed_(static_cast<std::size_t>(filter_count), false) {
+namespace {
+
+void check_sizes(int node_count, int filter_count) {
   if (node_count < 1)
     throw std::invalid_argument("AttackerKnowledge: empty overlay");
   if (filter_count < 0)
     throw std::invalid_argument("AttackerKnowledge: negative filter count");
 }
 
+}  // namespace
+
+void AttackerKnowledge::check_node(int node) const {
+  if (node < 0 || node >= node_count())
+    throw std::out_of_range("AttackerKnowledge: node out of range");
+}
+
+void AttackerKnowledge::check_filter(int filter) const {
+  if (filter < 0 || filter >= filter_count())
+    throw std::out_of_range("AttackerKnowledge: filter out of range");
+}
+
+AttackerKnowledge::AttackerKnowledge(int node_count, int filter_count) {
+  check_sizes(node_count, filter_count);
+  attempted_bits_.assign(static_cast<std::size_t>(node_count));
+  disclosed_bits_.assign(static_cast<std::size_t>(node_count));
+  filter_bits_.assign(static_cast<std::size_t>(filter_count));
+}
+
 void AttackerKnowledge::reset(int node_count, int filter_count) {
-  if (node_count < 1)
-    throw std::invalid_argument("AttackerKnowledge: empty overlay");
-  if (filter_count < 0)
-    throw std::invalid_argument("AttackerKnowledge: negative filter count");
-  attempted_.assign(static_cast<std::size_t>(node_count), false);
-  disclosed_.assign(static_cast<std::size_t>(node_count), false);
-  filter_disclosed_.assign(static_cast<std::size_t>(filter_count), false);
+  check_sizes(node_count, filter_count);
+  const bool same_shape =
+      attempted_bits_.size() == static_cast<std::size_t>(node_count) &&
+      filter_bits_.size() == static_cast<std::size_t>(filter_count);
+  if (!same_shape || common::force_full_scan()) {
+    attempted_bits_.assign(static_cast<std::size_t>(node_count));
+    disclosed_bits_.assign(static_cast<std::size_t>(node_count));
+    filter_bits_.assign(static_cast<std::size_t>(filter_count));
+  } else {
+    // The mark lists record every set bit exactly once, so clearing them
+    // restores the blank state in O(marked).
+    for (const int node : attempted_list_)
+      attempted_bits_.reset(static_cast<std::size_t>(node));
+    for (const int node : disclosed_list_)
+      disclosed_bits_.reset(static_cast<std::size_t>(node));
+    if (disclosed_filter_count_ > 0) filter_bits_.reset_all();
+  }
+  attempted_list_.clear();
+  disclosed_list_.clear();
   attempted_count_ = 0;
   disclosed_count_ = 0;
   disclosed_filter_count_ = 0;
@@ -29,24 +62,31 @@ void AttackerKnowledge::reset(int node_count, int filter_count) {
 }
 
 void AttackerKnowledge::mark_attempted(int node) {
-  auto ref = attempted_.at(static_cast<std::size_t>(node));
-  if (ref) return;
-  attempted_[static_cast<std::size_t>(node)] = true;
+  check_node(node);
+  const auto slot = static_cast<std::size_t>(node);
+  if (attempted_bits_.test(slot)) return;
+  attempted_bits_.set(slot);
+  attempted_list_.push_back(node);
   ++attempted_count_;
-  if (disclosed_[static_cast<std::size_t>(node)]) --pending_count_;
+  if (disclosed_bits_.test(slot)) --pending_count_;
 }
 
 bool AttackerKnowledge::disclose(int node) {
-  if (disclosed_.at(static_cast<std::size_t>(node))) return false;
-  disclosed_[static_cast<std::size_t>(node)] = true;
+  check_node(node);
+  const auto slot = static_cast<std::size_t>(node);
+  if (disclosed_bits_.test(slot)) return false;
+  disclosed_bits_.set(slot);
+  disclosed_list_.push_back(node);
   ++disclosed_count_;
-  if (!attempted_[static_cast<std::size_t>(node)]) ++pending_count_;
+  if (!attempted_bits_.test(slot)) ++pending_count_;
   return true;
 }
 
 bool AttackerKnowledge::disclose_filter(int filter) {
-  if (filter_disclosed_.at(static_cast<std::size_t>(filter))) return false;
-  filter_disclosed_[static_cast<std::size_t>(filter)] = true;
+  check_filter(filter);
+  const auto slot = static_cast<std::size_t>(filter);
+  if (filter_bits_.test(slot)) return false;
+  filter_bits_.set(slot);
   ++disclosed_filter_count_;
   return true;
 }
@@ -60,9 +100,15 @@ std::vector<int> AttackerKnowledge::pending() const {
 void AttackerKnowledge::pending_into(std::vector<int>& dest) const {
   dest.clear();
   dest.reserve(static_cast<std::size_t>(pending_count_));
-  for (std::size_t node = 0; node < disclosed_.size(); ++node)
-    if (disclosed_[node] && !attempted_[node])
-      dest.push_back(static_cast<int>(node));
+  for (const int node : disclosed_list_)
+    if (!attempted_bits_.test(static_cast<std::size_t>(node)))
+      dest.push_back(node);
+  std::sort(dest.begin(), dest.end());  // ascending, as a population scan gives
+}
+
+void AttackerKnowledge::disclosed_into(std::vector<int>& dest) const {
+  dest.assign(disclosed_list_.begin(), disclosed_list_.end());
+  std::sort(dest.begin(), dest.end());
 }
 
 }  // namespace sos::attack

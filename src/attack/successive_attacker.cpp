@@ -6,6 +6,8 @@
 #include "attack/break_in.h"
 #include "attack/congestion.h"
 #include "attack/knowledge.h"
+#include "common/bitvec.h"
+#include "common/scan_mode.h"
 
 namespace sos::attack {
 
@@ -19,7 +21,7 @@ namespace {
 void sample_fresh_targets(const sosnet::SosOverlay& overlay,
                           const AttackerKnowledge& knowledge, int count,
                           common::Rng& rng, std::vector<int>& out) {
-  thread_local std::vector<bool> taken;
+  thread_local common::BitVec taken;
   thread_local std::vector<int> pool;
   thread_local std::vector<std::uint64_t> picks;
   thread_local common::SampleScratch sample_scratch;
@@ -34,17 +36,25 @@ void sample_fresh_targets(const sosnet::SosOverlay& overlay,
   const int touched =
       knowledge.attempted_count() + knowledge.pending_count();
   if (touched * 4 < big_n && count * 4 < big_n) {
-    taken.assign(static_cast<std::size_t>(big_n), false);
+    // The taken bits are all-zero between calls (un-marked via `out` below),
+    // so consecutive rounds pay O(picked), not an O(N) clear. The forced
+    // full-scan mode re-clears the whole thing like the reference did.
+    if (taken.size() != static_cast<std::size_t>(big_n) ||
+        common::force_full_scan())
+      taken.assign(static_cast<std::size_t>(big_n));
     out.reserve(static_cast<std::size_t>(count));
     int guard = 0;
     while (static_cast<int>(out.size()) < count && guard < big_n * 64) {
       ++guard;
       const int node =
           static_cast<int>(rng.next_below(static_cast<std::uint64_t>(big_n)));
-      if (taken[static_cast<std::size_t>(node)] || !eligible(node)) continue;
-      taken[static_cast<std::size_t>(node)] = true;
+      if (taken.test(static_cast<std::size_t>(node)) || !eligible(node))
+        continue;
+      taken.set(static_cast<std::size_t>(node));
       out.push_back(node);
     }
+    for (const int node : out)  // restore the all-zero invariant
+      taken.reset(static_cast<std::size_t>(node));
     if (static_cast<int>(out.size()) == count) return;
     out.clear();  // pathological density; fall through to enumeration
   }

@@ -41,6 +41,7 @@ const std::vector<RegisteredFigure> kRegistry{
      experiments::ext_hardening_placement},
     {"ext_profile", "ext_mapping_profile", 0, experiments::ext_mapping_profile},
     {"ext_faults", "ext_fault_tolerance", 0, experiments::ext_fault_tolerance},
+    {"ext_scale", "ext_scale_curve", 8, experiments::ext_scale_curve},
 };
 
 std::string registered_ids() {

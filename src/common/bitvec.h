@@ -1,0 +1,80 @@
+// Word-backed bitset for hot per-node flags.
+//
+// std::vector<bool> hides the word layout, so counting set bits is a linear
+// per-bit scan and clearing is a per-bit write. BitVec exposes the uint64
+// words directly: count() is a popcount sweep over words, reset_all() is a
+// memset, and test/set/reset compile to single masked loads/stores. All hot
+// accessors are unchecked (debug asserts only); callers validate indices on
+// the cold setup paths.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sos::common {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t bits) { assign(bits); }
+
+  /// Resizes to `bits` bits, all cleared.
+  void assign(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  std::size_t size() const noexcept { return bits_; }
+  bool empty() const noexcept { return bits_ == 0; }
+
+  bool test(std::size_t index) const noexcept {
+    assert(index < bits_);
+    return (words_[index >> 6] >> (index & 63)) & 1u;
+  }
+  void set(std::size_t index) noexcept {
+    assert(index < bits_);
+    words_[index >> 6] |= std::uint64_t{1} << (index & 63);
+  }
+  void reset(std::size_t index) noexcept {
+    assert(index < bits_);
+    words_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+  }
+  void set(std::size_t index, bool value) noexcept {
+    if (value)
+      set(index);
+    else
+      reset(index);
+  }
+
+  /// Clears every bit without changing the size. O(words), i.e. N/64.
+  void reset_all() noexcept {
+    std::fill(words_.begin(), words_.end(), std::uint64_t{0});
+  }
+
+  /// Number of set bits (popcount sweep over the backing words).
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const std::uint64_t word : words_) total += std::popcount(word);
+    return total;
+  }
+
+  bool any() const noexcept {
+    for (const std::uint64_t word : words_)
+      if (word != 0) return true;
+    return false;
+  }
+
+  std::size_t capacity_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace sos::common

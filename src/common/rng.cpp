@@ -114,9 +114,55 @@ void Rng::sample_without_replacement_into(std::uint64_t population,
     }
     return;
   }
-  // Floyd's algorithm with an epoch-stamped membership array in place of a
-  // hash set: stamp[v] == epoch means "v drawn this call". Only the k touched
-  // stamps are written, so repeated calls are O(k) with zero clearing cost.
+  // Floyd's algorithm needs only membership-test + insert, so the backing
+  // structure never changes which values are drawn. Past ~4M nodes the
+  // direct-indexed stamp array below would cost 4 bytes per population
+  // element; switch to an epoch-stamped open-addressing set sized to k.
+  constexpr std::uint64_t kDirectStampLimit = std::uint64_t{1} << 22;
+  if (population > kDirectStampLimit) {
+    auto& keys = scratch.set_key;
+    auto& stamps = scratch.set_stamp;
+    std::size_t capacity = keys.size();  // power of two by construction
+    if (capacity < k * 4) {
+      capacity = 64;
+      while (capacity < k * 4) capacity <<= 1;
+      keys.assign(capacity, 0);
+      stamps.assign(capacity, 0);
+      scratch.set_epoch = 0;
+    }
+    if (++scratch.set_epoch == 0) {  // epoch wrapped: invalidate stale stamps
+      std::fill(stamps.begin(), stamps.end(), 0);
+      scratch.set_epoch = 1;
+    }
+    const std::uint32_t epoch = scratch.set_epoch;
+    const std::size_t mask = capacity - 1;
+    // Returns true if `value` was already drawn; inserts it otherwise.
+    const auto contains_or_insert = [&](std::uint64_t value) {
+      std::size_t slot = static_cast<std::size_t>(mix64(value)) & mask;
+      for (;;) {
+        if (stamps[slot] != epoch) {
+          stamps[slot] = epoch;
+          keys[slot] = value;
+          return false;
+        }
+        if (keys[slot] == value) return true;
+        slot = (slot + 1) & mask;
+      }
+    };
+    for (std::uint64_t j = population - k; j < population; ++j) {
+      const std::uint64_t t = next_below(j + 1);
+      if (!contains_or_insert(t)) {
+        dest.push_back(t);
+      } else {
+        contains_or_insert(j);  // j is never present yet (Floyd invariant)
+        dest.push_back(j);
+      }
+    }
+    return;
+  }
+  // Direct-indexed stamp array in place of a hash set: stamp[v] == epoch
+  // means "v drawn this call". Only the k touched stamps are written, so
+  // repeated calls are O(k) with zero clearing cost.
   auto& stamp = scratch.stamp;
   if (stamp.size() < static_cast<std::size_t>(population)) {
     stamp.assign(static_cast<std::size_t>(population), 0);

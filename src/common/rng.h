@@ -25,6 +25,12 @@ struct SampleScratch {
   std::vector<std::uint64_t> pool;   // dense draws: partial Fisher-Yates pool
   std::vector<std::uint32_t> stamp;  // sparse draws: epoch-stamped membership
   std::uint32_t epoch = 0;
+  // Huge populations (> 2^22): the direct-indexed stamp array would cost
+  // 4 bytes per population element, so sparse draws switch to an
+  // epoch-stamped open-addressing set sized to the draw count instead.
+  std::vector<std::uint64_t> set_key;
+  std::vector<std::uint32_t> set_stamp;
+  std::uint32_t set_epoch = 0;
 };
 
 /// Stateless avalanche mix of a single value (for hashing ids into the ring).

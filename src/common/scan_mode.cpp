@@ -1,0 +1,19 @@
+#include "common/scan_mode.h"
+
+#include <atomic>
+
+namespace sos::common {
+
+namespace {
+std::atomic<bool> g_force_full_scan{false};
+}  // namespace
+
+void set_force_full_scan(bool force) noexcept {
+  g_force_full_scan.store(force, std::memory_order_relaxed);
+}
+
+bool force_full_scan() noexcept {
+  return g_force_full_scan.load(std::memory_order_relaxed);
+}
+
+}  // namespace sos::common

@@ -1,0 +1,18 @@
+// Process-wide switch forcing the reference O(N) reset/scan paths.
+//
+// The substrate keeps dirty lists so per-trial resets touch only the nodes a
+// trial actually mutated; every dirty-list consumer also keeps its original
+// full-scan branch as the reference implementation. This knob forces the
+// full-scan branch everywhere, which is how the A/B scaling benchmarks and
+// the dirty-vs-full state-identity tests compare the two paths on one build.
+// Dirty *recording* stays on either way (it is O(1) per mutation), so the
+// knob can be toggled between trials without invalidating any state.
+#pragma once
+
+namespace sos::common {
+
+/// Forces every dirty-list fast path to take its O(N) reference branch.
+void set_force_full_scan(bool force) noexcept;
+bool force_full_scan() noexcept;
+
+}  // namespace sos::common

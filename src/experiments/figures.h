@@ -49,5 +49,6 @@ Figure ext_attack_timeline(const Params& params);
 Figure ext_hardening_placement(const Params& params);
 Figure ext_mapping_profile(const Params& params);
 Figure ext_fault_tolerance(const Params& params);
+Figure ext_scale_curve(const Params& params);  // P_S & throughput vs N to 1e7
 
 }  // namespace sos::experiments

@@ -6,11 +6,11 @@ namespace sos::faults {
 
 FaultInjector::FaultInjector(sosnet::SosOverlay& overlay, const FaultPlan& plan)
     : overlay_(overlay), plan_(plan) {
+  // A sorted copy of the (small) lossy set instead of an N-sized mask, so
+  // constructing an injector per trial costs O(lossy), not O(N).
   if (!plan.lossy_nodes.empty()) {
-    lossy_mask_.assign(
-        static_cast<std::size_t>(overlay.network().size()), 0);
-    for (const int node : plan.lossy_nodes)
-      lossy_mask_.at(static_cast<std::size_t>(node)) = 1;
+    lossy_sorted_ = plan.lossy_nodes;
+    std::sort(lossy_sorted_.begin(), lossy_sorted_.end());
   }
 }
 
@@ -27,9 +27,8 @@ void FaultInjector::apply(const FaultEvent& event) {
       substrate.set_node(event.index, sosnet::SubstrateState::kCrashed);
       break;
     case FaultEventKind::kNodeRecover: {
-      const bool lossy =
-          !lossy_mask_.empty() &&
-          lossy_mask_[static_cast<std::size_t>(event.index)] != 0;
+      const bool lossy = std::binary_search(lossy_sorted_.begin(),
+                                            lossy_sorted_.end(), event.index);
       substrate.set_node(event.index, lossy ? sosnet::SubstrateState::kLossy
                                             : sosnet::SubstrateState::kUp);
       break;

@@ -57,7 +57,7 @@ class FaultInjector {
 
   sosnet::SosOverlay& overlay_;
   const FaultPlan& plan_;
-  std::vector<std::uint8_t> lossy_mask_;  // node -> persistently lossy?
+  std::vector<int> lossy_sorted_;  // persistently lossy nodes, ascending
   std::size_t next_ = 0;
   int applied_ = 0;
 };

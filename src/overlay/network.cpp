@@ -4,12 +4,13 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/scan_mode.h"
+
 namespace sos::overlay {
 
-Network::Network(int node_count, std::uint64_t seed) {
-  if (node_count < 1)
-    throw std::invalid_argument("Network: node_count must be >= 1");
-  ids_.reserve(static_cast<std::size_t>(node_count));
+std::vector<NodeId> Network::derive_ids(int node_count, std::uint64_t seed) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(node_count));
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(static_cast<std::size_t>(node_count) * 2);
   std::uint64_t salt = 0;
@@ -21,16 +22,40 @@ Network::Network(int node_count, std::uint64_t seed) {
       ++salt;
       id = node_id_from_index(static_cast<std::uint64_t>(i), seed + salt);
     }
-    ids_.push_back(id);
+    ids.push_back(id);
   }
+  return ids;
+}
+
+Network::Network(int node_count, std::uint64_t seed) : id_seed_(seed) {
+  if (node_count < 1)
+    throw std::invalid_argument("Network: node_count must be >= 1");
   health_.assign(static_cast<std::size_t>(node_count), NodeHealth::kGood);
 }
 
+void Network::ensure_ids() const {
+  if (ids_ready_) return;
+  ids_ = derive_ids(size(), id_seed_);
+  ids_ready_ = true;
+}
+
 void Network::reset_health() {
-  std::fill(health_.begin(), health_.end(), NodeHealth::kGood);
+  if (touched_saturated_ || common::force_full_scan()) {
+    std::fill(health_.begin(), health_.end(), NodeHealth::kGood);
+  } else {
+    for (const std::int32_t index : touched_)
+      health_[static_cast<std::size_t>(index)] = NodeHealth::kGood;
+  }
+  touched_.clear();
+  touched_saturated_ = false;
 }
 
 void Network::reseed(std::uint64_t seed) {
+  id_seed_ = seed;
+  if (!ids_ready_) {  // nothing materialized: derive on demand later
+    reset_health();
+    return;
+  }
   const std::size_t count = ids_.size();
   for (std::size_t i = 0; i < count; ++i)
     ids_[i] = node_id_from_index(static_cast<std::uint64_t>(i), seed);
@@ -44,16 +69,19 @@ void Network::reseed(std::uint64_t seed) {
   const bool collided =
       std::adjacent_find(reseed_scratch_.begin(), reseed_scratch_.end()) !=
       reseed_scratch_.end();
-  if (collided) {
-    Network rebuilt{static_cast<int>(count), seed};
-    ids_ = std::move(rebuilt.ids_);
-  }
+  if (collided) ids_ = derive_ids(static_cast<int>(count), seed);
   reset_health();
 }
 
 int Network::count(NodeHealth health) const {
-  return static_cast<int>(
-      std::count(health_.begin(), health_.end(), health));
+  return static_cast<int>(std::count(health_.begin(), health_.end(), health));
+}
+
+std::size_t Network::footprint_bytes() const noexcept {
+  return health_.capacity() * sizeof(NodeHealth) +
+         ids_.capacity() * sizeof(NodeId) +
+         touched_.capacity() * sizeof(std::int32_t) +
+         reseed_scratch_.capacity() * sizeof(std::uint64_t);
 }
 
 }  // namespace sos::overlay

@@ -1,6 +1,8 @@
 #include "sosnet/health_state.h"
 
-#include <algorithm>
+#include <stdexcept>
+
+#include "common/scan_mode.h"
 
 namespace sos::sosnet {
 
@@ -9,33 +11,60 @@ HealthState::HealthState(int node_count, int filter_count) {
 }
 
 void HealthState::resize(int node_count, int filter_count) {
-  nodes_.assign(static_cast<std::size_t>(node_count), SubstrateState::kUp);
-  filters_down_.assign(static_cast<std::size_t>(filter_count), 0);
+  node_count_ = node_count;
+  crashed_bits_.assign(static_cast<std::size_t>(node_count));
+  lossy_bits_.assign(static_cast<std::size_t>(node_count));
+  filters_down_.assign(static_cast<std::size_t>(filter_count));
+  touched_nodes_.clear();
+  touched_saturated_ = false;
   crashed_ = lossy_ = flapped_ = 0;
 }
 
 void HealthState::reset() {
-  std::fill(nodes_.begin(), nodes_.end(), SubstrateState::kUp);
-  std::fill(filters_down_.begin(), filters_down_.end(),
-            static_cast<std::uint8_t>(0));
+  if (touched_saturated_ || common::force_full_scan()) {
+    crashed_bits_.reset_all();
+    lossy_bits_.reset_all();
+    filters_down_.reset_all();
+  } else {
+    // Zero counts imply zero bits (counts are maintained exactly), so the
+    // fault-free trial pays nothing here. Filters are few (the design's
+    // filter ring), so their clear is a word sweep either way.
+    if (crashed_ + lossy_ > 0) {
+      for (const std::int32_t index : touched_nodes_) {
+        crashed_bits_.reset(static_cast<std::size_t>(index));
+        lossy_bits_.reset(static_cast<std::size_t>(index));
+      }
+    }
+    if (flapped_ > 0) filters_down_.reset_all();
+  }
+  touched_nodes_.clear();
+  touched_saturated_ = false;
   crashed_ = lossy_ = flapped_ = 0;
 }
 
 void HealthState::set_node(int index, SubstrateState state) {
-  auto& slot = nodes_.at(static_cast<std::size_t>(index));
-  if (slot == state) return;
-  if (slot == SubstrateState::kCrashed) --crashed_;
-  if (slot == SubstrateState::kLossy) --lossy_;
-  slot = state;
+  if (index < 0 || index >= node_count_)
+    throw std::out_of_range("HealthState::set_node: index out of range");
+  const SubstrateState current = node(index);
+  if (current == state) return;
+  const auto slot = static_cast<std::size_t>(index);
+  if (current == SubstrateState::kCrashed) --crashed_;
+  if (current == SubstrateState::kLossy) --lossy_;
+  if (current == SubstrateState::kUp) record_touch(index);
+  crashed_bits_.set(slot, state == SubstrateState::kCrashed);
+  lossy_bits_.set(slot, state == SubstrateState::kLossy);
   if (state == SubstrateState::kCrashed) ++crashed_;
   if (state == SubstrateState::kLossy) ++lossy_;
 }
 
 void HealthState::set_filter_flapped(int index, bool down) {
-  auto& slot = filters_down_.at(static_cast<std::size_t>(index));
-  const bool was = slot != 0;
+  if (index < 0 || index >= filter_count())
+    throw std::out_of_range(
+        "HealthState::set_filter_flapped: index out of range");
+  const auto slot = static_cast<std::size_t>(index);
+  const bool was = filters_down_.test(slot);
   if (was == down) return;
-  slot = down ? 1 : 0;
+  filters_down_.set(slot, down);
   flapped_ += down ? 1 : -1;
 }
 

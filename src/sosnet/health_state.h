@@ -11,12 +11,18 @@
 // default-initialized HealthState answers every query with "up" from a
 // pre-sized buffer, no RNG, no allocation.
 //
-// Counts are maintained on write so any_degraded() is O(1); the routing hot
-// path reads per-node bytes directly.
+// Storage is two word-backed bitsets (crashed / lossy — the states are
+// mutually exclusive, so two bits encode the tri-state) plus a filter
+// bitset. Counts are maintained on write so any_degraded() is O(1), and
+// every node that leaves kUp is recorded in a dirty list, so reset() is
+// O(touched) — and exactly free when no fault ever fired.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "common/bitvec.h"
 
 namespace sos::sosnet {
 
@@ -34,26 +40,34 @@ class HealthState {
   /// Re-sizes the buffers (allocates); everything starts up.
   void resize(int node_count, int filter_count);
   /// Restores every node and filter to up, reusing the buffers.
+  /// O(touched) via the dirty list; O(1) when nothing was ever degraded.
   void reset();
 
-  int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+  int node_count() const noexcept { return node_count_; }
   int filter_count() const noexcept {
     return static_cast<int>(filters_down_.size());
   }
 
-  SubstrateState node(int index) const {
-    return nodes_[static_cast<std::size_t>(index)];
+  SubstrateState node(int index) const noexcept {
+    assert(index >= 0 && index < node_count_);
+    const auto slot = static_cast<std::size_t>(index);
+    if (crashed_bits_.test(slot)) return SubstrateState::kCrashed;
+    if (lossy_bits_.test(slot)) return SubstrateState::kLossy;
+    return SubstrateState::kUp;
   }
   void set_node(int index, SubstrateState state);
-  bool node_crashed(int index) const {
-    return node(index) == SubstrateState::kCrashed;
+  bool node_crashed(int index) const noexcept {
+    assert(index >= 0 && index < node_count_);
+    return crashed_bits_.test(static_cast<std::size_t>(index));
   }
-  bool node_lossy(int index) const {
-    return node(index) == SubstrateState::kLossy;
+  bool node_lossy(int index) const noexcept {
+    assert(index >= 0 && index < node_count_);
+    return lossy_bits_.test(static_cast<std::size_t>(index));
   }
 
-  bool filter_flapped(int index) const {
-    return filters_down_[static_cast<std::size_t>(index)] != 0;
+  bool filter_flapped(int index) const noexcept {
+    assert(index >= 0 && index < filter_count());
+    return filters_down_.test(static_cast<std::size_t>(index));
   }
   void set_filter_flapped(int index, bool down);
 
@@ -64,9 +78,30 @@ class HealthState {
     return crashed_ + lossy_ + flapped_ > 0;
   }
 
+  /// Bytes owned by the per-node/per-filter state.
+  std::size_t footprint_bytes() const noexcept {
+    return crashed_bits_.capacity_bytes() + lossy_bits_.capacity_bytes() +
+           filters_down_.capacity_bytes() +
+           touched_nodes_.capacity() * sizeof(std::int32_t);
+  }
+
  private:
-  std::vector<SubstrateState> nodes_;
-  std::vector<std::uint8_t> filters_down_;
+  void record_touch(int index) {
+    if (touched_saturated_) return;
+    if (touched_nodes_.size() * 4 >= static_cast<std::size_t>(node_count_)) {
+      touched_saturated_ = true;
+      touched_nodes_.clear();
+      return;
+    }
+    touched_nodes_.push_back(static_cast<std::int32_t>(index));
+  }
+
+  common::BitVec crashed_bits_;
+  common::BitVec lossy_bits_;
+  common::BitVec filters_down_;
+  std::vector<std::int32_t> touched_nodes_;  // nodes that left kUp
+  bool touched_saturated_ = false;
+  int node_count_ = 0;
   int crashed_ = 0;
   int lossy_ = 0;
   int flapped_ = 0;

@@ -1,6 +1,7 @@
 #include "sosnet/sos_overlay.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace sos::sosnet {
 
@@ -16,7 +17,7 @@ SosOverlay::SosOverlay(const core::SosDesign& design, std::uint64_t seed)
         auto rng = topology_rng(seed ^ 0xa5a5a5a5a5a5a5a5ull);
         return Topology{design, rng};
       }()),
-      filter_congested_(static_cast<std::size_t>(design.filter_count), false),
+      filter_congested_(static_cast<std::size_t>(design.filter_count)),
       substrate_(design.total_overlay_nodes, design.filter_count) {}
 
 void SosOverlay::rebuild(std::uint64_t seed, TopologyWorkspace& workspace,
@@ -28,7 +29,7 @@ void SosOverlay::rebuild(std::uint64_t seed, TopologyWorkspace& workspace,
   }
   auto rng = topology_rng(seed ^ 0xa5a5a5a5a5a5a5a5ull);
   topology_.rebuild(rng, workspace);
-  std::fill(filter_congested_.begin(), filter_congested_.end(), false);
+  filter_congested_.reset_all();
   substrate_.reset();
   chord_.reset();
   ring_to_overlay_.clear();
@@ -49,15 +50,27 @@ int SosOverlay::migrate_member(int member, common::Rng& rng) {
   return recruit;
 }
 
+void SosOverlay::set_filter_congested(int filter, bool congested) {
+  if (filter < 0 || filter >= filter_count())
+    throw std::out_of_range(
+        "SosOverlay::set_filter_congested: filter out of range");
+  filter_congested_.set(static_cast<std::size_t>(filter), congested);
+}
+
 int SosOverlay::congested_filter_count() const {
-  return static_cast<int>(std::count(filter_congested_.begin(),
-                                     filter_congested_.end(), true));
+  return static_cast<int>(filter_congested_.count());
 }
 
 void SosOverlay::reset_health() {
   network_.reset_health();
-  std::fill(filter_congested_.begin(), filter_congested_.end(), false);
+  filter_congested_.reset_all();
   substrate_.reset();
+}
+
+std::size_t SosOverlay::footprint_bytes() const noexcept {
+  return network_.footprint_bytes() + topology_.footprint_bytes() +
+         filter_congested_.capacity_bytes() + substrate_.footprint_bytes() +
+         ring_to_overlay_.capacity() * sizeof(int);
 }
 
 SosOverlay::LayerTally SosOverlay::tally(int layer) const {

@@ -10,11 +10,13 @@
 // can also break paths.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/bitvec.h"
 #include "common/rng.h"
 #include "core/design.h"
 #include "overlay/chord.h"
@@ -61,12 +63,13 @@ class SosOverlay {
   const overlay::Network& network() const noexcept { return network_; }
 
   int filter_count() const { return design().filter_count; }
-  bool filter_congested(int filter) const {
-    return filter_congested_.at(static_cast<std::size_t>(filter));
+  /// Hot path: unchecked (debug assert only).
+  bool filter_congested(int filter) const noexcept {
+    assert(filter >= 0 && filter < filter_count());
+    return filter_congested_.test(static_cast<std::size_t>(filter));
   }
-  void set_filter_congested(int filter, bool congested) {
-    filter_congested_.at(static_cast<std::size_t>(filter)) = congested;
-  }
+  void set_filter_congested(int filter, bool congested);
+  /// Popcount over the filter bitset — no linear bool scan.
   int congested_filter_count() const;
 
   /// Benign substrate health (crashes, lossiness, filter flaps), orthogonal
@@ -77,14 +80,14 @@ class SosOverlay {
 
   /// A node forwards traffic iff the attacker left it good AND the
   /// substrate has it up (lossy nodes still forward; the loss shows up in
-  /// the protocol simulation, not the walk).
-  bool node_usable(int node) const {
+  /// the protocol simulation, not the walk). Hot path: unchecked.
+  bool node_usable(int node) const noexcept {
     return network_.is_good(node) && !substrate_.node_crashed(node);
   }
   /// A filter blocks traffic when attacker-congested OR benignly flapped.
-  bool filter_blocked(int filter) const {
-    return filter_congested_[static_cast<std::size_t>(filter)] ||
-           substrate_.filter_flapped(filter);
+  /// Hot path: unchecked (debug assert only).
+  bool filter_blocked(int filter) const noexcept {
+    return filter_congested(filter) || substrate_.filter_flapped(filter);
   }
 
   /// Restores every overlay node and filter to healthy.
@@ -118,6 +121,11 @@ class SosOverlay {
   /// Ring accessor (built on demand); exposed for the Chord benches.
   const overlay::ChordRing& chord() const;
 
+  /// Bytes owned by the overlay's per-node state (network health + ids,
+  /// topology tags/tables, substrate bitsets, filter bitset). Excludes the
+  /// lazily built Chord ring, which only Chord mode materializes.
+  std::size_t footprint_bytes() const noexcept;
+
  private:
   /// Picks a uniformly random usable entry of `candidates` (overlay nodes:
   /// attack-good and not crashed); nullopt when all are unusable.
@@ -126,7 +134,7 @@ class SosOverlay {
 
   overlay::Network network_;
   Topology topology_;
-  std::vector<bool> filter_congested_;
+  common::BitVec filter_congested_;
   HealthState substrate_;
   mutable std::unique_ptr<overlay::ChordRing> chord_;  // lazy
   mutable std::vector<int> ring_to_overlay_;           // ring index -> node

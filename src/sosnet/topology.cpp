@@ -2,11 +2,24 @@
 
 #include <stdexcept>
 
+#include "common/scan_mode.h"
+
 namespace sos::sosnet {
+
+namespace {
+
+void check_layer_range(const core::SosDesign& design) {
+  // Layer tags are int8_t; -1 marks bystanders, so 127 layers fit.
+  if (design.layers() > 127)
+    throw std::invalid_argument("Topology: more than 127 layers unsupported");
+}
+
+}  // namespace
 
 Topology::Topology(const core::SosDesign& design, common::Rng& rng)
     : design_(design) {
   design_.validate();
+  check_layer_range(design_);
   TopologyWorkspace workspace;
   build(rng, workspace);
 }
@@ -15,6 +28,7 @@ Topology::Topology(const core::SosDesign& design, common::Rng& rng,
                    TopologyWorkspace& workspace)
     : design_(design) {
   design_.validate();
+  check_layer_range(design_);
   build(rng, workspace);
 }
 
@@ -26,9 +40,25 @@ void Topology::build(common::Rng& rng, TopologyWorkspace& workspace) {
   const int big_n = design_.total_overlay_nodes;
   const int layers = design_.layers();
 
-  layer_of_.assign(static_cast<std::size_t>(big_n), -1);
+  // Incremental clear: layer_of_ already reads -1 everywhere except the
+  // previous build's members (replace_member keeps members_/layer_of_ in
+  // sync), so resetting those members' tags restores the blank state in
+  // O(Σ nᵢ) instead of O(N). slot offsets need no clearing — they are only
+  // read through a node whose layer tag says "member".
+  const bool full_clear = !built_ ||
+                          layer_of_.size() != static_cast<std::size_t>(big_n) ||
+                          common::force_full_scan();
+  if (full_clear) {
+    layer_of_.assign(static_cast<std::size_t>(big_n), -1);
+    slot_offset_.assign(static_cast<std::size_t>(big_n), 0);
+  } else {
+    for (const auto& layer_members : members_)
+      for (const int node : layer_members)
+        layer_of_[static_cast<std::size_t>(node)] = -1;
+  }
+  built_ = true;
   members_.resize(static_cast<std::size_t>(layers));
-  slots_.assign(static_cast<std::size_t>(big_n), Slot{});
+  degree_by_layer_.resize(static_cast<std::size_t>(layers));
 
   // Total neighbor-table entries are fixed by the design, so the flat CSR
   // entries array is sized once and reused verbatim on rebuilds.
@@ -53,7 +83,7 @@ void Topology::build(common::Rng& rng, TopologyWorkspace& workspace) {
     layer_members.reserve(static_cast<std::size_t>(design_.layer_size(layer + 1)));
     for (int k = 0; k < design_.layer_size(layer + 1); ++k) {
       const int node = static_cast<int>(chosen[cursor++]);
-      layer_of_[static_cast<std::size_t>(node)] = layer;
+      layer_of_[static_cast<std::size_t>(node)] = static_cast<std::int8_t>(layer);
       layer_members.push_back(node);
     }
   }
@@ -67,14 +97,14 @@ void Topology::build(common::Rng& rng, TopologyWorkspace& workspace) {
     const int next_size = last ? design_.filter_count
                                : design_.layer_size(layer + 2);
     const int degree = design_.degree_into(layer + 2);
+    degree_by_layer_[static_cast<std::size_t>(layer)] = degree;
     const std::vector<int>* next_members =
         last ? nullptr : &members_[static_cast<std::size_t>(layer + 1)];
     for (const int node : members_[static_cast<std::size_t>(layer)]) {
       rng.sample_without_replacement_into(
           static_cast<std::uint64_t>(next_size),
           static_cast<std::uint64_t>(degree), picks, workspace.sample);
-      slots_[static_cast<std::size_t>(node)] =
-          Slot{entry_cursor, static_cast<std::int32_t>(degree)};
+      slot_offset_[static_cast<std::size_t>(node)] = entry_cursor;
       for (const auto pick : picks) {
         entries_[entry_cursor++] =
             last ? static_cast<int>(pick)
@@ -85,6 +115,9 @@ void Topology::build(common::Rng& rng, TopologyWorkspace& workspace) {
 }
 
 void Topology::replace_member(int old_node, int new_node, common::Rng& rng) {
+  if (old_node < 0 || static_cast<std::size_t>(old_node) >= layer_of_.size() ||
+      new_node < 0 || static_cast<std::size_t>(new_node) >= layer_of_.size())
+    throw std::invalid_argument("Topology::replace_member: node out of range");
   const int layer = layer_of(old_node);
   if (layer < 0)
     throw std::invalid_argument("Topology::replace_member: not a member");
@@ -94,7 +127,8 @@ void Topology::replace_member(int old_node, int new_node, common::Rng& rng) {
 
   // Swap the membership records.
   layer_of_[static_cast<std::size_t>(old_node)] = -1;
-  layer_of_[static_cast<std::size_t>(new_node)] = layer;
+  layer_of_[static_cast<std::size_t>(new_node)] =
+      static_cast<std::int8_t>(layer);
   for (int& member : members_[static_cast<std::size_t>(layer)]) {
     if (member == old_node) {
       member = new_node;
@@ -103,13 +137,14 @@ void Topology::replace_member(int old_node, int new_node, common::Rng& rng) {
   }
 
   // The recruit inherits the retired node's entry slot (same degree policy)
-  // with a *fresh* next-layer table; the old node's table is revoked.
+  // with a *fresh* next-layer table; the old node's table is revoked (its
+  // stale offset is unreachable once its layer tag reads -1).
   const int layers = design_.layers();
   const bool last = layer == layers - 1;
   const int next_size =
       last ? design_.filter_count : design_.layer_size(layer + 2);
   const int degree = design_.degree_into(layer + 2);
-  const Slot slot = slots_[static_cast<std::size_t>(old_node)];
+  const std::uint32_t offset = slot_offset_[static_cast<std::size_t>(old_node)];
   const std::vector<int>& next_members =
       last ? members_[static_cast<std::size_t>(layer)]  // unused when last
            : members_[static_cast<std::size_t>(layer + 1)];
@@ -117,20 +152,22 @@ void Topology::replace_member(int old_node, int new_node, common::Rng& rng) {
       static_cast<std::uint64_t>(next_size),
       static_cast<std::uint64_t>(degree));
   for (std::size_t i = 0; i < picks.size(); ++i) {
-    entries_[slot.offset + i] =
+    entries_[offset + i] =
         last ? static_cast<int>(picks[i])
              : next_members[static_cast<std::size_t>(picks[i])];
   }
-  slots_[static_cast<std::size_t>(new_node)] = slot;
-  slots_[static_cast<std::size_t>(old_node)] = Slot{};
+  slot_offset_[static_cast<std::size_t>(new_node)] = offset;
 
   // Re-issue upstream routing state: previous-layer tables that pointed at
   // the retired node now point at its replacement.
   if (layer > 0) {
+    const std::int32_t up_degree =
+        degree_by_layer_[static_cast<std::size_t>(layer - 1)];
     for (const int upstream : members_[static_cast<std::size_t>(layer - 1)]) {
-      const Slot up = slots_[static_cast<std::size_t>(upstream)];
-      for (std::int32_t i = 0; i < up.count; ++i) {
-        int& entry = entries_[up.offset + static_cast<std::uint32_t>(i)];
+      const std::uint32_t up =
+          slot_offset_[static_cast<std::size_t>(upstream)];
+      for (std::int32_t i = 0; i < up_degree; ++i) {
+        int& entry = entries_[up + static_cast<std::uint32_t>(i)];
         if (entry == old_node) entry = new_node;
       }
     }
@@ -156,6 +193,16 @@ void Topology::sample_client_contacts_into(
   dest.reserve(workspace.picks.size());
   for (const auto pick : workspace.picks)
     dest.push_back(first_layer[static_cast<std::size_t>(pick)]);
+}
+
+std::size_t Topology::footprint_bytes() const noexcept {
+  std::size_t members_bytes = 0;
+  for (const auto& layer_members : members_)
+    members_bytes += layer_members.capacity() * sizeof(int);
+  return layer_of_.capacity() * sizeof(std::int8_t) +
+         slot_offset_.capacity() * sizeof(std::uint32_t) +
+         degree_by_layer_.capacity() * sizeof(std::int32_t) +
+         entries_.capacity() * sizeof(int) + members_bytes;
 }
 
 }  // namespace sos::sosnet

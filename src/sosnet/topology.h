@@ -8,13 +8,16 @@
 // trial), which is exactly the distribution the paper's average-case
 // analysis assumes.
 //
-// Storage is a flat CSR-style layout: one contiguous entries array plus a
-// per-node (offset, count) slot table, sized once from the design. Rebuilding
-// a topology for a new trial (same design, fresh randomness) reuses every
-// buffer, so the Monte Carlo hot loop performs no heap allocations in steady
-// state.
+// Storage is a compact SoA layout sized for N in the millions: an int8
+// per-node layer tag, a uint32 per-node entry offset (the neighbor count is
+// implied by the layer, so no per-node count is stored), and one contiguous
+// entries array. Rebuilding for a new trial reuses every buffer and clears
+// only the previous members' layer tags, so steady-state rebuild cost is
+// O(Σ nᵢ·mᵢ) — independent of N (with an O(N) reference path kept for
+// first builds and common::force_full_scan()).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -43,14 +46,19 @@ class Topology {
 
   /// Re-samples membership and neighbor tables from `rng` in place, reusing
   /// every buffer. Produces exactly the topology `Topology(design(), rng)`
-  /// would, but allocation-free once buffers are warm.
+  /// would, but allocation-free and O(members) once buffers are warm.
   void rebuild(common::Rng& rng, TopologyWorkspace& workspace);
 
   const core::SosDesign& design() const noexcept { return design_; }
 
   /// 0-based layer of an overlay node, or -1 for innocent bystanders.
-  int layer_of(int node) const { return layer_of_.at(static_cast<std::size_t>(node)); }
-  bool is_sos_member(int node) const { return layer_of(node) >= 0; }
+  /// Hot path: unchecked (debug assert only).
+  int layer_of(int node) const noexcept {
+    assert(node >= 0 &&
+           static_cast<std::size_t>(node) < layer_of_.size());
+    return layer_of_[static_cast<std::size_t>(node)];
+  }
+  bool is_sos_member(int node) const noexcept { return layer_of(node) >= 0; }
 
   /// Overlay indices of the members of 0-based layer `layer`.
   const std::vector<int>& members(int layer) const {
@@ -60,9 +68,13 @@ class Topology {
   /// Next-layer neighbor table of an SOS node. For nodes in the last layer
   /// the entries are *filter* indices in [0, filter_count); for every other
   /// layer they are overlay node indices. Empty for non-members.
-  std::span<const int> neighbors(int node) const {
-    const Slot slot = slots_.at(static_cast<std::size_t>(node));
-    return {entries_.data() + slot.offset, static_cast<std::size_t>(slot.count)};
+  /// Hot path: unchecked (debug assert only).
+  std::span<const int> neighbors(int node) const noexcept {
+    const int layer = layer_of(node);
+    if (layer < 0) return {};
+    return {entries_.data() + slot_offset_[static_cast<std::size_t>(node)],
+            static_cast<std::size_t>(
+                degree_by_layer_[static_cast<std::size_t>(layer)])};
   }
 
   /// Nodes of layer 0 a fresh client would contact (m_1 distinct members).
@@ -82,19 +94,19 @@ class Topology {
   /// identity is worthless to an attacker.
   void replace_member(int old_node, int new_node, common::Rng& rng);
 
- private:
-  struct Slot {
-    std::uint32_t offset = 0;
-    std::int32_t count = 0;
-  };
+  /// Bytes owned by per-node and per-entry topology state.
+  std::size_t footprint_bytes() const noexcept;
 
+ private:
   void build(common::Rng& rng, TopologyWorkspace& workspace);
 
   core::SosDesign design_;
-  std::vector<int> layer_of_;             // size N
-  std::vector<std::vector<int>> members_; // L layers
-  std::vector<Slot> slots_;               // size N (count 0 for innocents)
-  std::vector<int> entries_;              // flat CSR neighbor storage
+  std::vector<std::int8_t> layer_of_;      // size N, -1 for bystanders
+  std::vector<std::vector<int>> members_;  // L layers
+  std::vector<std::uint32_t> slot_offset_; // size N; valid only for members
+  std::vector<std::int32_t> degree_by_layer_;  // implied neighbor counts
+  std::vector<int> entries_;               // flat CSR neighbor storage
+  bool built_ = false;  // false until layer tags cover the whole population
 };
 
 }  // namespace sos::sosnet

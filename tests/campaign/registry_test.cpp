@@ -53,6 +53,7 @@ TEST(FigureRegistry, PinsTheLegacySuite) {
       {"ext_hardening", "ext_hardening_placement", 0},
       {"ext_profile", "ext_mapping_profile", 0},
       {"ext_faults", "ext_fault_tolerance", 0},
+      {"ext_scale", "ext_scale_curve", 8},
   };
   const auto& registry = figure_registry();
   ASSERT_EQ(registry.size(), expected.size());

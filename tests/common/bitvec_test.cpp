@@ -1,0 +1,103 @@
+// common::BitVec: the word-backed bitset behind the substrate's health,
+// filter and dedup flags. The contract the hot paths rely on: test/set/reset
+// are unchecked (asserted in debug builds), reset_all restores all-zero in
+// O(words), and count() is an exact popcount.
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace sos::common {
+namespace {
+
+TEST(BitVec, StartsEmptyAndAllZero) {
+  BitVec bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_FALSE(bits.any());
+  EXPECT_EQ(bits.count(), 0u);
+
+  bits.assign(130);  // three words, last one partial
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_FALSE(bits.any());
+  for (std::size_t i = 0; i < bits.size(); ++i) EXPECT_FALSE(bits.test(i));
+}
+
+TEST(BitVec, SetTestResetAcrossWordBoundaries) {
+  BitVec bits{200};
+  // Indices chosen to hit the first, middle and last word, including both
+  // sides of each 64-bit boundary.
+  const std::size_t probes[] = {0, 1, 63, 64, 65, 127, 128, 199};
+  for (const std::size_t i : probes) bits.set(i);
+  for (const std::size_t i : probes) EXPECT_TRUE(bits.test(i)) << i;
+  EXPECT_EQ(bits.count(), 8u);
+  EXPECT_TRUE(bits.any());
+
+  // Neighbors of set bits stay clear: no word-index aliasing.
+  EXPECT_FALSE(bits.test(2));
+  EXPECT_FALSE(bits.test(62));
+  EXPECT_FALSE(bits.test(66));
+  EXPECT_FALSE(bits.test(126));
+  EXPECT_FALSE(bits.test(129));
+  EXPECT_FALSE(bits.test(198));
+
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(65));
+  EXPECT_EQ(bits.count(), 7u);
+}
+
+TEST(BitVec, BoolOverloadMatchesSetAndReset) {
+  BitVec bits{70};
+  bits.set(3, true);
+  bits.set(69, true);
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_TRUE(bits.test(69));
+  bits.set(3, false);
+  EXPECT_FALSE(bits.test(3));
+  EXPECT_TRUE(bits.test(69));
+  EXPECT_EQ(bits.count(), 1u);
+}
+
+TEST(BitVec, SetIsIdempotentForCount) {
+  BitVec bits{10};
+  bits.set(7);
+  bits.set(7);
+  EXPECT_EQ(bits.count(), 1u);
+  bits.reset(7);
+  bits.reset(7);
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(BitVec, ResetAllClearsEveryWord) {
+  BitVec bits{257};
+  for (std::size_t i = 0; i < bits.size(); i += 3) bits.set(i);
+  EXPECT_TRUE(bits.any());
+  bits.reset_all();
+  EXPECT_FALSE(bits.any());
+  EXPECT_EQ(bits.count(), 0u);
+  for (std::size_t i = 0; i < bits.size(); ++i) EXPECT_FALSE(bits.test(i));
+}
+
+TEST(BitVec, AssignResizesAndZeroes) {
+  BitVec bits{64};
+  bits.set(0);
+  bits.set(63);
+  bits.assign(128);  // grow: old bits must not survive
+  EXPECT_EQ(bits.size(), 128u);
+  EXPECT_FALSE(bits.any());
+  bits.set(100);
+  bits.assign(32);  // shrink re-zeroes too
+  EXPECT_EQ(bits.size(), 32u);
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(BitVec, CapacityIsOneBitPerNodePlusPadding) {
+  BitVec bits{1'000'000};
+  // 1e6 bits = 15625 words exactly; the backing store must stay within one
+  // word of that (this is what keeps the substrate's bytes/node budget).
+  EXPECT_GE(bits.capacity_bytes(), 125'000u);
+  EXPECT_LE(bits.capacity_bytes(), 125'000u + 2 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace sos::common

@@ -1,0 +1,201 @@
+// Million-node substrate acceptance: the O(touched) dirty-list reset must be
+// an invisible optimization (bit-identical results with the O(N) reference
+// paths forced via common::set_force_full_scan), the per-node memory budget
+// must hold at scale, and a full Monte Carlo trial must run end-to-end at
+// N = 1e6 (`ctest -L scale-smoke`).
+#include <chrono>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "attack/successive_attacker.h"
+#include "common/rng.h"
+#include "common/scan_mode.h"
+#include "core/design.h"
+#include "sim/monte_carlo.h"
+#include "sosnet/sos_overlay.h"
+#include "sosnet/topology.h"
+
+namespace sos {
+namespace {
+
+// Restores the scan mode even when an assertion fails mid-test.
+struct ForceFullScanGuard {
+  explicit ForceFullScanGuard(bool on) { common::set_force_full_scan(on); }
+  ~ForceFullScanGuard() { common::set_force_full_scan(false); }
+};
+
+core::SosDesign scale_design(int total_nodes) {
+  return core::SosDesign::make(total_nodes, 100, 4, 10,
+                               core::MappingPolicy::one_to_two());
+}
+
+core::SuccessiveAttack paper_attack() {
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 200;
+  attack.congestion_budget = 2000;
+  attack.break_in_success = 0.5;
+  attack.prior_knowledge = 0.2;
+  attack.rounds = 3;
+  return attack;
+}
+
+sim::MonteCarloResult run_batch(const core::SosDesign& design,
+                                std::uint64_t seed, int trials,
+                                bool force_full_scan,
+                                bool route_via_chord = false) {
+  const ForceFullScanGuard guard{force_full_scan};
+  const attack::SuccessiveAttacker attacker{paper_attack()};
+  sim::MonteCarloConfig config;
+  config.trials = trials;
+  config.walks_per_trial = 5;
+  config.seed = seed;
+  config.threads = 1;
+  config.route_via_chord = route_via_chord;
+  return sim::run_monte_carlo(
+      design,
+      [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+        return attacker.execute(overlay, rng);
+      },
+      config);
+}
+
+void expect_identical(const sim::MonteCarloResult& fast,
+                      const sim::MonteCarloResult& reference) {
+  EXPECT_EQ(fast.p_success, reference.p_success);
+  EXPECT_EQ(fast.ci.lo, reference.ci.lo);
+  EXPECT_EQ(fast.ci.hi, reference.ci.hi);
+  EXPECT_EQ(fast.walks, reference.walks);
+  EXPECT_EQ(fast.deliveries, reference.deliveries);
+  EXPECT_EQ(fast.mean_broken, reference.mean_broken);
+  EXPECT_EQ(fast.mean_broken_sos, reference.mean_broken_sos);
+  EXPECT_EQ(fast.mean_congested, reference.mean_congested);
+  EXPECT_EQ(fast.mean_congested_sos, reference.mean_congested_sos);
+  EXPECT_EQ(fast.mean_congested_filters, reference.mean_congested_filters);
+  EXPECT_EQ(fast.mean_disclosed, reference.mean_disclosed);
+  EXPECT_EQ(fast.mean_delivery_hops, reference.mean_delivery_hops);
+}
+
+// The hard acceptance constraint: at the paper scale every observable output
+// of the engine is byte-identical whether the dirty-list fast paths or the
+// forced O(N) reference resets ran. Checked both where the dirty lists
+// saturate (N=1e4: a 2000-node congestion burst touches > N/4 nodes) and
+// where they stay sparse (N=1e5).
+TEST(ScaleSubstrate, DirtyResetIsBitIdenticalToFullReset) {
+  for (const int big_n : {10'000, 100'000}) {
+    const auto design = scale_design(big_n);
+    for (const std::uint64_t seed : {0x5055ULL, 0xfeedULL}) {
+      const auto fast = run_batch(design, seed, 6, /*force_full_scan=*/false);
+      const auto reference =
+          run_batch(design, seed, 6, /*force_full_scan=*/true);
+      SCOPED_TRACE("N=" + std::to_string(big_n) +
+                   " seed=" + std::to_string(seed));
+      expect_identical(fast, reference);
+    }
+  }
+}
+
+// Chord transport exercises the lazy ring ids (materialize + reseed fast
+// path); the identity must hold there too.
+TEST(ScaleSubstrate, DirtyResetIsBitIdenticalUnderChordRouting) {
+  const auto design = scale_design(4000);
+  const auto fast = run_batch(design, 0x5055, 4, /*force_full_scan=*/false,
+                              /*route_via_chord=*/true);
+  const auto reference = run_batch(design, 0x5055, 4, /*force_full_scan=*/true,
+                                   /*route_via_chord=*/true);
+  expect_identical(fast, reference);
+}
+
+// Per-node observable state after a dirty reset equals a freshly constructed
+// overlay: every health slot back to kGood, every filter back up, the
+// network's dirty list drained.
+TEST(ScaleSubstrate, DirtyResetRestoresPristineState) {
+  const auto design = scale_design(50'000);
+  sosnet::SosOverlay overlay{design, 0x5055};
+  const attack::SuccessiveAttacker attacker{paper_attack()};
+  common::Rng rng{11};
+  attacker.execute(overlay, rng);
+  overlay.reset_health();
+
+  const sosnet::SosOverlay pristine{design, 0x5055};
+  const int big_n = overlay.network().size();
+  ASSERT_EQ(pristine.network().size(), big_n);
+  for (int node = 0; node < big_n; ++node)
+    ASSERT_EQ(overlay.network().health(node), pristine.network().health(node))
+        << "node " << node;
+  for (int filter = 0; filter < design.filter_count; ++filter) {
+    EXPECT_FALSE(overlay.filter_blocked(filter)) << filter;
+    EXPECT_FALSE(overlay.filter_congested(filter)) << filter;
+  }
+  EXPECT_TRUE(overlay.network().touched_health().empty());
+  EXPECT_FALSE(overlay.network().health_scan_saturated());
+}
+
+// The compact-SoA memory budget pinned by the scaling study: at N >= 1e6
+// the whole substrate (health byte, layer tag, slot offset, bitsets, dirty
+// lists, membership) stays within 8 bytes per node.
+TEST(ScaleSubstrate, BytesPerNodeBudgetAtMillionNodes) {
+  const auto design = scale_design(1'000'000);
+  sosnet::SosOverlay overlay{design, 0x5055};
+  const double bytes_per_node =
+      static_cast<double>(overlay.footprint_bytes()) / 1'000'000.0;
+  EXPECT_LE(bytes_per_node, 8.0);
+  EXPECT_GT(bytes_per_node, 0.0);
+}
+
+// End-to-end Monte Carlo at N = 1e6: cold build, attacked trials, walks,
+// reduction. Structural assertions only — the point is that the pipeline
+// completes at scale inside the tier-1 timeout.
+TEST(ScaleSubstrate, MillionNodeMonteCarloTrialEndToEnd) {
+  const auto design = scale_design(1'000'000);
+  const auto result = run_batch(design, 0x5055, 2, /*force_full_scan=*/false);
+  EXPECT_EQ(result.walks, 10u);  // 2 trials x 5 walks
+  EXPECT_GE(result.p_success, 0.0);
+  EXPECT_LE(result.p_success, 1.0);
+  EXPECT_GT(result.mean_congested, 0.0);   // the attack actually landed
+  EXPECT_LE(result.mean_congested, 2000.0 + 200.0);
+}
+
+// Load-robust tripwire for the O(touched) win: the dirty path must beat the
+// forced O(N) reference at N = 1e6 by at least 2x even on busy hardware
+// (BENCH_scale.json records the real ~25x margin and pins the >= 5x
+// acceptance). Both passes run back-to-back on the same warm overlay, so
+// machine load cancels out of the ratio.
+TEST(ScaleSubstrate, DirtyResetSpeedupTripwireAtMillionNodes) {
+  const auto design = scale_design(1'000'000);
+  const attack::SuccessiveAttacker attacker{paper_attack()};
+  sosnet::SosOverlay overlay{design, 0x5055};
+  sosnet::TopologyWorkspace workspace;
+  sosnet::WalkResult walk;
+
+  const auto run_trials = [&](int trials, std::uint64_t salt) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::uint64_t trial_seed =
+          salt ^ common::mix64(0x7261696c5ull + static_cast<std::uint64_t>(trial));
+      overlay.rebuild(trial_seed, workspace, /*reseed_ids=*/false);
+      common::Rng rng{common::mix64(trial_seed)};
+      attacker.execute(overlay, rng);
+      for (int w = 0; w < 5; ++w) overlay.route_message(rng, walk);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  run_trials(2, 0x11);  // warm-up: buffers sized, first O(N) costs paid
+  const double fast_seconds = run_trials(24, 0x5055);
+  double full_seconds = 0.0;
+  {
+    const ForceFullScanGuard guard{true};
+    run_trials(1, 0x22);
+    full_seconds = run_trials(8, 0x5055);
+  }
+  const double fast_rate = 24.0 / fast_seconds;
+  const double full_rate = 8.0 / full_seconds;
+  EXPECT_GE(fast_rate, 2.0 * full_rate)
+      << "fast " << fast_rate << " trials/s vs forced-full " << full_rate;
+}
+
+}  // namespace
+}  // namespace sos
