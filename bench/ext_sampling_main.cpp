@@ -1,0 +1,8 @@
+// Regenerates ext_sampling via the campaign registry (see docs/CAMPAIGNS.md
+// and bench_common.h for flags; --mc-trials=0 selects the deep recording
+// run that arms the rare-event acceptance checks).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return sos::bench::run_registered_figure(argc, argv, "ext_sampling");
+}

@@ -4,8 +4,10 @@
 // fine-grained a parameter sweep can be.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <unistd.h>
 
 #include "attack/one_burst_attacker.h"
@@ -19,6 +21,7 @@
 #include "core/successive_model.h"
 #include "overlay/chord.h"
 #include "sim/monte_carlo.h"
+#include "sim/sampling.h"
 #include "sim/sweep.h"
 #include "sosnet/protocol.h"
 #include "sosnet/sos_overlay.h"
@@ -624,8 +627,8 @@ void BM_CampaignWarmFigure(benchmark::State& state) {
 BENCHMARK(BM_CampaignWarmFigure)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 // The whole registered figure suite as one campaign (the run_all.sh
-// --resume workload) at a tiny Monte Carlo load: cold regenerates all 22
-// figures, warm serves the entire suite from the store. Their figures/s
+// --resume workload) at a tiny Monte Carlo load: cold regenerates every
+// registered figure, warm serves the entire suite from the store. Their figures/s
 // ratio is the full-suite warm-cache rerun speedup.
 experiments::Params suite_bench_params() {
   experiments::Params params;
@@ -680,5 +683,174 @@ void BM_CampaignWarmSuite(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CampaignWarmSuite)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Rare-event estimators (sim/sampling.h) — the BENCH_sampling.json workload.
+//
+// The acceptance reads off BM_SamplingStratifiedRare: its
+// trials_saved_ratio counter is trials_for_wilson_half_width at the
+// achieved estimate and half-width (the matched-CI naive cost) divided by
+// the trials actually resolved, and must stay >= 10 at this P_S ~ 2e-4
+// point. Resolved trial counts are seed-deterministic; only wall-clock
+// varies across machines.
+//
+// DoNotOptimize goes through std::as_const: the non-const overload's
+// "+m,r" constraint lets GCC write a scratch register back over the
+// double, and these results are read after the loop for the counters.
+
+/// Probe-calibrated rare-event point: N=10000, L=3, one-to-all, NC=3000
+/// congests the non-filter layers to the edge, NT=1600 leaves P_S ~ 2e-4
+/// carried almost entirely by the K=0 compromised-servlet slice.
+core::SosDesign sampling_design() {
+  return core::SosDesign::make(10000, 100, 3, 10,
+                               core::MappingPolicy::one_to_all());
+}
+
+core::OneBurstAttack sampling_rare_attack() {
+  return core::OneBurstAttack{1600, 3000, 0.5};
+}
+
+sim::MonteCarloConfig sampling_config() {
+  sim::MonteCarloConfig config;
+  config.walks_per_trial = 1;
+  config.seed = 0x5055;
+  return config;
+}
+
+sim::sampling::StoppingRule sampling_rule(int max_trials) {
+  sim::sampling::StoppingRule rule;
+  rule.relative = true;
+  rule.ci_half_width = 0.25;
+  rule.initial_trials = std::min(1024, max_trials);
+  rule.max_trials = max_trials;
+  return rule;
+}
+
+void report_sampling_counters(benchmark::State& state,
+                              const sim::MonteCarloResult& result) {
+  const double half = (result.ci.hi - result.ci.lo) / 2.0;
+  state.counters["trials_resolved"] =
+      static_cast<double>(result.resolved_trials);
+  state.counters["ci_half_width"] = half;
+  if (result.p_success > 0.0 && half > 0.0) {
+    const double naive = sim::sampling::trials_for_wilson_half_width(
+        result.p_success, half);
+    state.counters["naive_trials_needed"] = naive;
+    state.counters["trials_saved_ratio"] =
+        naive / static_cast<double>(result.resolved_trials);
+  }
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(result.resolved_trials),
+      benchmark::Counter::kIsRate);
+}
+
+/// Naive fixed-trial cost on the rare-event point: pins trials/s so the
+/// trials_saved_ratio counters translate directly into wall-clock saved
+/// (a conditioned trial costs the same rebuild + attack + walk work).
+void BM_SamplingNaiveFixedTrials(benchmark::State& state) {
+  const auto design = sampling_design();
+  const auto attack = sampling_rare_attack();
+  const attack::OneBurstAttacker attacker{attack};
+  auto config = sampling_config();
+  config.trials = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto result = sim::run_monte_carlo(
+        design,
+        [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+          return attacker.execute(overlay, rng);
+        },
+        config);
+    benchmark::DoNotOptimize(result.p_success);
+  }
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(config.trials),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SamplingNaiveFixedTrials)
+    ->Arg(4096)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Sequential stopping on an easy point (P_S ~ 0.5): the rule resolves in a
+/// few doubling chunks, so this bounds the stopping machinery's overhead
+/// over a fixed run of the same length.
+void BM_SamplingSequentialEasy(benchmark::State& state) {
+  const auto design = sampling_design();
+  const core::OneBurstAttack attack{400, 2000, 0.5};
+  const attack::OneBurstAttacker attacker{attack};
+  const auto config = sampling_config();
+  const auto rule = sampling_rule(1 << 15);
+  sim::MonteCarloResult result;
+  for (auto _ : state) {
+    result = sim::sampling::run_sequential(
+        design,
+        [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+          return attacker.execute(overlay, rng);
+        },
+        config, rule);
+    benchmark::DoNotOptimize(std::as_const(result).p_success);
+  }
+  report_sampling_counters(state, result);
+}
+BENCHMARK(BM_SamplingSequentialEasy)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The acceptance entry: stratified estimator on the rare-event point to a
+/// 25% relative half-width. trials_saved_ratio must stay >= 10.
+void BM_SamplingStratifiedRare(benchmark::State& state) {
+  const auto design = sampling_design();
+  const auto attack = sampling_rare_attack();
+  const auto config = sampling_config();
+  const auto rule = sampling_rule(1 << 17);
+  sim::MonteCarloResult result;
+  for (auto _ : state) {
+    result = sim::sampling::run_stratified(design, attack, config, rule);
+    benchmark::DoNotOptimize(std::as_const(result).p_success);
+  }
+  report_sampling_counters(state, result);
+}
+BENCHMARK(BM_SamplingStratifiedRare)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Importance sampling on the same point, budget-capped: the defensive
+/// mixture earns little here (the delivering K=0 bin keeps ~6% prior mass),
+/// so this entry records the honest negative result with its ESS.
+void BM_SamplingImportanceRare(benchmark::State& state) {
+  const auto design = sampling_design();
+  const auto attack = sampling_rare_attack();
+  const auto config = sampling_config();
+  const auto rule = sampling_rule(1 << 13);
+  sim::MonteCarloResult result;
+  for (auto _ : state) {
+    result = sim::sampling::run_importance(design, attack, config, rule);
+    benchmark::DoNotOptimize(std::as_const(result).p_success);
+  }
+  report_sampling_counters(state, result);
+  state.counters["ess"] = result.ess;
+}
+BENCHMARK(BM_SamplingImportanceRare)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The conditioning law itself (hypergeometric-binomial mixture + stratum
+/// boundaries): microseconds, so conditioning is free at campaign scale.
+void BM_SamplingCompromiseLaw(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto pmf = sim::sampling::servlet_compromise_pmf(10000, 33, 1600,
+                                                           0.44);
+    const auto edges = sim::sampling::stratum_boundaries(pmf, 10);
+    benchmark::DoNotOptimize(pmf.data());
+    benchmark::DoNotOptimize(edges.data());
+  }
+}
+BENCHMARK(BM_SamplingCompromiseLaw);
 
 }  // namespace

@@ -31,6 +31,13 @@
 # dirty-vs-full reset identity, memory budget) followed by the
 # bench/perf_macro BM_Scale* macrobenches (steady-state vs forced-full-reset
 # vs cold trials at N up to 1e7, the BENCH_scale.json workload).
+#
+# Pass --sampling to run the rare-event estimator pass: the sampling-smoke
+# acceptance tests (`ctest -L sampling-smoke`: trials=auto campaigns through
+# every estimator, checkpoint/crash/resume byte identity, supervised parity)
+# followed by the bench/perf_micro BM_Sampling* microbenches (sequential /
+# stratified / importance at a matched CI target, the BENCH_sampling.json
+# workload).
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -42,6 +49,7 @@ chaos_tests=""
 resume=0
 supervised=0
 scale=0
+sampling=0
 filtered=()
 for arg in "$@"; do
   case "$arg" in
@@ -50,6 +58,7 @@ for arg in "$@"; do
     --resume) resume=1 ;;
     --supervised) supervised=1; resume=1 ;;
     --scale) scale=1 ;;
+    --sampling) sampling=1 ;;
     *) filtered+=("$arg") ;;
   esac
 done
@@ -88,6 +97,17 @@ if [[ "$scale" == 1 ]]; then
     echo "== perf_macro (BM_Scale*)"
     "$macro" --benchmark_filter='BM_Scale' \
       | tee "$results_dir/perf_macro.txt" >/dev/null || true
+  fi
+fi
+
+if [[ "$sampling" == 1 ]]; then
+  echo "== sampling-smoke acceptance tests ($build_dir)"
+  ctest --test-dir "$build_dir" -L sampling-smoke --output-on-failure
+  micro="$build_dir/bench/perf_micro"
+  if [[ -x "$micro" ]]; then
+    echo "== perf_micro (BM_Sampling*)"
+    "$micro" --benchmark_filter='BM_Sampling' \
+      | tee "$results_dir/perf_sampling.txt" >/dev/null || true
   fi
 fi
 

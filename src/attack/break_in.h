@@ -21,4 +21,13 @@ bool attempt_break_in(sosnet::SosOverlay& overlay, int node, double p_break,
                       AttackerKnowledge& knowledge, common::Rng& rng,
                       AttackOutcome& outcome);
 
+/// Dictated-outcome variant for conditioned sampling (sim/sampling.h): same
+/// bookkeeping and disclosure semantics as attempt_break_in, but the attempt
+/// succeeds iff `succeed` — no RNG draw is consumed and the per-layer
+/// hardening factor is ignored (the conditioned estimators require a uniform
+/// effective P_B and validate that upfront). Returns true when the node was
+/// newly broken into.
+bool force_break_in(sosnet::SosOverlay& overlay, int node, bool succeed,
+                    AttackerKnowledge& knowledge, AttackOutcome& outcome);
+
 }  // namespace sos::attack

@@ -1,5 +1,8 @@
 #include "attack/one_burst_attacker.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "attack/break_in.h"
 #include "attack/congestion.h"
 #include "attack/knowledge.h"
@@ -30,6 +33,91 @@ AttackOutcome OneBurstAttacker::execute(sosnet::SosOverlay& overlay,
   for (const auto victim : victims) {
     attempt_break_in(overlay, static_cast<int>(victim),
                      config_.break_in_success, knowledge, rng, outcome);
+  }
+
+  execute_congestion_phase(overlay, knowledge, config_.congestion_budget, rng,
+                           outcome);
+  return outcome;
+}
+
+AttackOutcome OneBurstAttacker::execute_conditioned(sosnet::SosOverlay& overlay,
+                                                    common::Rng& rng,
+                                                    int servlet_victims,
+                                                    int servlet_successes) const {
+  const int big_n = overlay.network().size();
+  config_.validate(big_n);
+  const int last_layer = overlay.design().layers() - 1;
+  const std::vector<int>& servlets = overlay.topology().members(last_layer);
+  const int m = static_cast<int>(servlets.size());
+  if (servlet_victims < 0 || servlet_victims > m ||
+      servlet_victims > config_.break_in_budget)
+    throw std::invalid_argument(
+        "OneBurstAttacker: conditioned servlet_victims must be in "
+        "[0, min(m, N_T)]");
+  if (servlet_successes < 0 || servlet_successes > servlet_victims)
+    throw std::invalid_argument(
+        "OneBurstAttacker: conditioned servlet_successes must be in "
+        "[0, servlet_victims]");
+  if (config_.break_in_budget - servlet_victims > big_n - m)
+    throw std::invalid_argument(
+        "OneBurstAttacker: N_T - servlet_victims exceeds the non-servlet "
+        "population");
+
+  AttackOutcome outcome;
+  const int layers = overlay.design().layers();
+  outcome.broken_per_layer.assign(static_cast<std::size_t>(layers), 0);
+  outcome.congested_per_layer.assign(static_cast<std::size_t>(layers), 0);
+  outcome.rounds_executed = 1;
+
+  thread_local AttackerKnowledge knowledge{1, 0};
+  knowledge.reset(big_n, overlay.filter_count());
+
+  // Dictated servlet outcomes: a uniform servlet_victims-subset of the m
+  // servlets is attempted, a uniform servlet_successes-subset of those
+  // succeeds.
+  thread_local std::vector<std::uint64_t> servlet_slots;
+  thread_local common::SampleScratch servlet_scratch;
+  rng.sample_without_replacement_into(
+      static_cast<std::uint64_t>(m),
+      static_cast<std::uint64_t>(servlet_victims), servlet_slots,
+      servlet_scratch);
+  thread_local std::vector<std::uint64_t> success_slots;
+  thread_local common::SampleScratch success_scratch;
+  rng.sample_without_replacement_into(
+      static_cast<std::uint64_t>(servlet_victims),
+      static_cast<std::uint64_t>(servlet_successes), success_slots,
+      success_scratch);
+  thread_local std::vector<std::uint8_t> forced;
+  forced.assign(static_cast<std::size_t>(servlet_victims), 0);
+  for (const auto slot : success_slots)
+    forced[static_cast<std::size_t>(slot)] = 1;
+  for (int i = 0; i < servlet_victims; ++i) {
+    force_break_in(overlay,
+                   servlets[static_cast<std::size_t>(servlet_slots[i])],
+                   forced[static_cast<std::size_t>(i)] != 0, knowledge,
+                   outcome);
+  }
+
+  // The remaining budget falls on the non-servlet population, with ordinary
+  // Bernoulli draws (per-layer hardening applied by attempt_break_in).
+  // Victims are sampled as positions in [0, N - m) and mapped to node ids by
+  // skipping the (ascending) servlet ids.
+  thread_local std::vector<int> sorted_servlets;
+  sorted_servlets.assign(servlets.begin(), servlets.end());
+  std::sort(sorted_servlets.begin(), sorted_servlets.end());
+  thread_local std::vector<std::uint64_t> other_picks;
+  thread_local common::SampleScratch other_scratch;
+  rng.sample_without_replacement_into(
+      static_cast<std::uint64_t>(big_n - m),
+      static_cast<std::uint64_t>(config_.break_in_budget - servlet_victims),
+      other_picks, other_scratch);
+  for (const auto pick : other_picks) {
+    int node = static_cast<int>(pick);
+    for (const int servlet : sorted_servlets) {
+      if (servlet <= node) ++node;
+    }
+    attempt_break_in(overlay, node, config_.break_in_success, knowledge, rng,
+                     outcome);
   }
 
   execute_congestion_phase(overlay, knowledge, config_.congestion_budget, rng,

@@ -22,6 +22,23 @@ class OneBurstAttacker {
   /// topology.
   AttackOutcome execute(sosnet::SosOverlay& overlay, common::Rng& rng) const;
 
+  /// Break-in phase conditioned on the secret-servlet (last-layer) outcome:
+  /// exactly `servlet_victims` of the m servlets receive break-in attempts
+  /// and exactly `servlet_successes` of those succeed. Conditioned on those
+  /// two counts, the attempted servlets are a uniform subset of the m and
+  /// the compromised ones a uniform subset of the attempted — the exact
+  /// conditional law of execute(), because every servlet shares the same
+  /// effective break-in probability (P_B x the last layer's hardening
+  /// factor). The remaining N_T - servlet_victims attempts fall uniformly on
+  /// non-servlet nodes and draw their Bernoulli outcomes (and per-layer
+  /// hardening) exactly as execute() does, and the congestion phase runs
+  /// unchanged. Used by the sim::sampling stratified and importance-sampling
+  /// estimators, which supply the two counts from the analytic
+  /// hypergeometric-binomial law.
+  AttackOutcome execute_conditioned(sosnet::SosOverlay& overlay,
+                                    common::Rng& rng, int servlet_victims,
+                                    int servlet_successes) const;
+
  private:
   core::OneBurstAttack config_;
 };

@@ -42,6 +42,8 @@ const std::vector<RegisteredFigure> kRegistry{
     {"ext_profile", "ext_mapping_profile", 0, experiments::ext_mapping_profile},
     {"ext_faults", "ext_fault_tolerance", 0, experiments::ext_fault_tolerance},
     {"ext_scale", "ext_scale_curve", 8, experiments::ext_scale_curve},
+    {"ext_sampling", "ext_sampling_curve", 2048,
+     experiments::ext_sampling_curve},
 };
 
 std::string registered_ids() {

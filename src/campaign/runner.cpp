@@ -16,6 +16,7 @@
 #include "core/successive_model.h"
 #include "experiments/figure.h"
 #include "faults/fault_injector.h"
+#include "sim/sampling.h"
 #include "sim/sweep.h"
 
 namespace sos::campaign {
@@ -192,10 +193,22 @@ void CampaignRunner::run_sweep_points(const std::vector<int>& pending,
               pending[chunk_begin + static_cast<std::size_t>(i)])]);
     });
 
-    // Monte Carlo overlay via the trial-indexed deterministic reduction.
+    // Monte Carlo overlay: fixed trials via the trial-indexed deterministic
+    // reduction; auto trials point by point (each estimator run parallelizes
+    // its own trials over the pool, so the points run serially here).
     sim::SweepRunner runner{&pool};
     std::vector<int> mc_index(static_cast<std::size_t>(chunk_size), -1);
-    if (spec_.mc_trials > 0) {
+    std::vector<sim::MonteCarloResult> auto_results;
+    if (spec_.auto_trials.enabled) {
+      auto_results.resize(static_cast<std::size_t>(chunk_size));
+      for (int i = 0; i < chunk_size; ++i) {
+        const CampaignPoint& point = points_[static_cast<std::size_t>(
+            pending[chunk_begin + static_cast<std::size_t>(i)])];
+        auto_results[static_cast<std::size_t>(i)] =
+            run_auto_point(point, pool);
+        mc_index[static_cast<std::size_t>(i)] = i;
+      }
+    } else if (spec_.mc_trials > 0) {
       sim::MonteCarloConfig config;
       config.trials = spec_.mc_trials;
       config.walks_per_trial = spec_.mc_walks;
@@ -214,10 +227,13 @@ void CampaignRunner::run_sweep_points(const std::vector<int>& pending,
     for (int i = 0; i < chunk_size; ++i) {
       const int index = pending[chunk_begin + static_cast<std::size_t>(i)];
       const CampaignPoint& point = points_[static_cast<std::size_t>(index)];
-      const sim::MonteCarloResult* mc =
-          mc_index[static_cast<std::size_t>(i)] >= 0
-              ? &runner.result(mc_index[static_cast<std::size_t>(i)])
-              : nullptr;
+      const sim::MonteCarloResult* mc = nullptr;
+      if (mc_index[static_cast<std::size_t>(i)] >= 0) {
+        mc = spec_.auto_trials.enabled
+                 ? &auto_results[static_cast<std::size_t>(
+                       mc_index[static_cast<std::size_t>(i)])]
+                 : &runner.result(mc_index[static_cast<std::size_t>(i)]);
+      }
       store_.put(digests_[static_cast<std::size_t>(index)],
                  sweep_row(point, model[static_cast<std::size_t>(i)], mc));
       ++computed;
@@ -239,6 +255,13 @@ std::string CampaignRunner::compute_point_bytes(int index) const {
   }
 
   const double model = sweep_model_value(point);
+  if (spec_.auto_trials.enabled) {
+    common::ThreadPool& pool = options_.pool != nullptr
+                                   ? *options_.pool
+                                   : common::ThreadPool::shared();
+    const sim::MonteCarloResult mc = run_auto_point(point, pool);
+    return sweep_row(point, model, &mc);
+  }
   if (spec_.mc_trials <= 0) return sweep_row(point, model, nullptr);
 
   common::ThreadPool& pool =
@@ -253,6 +276,44 @@ std::string CampaignRunner::compute_point_bytes(int index) const {
                               sweep_attack_fn(spec_, point), config);
   runner.run();
   return sweep_row(point, model, &runner.result(slot));
+}
+
+bool CampaignRunner::mc_enabled() const noexcept {
+  return spec_.auto_trials.enabled || spec_.mc_trials > 0;
+}
+
+sim::MonteCarloResult CampaignRunner::run_auto_point(
+    const CampaignPoint& point, common::ThreadPool& pool) const {
+  const ScenarioSpec::AutoTrials& auto_trials = spec_.auto_trials;
+  sim::sampling::StoppingRule rule;
+  rule.ci_half_width = auto_trials.ci;
+  rule.relative = auto_trials.relative;
+  rule.max_trials = auto_trials.max_trials;
+
+  sim::MonteCarloConfig config;
+  config.walks_per_trial = spec_.mc_walks;
+  config.seed = spec_.seed;
+  config.pool = &pool;
+
+  const auto design = sweep_design(spec_, point);
+  if (auto_trials.estimator == "sequential") {
+    return sim::sampling::run_sequential(design, sweep_attack_fn(spec_, point),
+                                         config, rule);
+  }
+  // Conditioned estimators: validate() pinned attacker == one-burst, and the
+  // benign faults ride the post-attack hook (the same attack-then-faults
+  // order sweep_attack_fn composes).
+  const faults::FaultConfig fault_config = spec_.faults;
+  const sim::sampling::PostAttackFn post_attack =
+      [fault_config](sosnet::SosOverlay& overlay, common::Rng& rng) {
+        faults::apply_steady_state_faults(fault_config, overlay, rng);
+      };
+  if (auto_trials.estimator == "stratified") {
+    return sim::sampling::run_stratified(design, one_burst_attack(spec_, point),
+                                         config, rule, {}, post_attack);
+  }
+  return sim::sampling::run_importance(design, one_burst_attack(spec_, point),
+                                       config, rule, {}, post_attack);
 }
 
 double CampaignRunner::sweep_model_value(const CampaignPoint& point) const {
@@ -279,12 +340,19 @@ std::string CampaignRunner::sweep_row(const CampaignPoint& point, double model,
   std::vector<std::string> cells{
       std::to_string(point.break_in), std::to_string(point.congestion),
       point.mapping, std::to_string(point.layers), fmt(model)};
-  if (spec_.mc_trials > 0) {
+  if (mc_enabled()) {
     if (mc == nullptr)
       throw std::logic_error("CampaignRunner: missing MC result for " +
                              point.key);
     cells.insert(cells.end(),
                  {fmt(mc->p_success), fmt(mc->ci.lo), fmt(mc->ci.hi)});
+    if (spec_.auto_trials.enabled) {
+      // The resolved count makes an auto row self-describing: resuming or
+      // re-running the campaign reproduces these bytes without re-deriving
+      // the stopping decision from scratch elsewhere.
+      cells.push_back(std::to_string(mc->resolved_trials));
+      cells.push_back(fmt(mc->ess));
+    }
   }
   return csv_line(cells);
 }
@@ -293,14 +361,20 @@ std::string CampaignRunner::sweep_na_row(const CampaignPoint& point) const {
   std::vector<std::string> cells{
       std::to_string(point.break_in), std::to_string(point.congestion),
       point.mapping, std::to_string(point.layers), "NA"};
-  if (spec_.mc_trials > 0) cells.insert(cells.end(), {"NA", "NA", "NA"});
+  if (mc_enabled()) {
+    cells.insert(cells.end(), {"NA", "NA", "NA"});
+    if (spec_.auto_trials.enabled) cells.insert(cells.end(), {"NA", "NA"});
+  }
   return csv_line(cells);
 }
 
 std::vector<std::string> CampaignRunner::sweep_headers() const {
   std::vector<std::string> headers{"N_T", "N_C", "mapping", "L", "P_S_model"};
-  if (spec_.mc_trials > 0)
+  if (mc_enabled()) {
     headers.insert(headers.end(), {"P_S_mc", "mc_ci_lo", "mc_ci_hi"});
+    if (spec_.auto_trials.enabled)
+      headers.insert(headers.end(), {"mc_trials_resolved", "mc_ess"});
+  }
   return headers;
 }
 

@@ -138,6 +138,15 @@ class CampaignRunner {
   std::string loaded(int index) const;  // store load or throw
   void run_figure_points(const std::vector<int>& pending, int& computed);
   void run_sweep_points(const std::vector<int>& pending, int& computed);
+  /// True when sweep rows carry a Monte Carlo column block — a fixed trial
+  /// count or an auto stopping rule.
+  bool mc_enabled() const noexcept;
+  /// One adaptive point: builds the spec's StoppingRule and runs the
+  /// configured sim::sampling estimator (which parallelizes its trials over
+  /// `pool` internally). Deterministic in (spec, point) alone, so cached,
+  /// resumed, and supervised executions agree byte-for-byte.
+  sim::MonteCarloResult run_auto_point(const CampaignPoint& point,
+                                       common::ThreadPool& pool) const;
   double sweep_model_value(const CampaignPoint& point) const;
   std::string sweep_row(const CampaignPoint& point, double model,
                         const sim::MonteCarloResult* mc) const;

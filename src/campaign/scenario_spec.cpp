@@ -103,6 +103,56 @@ std::string join_ints(const std::vector<int>& values) {
   return common::join(parts, ", ");
 }
 
+constexpr const char* kAutoTrialsAccepted =
+    "'default', a non-negative trial count, or "
+    "auto:ci=<half-width>[:rel][:max=<trials>]"
+    "[:estimator=<sequential|stratified|importance>]";
+
+/// `auto[:ci=<w>][:rel][:max=<n>][:estimator=<e>]`, each option at most
+/// once. Any malformed token rejects with the full accepted grammar.
+ScenarioSpec::AutoTrials parse_auto_trials(const std::string& value) {
+  ScenarioSpec::AutoTrials out;
+  out.enabled = true;
+  const auto tokens = common::split(value, ':');
+  if (tokens.empty() || common::trim(tokens[0]) != "auto")
+    reject("mc_trials", value, kAutoTrialsAccepted);
+  bool saw_ci = false, saw_rel = false, saw_max = false, saw_estimator = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string token = common::trim(tokens[i]);
+    if (token == "rel") {
+      if (saw_rel) reject("mc_trials", value, kAutoTrialsAccepted);
+      saw_rel = true;
+      out.relative = true;
+    } else if (token.rfind("ci=", 0) == 0) {
+      if (saw_ci) reject("mc_trials", value, kAutoTrialsAccepted);
+      saw_ci = true;
+      const std::string body = token.substr(3);
+      const char* text = body.c_str();
+      char* end = nullptr;
+      out.ci = std::strtod(text, &end);
+      if (body.empty() || end == text || *end != '\0')
+        reject("mc_trials", value, kAutoTrialsAccepted);
+    } else if (token.rfind("max=", 0) == 0) {
+      if (saw_max) reject("mc_trials", value, kAutoTrialsAccepted);
+      saw_max = true;
+      const std::string body = token.substr(4);
+      const char* text = body.c_str();
+      char* end = nullptr;
+      const long long parsed = std::strtoll(text, &end, 10);
+      if (body.empty() || end == text || *end != '\0')
+        reject("mc_trials", value, kAutoTrialsAccepted);
+      out.max_trials = static_cast<int>(parsed);
+    } else if (token.rfind("estimator=", 0) == 0) {
+      if (saw_estimator) reject("mc_trials", value, kAutoTrialsAccepted);
+      saw_estimator = true;
+      out.estimator = token.substr(10);
+    } else {
+      reject("mc_trials", value, kAutoTrialsAccepted);
+    }
+  }
+  return out;
+}
+
 bool valid_name(const std::string& name) {
   if (name.empty()) return false;
   for (const char c : name) {
@@ -114,6 +164,14 @@ bool valid_name(const std::string& name) {
 }
 
 }  // namespace
+
+std::string ScenarioSpec::AutoTrials::render() const {
+  std::string out = "auto:ci=" + fmt_double(ci);
+  if (relative) out += ":rel";
+  out += ":max=" + std::to_string(max_trials);
+  out += ":estimator=" + estimator;
+  return out;
+}
 
 ScenarioSpec ScenarioSpec::parse(const std::string& text) {
   ScenarioSpec spec;
@@ -164,6 +222,9 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       mc_trials_set = true;
       if (value == "default") {
         spec.mc_trials = kPerFigureDefaultTrials;
+      } else if (value.rfind("auto", 0) == 0) {
+        spec.auto_trials = parse_auto_trials(value);
+        spec.mc_trials = 0;  // the rule, not a fixed count, drives MC points
       } else {
         spec.mc_trials = static_cast<int>(parse_int(key, value));
       }
@@ -236,6 +297,10 @@ void ScenarioSpec::validate() const {
     reject("mc_walks", std::to_string(mc_walks), "a positive walk count");
 
   if (mode == Mode::kFigures) {
+    if (auto_trials.enabled)
+      reject("mc_trials", auto_trials.render(),
+             "'default' or a non-negative trial count (auto trials apply to "
+             "sweep campaigns only)");
     if (mc_trials < 0 && mc_trials != kPerFigureDefaultTrials)
       reject("mc_trials", std::to_string(mc_trials),
              "'default' or a non-negative trial count");
@@ -250,6 +315,24 @@ void ScenarioSpec::validate() const {
   if (mc_trials < 0)
     reject("mc_trials", std::to_string(mc_trials),
            "a non-negative trial count");
+  if (auto_trials.enabled) {
+    if (!(auto_trials.ci > 0.0) || !(auto_trials.ci < 1.0))
+      reject("mc_trials", auto_trials.render(),
+             "auto trials with ci in (0, 1)");
+    if (auto_trials.max_trials < 2)
+      reject("mc_trials", auto_trials.render(),
+             "auto trials with max >= 2");
+    const bool known_estimator = auto_trials.estimator == "sequential" ||
+                                 auto_trials.estimator == "stratified" ||
+                                 auto_trials.estimator == "importance";
+    if (!known_estimator)
+      reject("mc_trials", auto_trials.render(),
+             "estimator sequential, stratified, importance");
+    if (auto_trials.estimator != "sequential" && attacker != "one-burst")
+      reject("mc_trials", auto_trials.render(),
+             "stratified/importance estimators with attacker = one-burst "
+             "(they condition on the one-burst compromised-servlet count)");
+  }
   if (attacker != "one-burst" && attacker != "successive")
     reject("attacker", attacker, "one-burst, successive");
   if (layers.empty()) reject("layers", "", "a non-empty list of layer counts");
@@ -304,10 +387,14 @@ std::string ScenarioSpec::canonical() const {
   out += "sos = " + std::to_string(sos_nodes) + "\n";
   out += "filters = " + std::to_string(filters) + "\n";
   out += "p_break = " + fmt_double(p_break) + "\n";
-  out += "mc_trials = " + (mc_trials == kPerFigureDefaultTrials
-                               ? std::string("default")
-                               : std::to_string(mc_trials)) +
-         "\n";
+  if (auto_trials.enabled) {
+    out += "mc_trials = " + auto_trials.render() + "\n";
+  } else {
+    out += "mc_trials = " + (mc_trials == kPerFigureDefaultTrials
+                                 ? std::string("default")
+                                 : std::to_string(mc_trials)) +
+           "\n";
+  }
   out += "mc_walks = " + std::to_string(mc_walks) + "\n";
   out += "seed = " + std::to_string(seed) + "\n";
   if (mode == Mode::kSweep) {
@@ -349,8 +436,13 @@ std::string ScenarioSpec::result_scope() const {
   out += "seed=" + std::to_string(seed) + "\n";
   if (mode == Mode::kSweep) {
     // Figures-mode trials are resolved per point (and live in the point
-    // key); sweep trials are shared, so they scope every point.
-    out += "mc_trials=" + std::to_string(mc_trials) + "\n";
+    // key); sweep trials are shared, so they scope every point. An auto
+    // rule renders its canonical form here — fixed-trial scopes keep their
+    // exact historical bytes, so existing cached points stay warm.
+    out += "mc_trials=" +
+           (auto_trials.enabled ? auto_trials.render()
+                                : std::to_string(mc_trials)) +
+           "\n";
     out += "attacker=" + attacker + "\n";
     out += "distribution=" + distribution + "\n";
     if (successive()) {

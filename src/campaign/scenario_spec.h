@@ -39,6 +39,25 @@ struct ScenarioSpec {
   /// flag is given). Only meaningful in figures mode.
   static constexpr int kPerFigureDefaultTrials = -1;
 
+  /// Adaptive trial resolution, spelled `mc_trials = auto:ci=<w>[:rel]
+  /// [:max=<n>][:estimator=<e>]`. When enabled the sweep's Monte Carlo
+  /// points run a sim::sampling estimator until the requested confidence
+  /// half-width instead of a fixed trial count; the resolved counts land in
+  /// the point rows, so cached/resumed points are exact. Sweep mode only.
+  struct AutoTrials {
+    bool enabled = false;
+    double ci = 0.05;        // target half-width (absolute, or relative to p̂)
+    bool relative = false;
+    int max_trials = 1 << 20;
+    std::string estimator = "sequential";  // sequential|stratified|importance
+
+    /// Canonical `auto:...` rendering: fixed option order, every option
+    /// explicit except `:rel` (present only when set). parse(render())
+    /// reproduces the struct, and result_scope() embeds this text, so two
+    /// specs share cached points iff their rules resolve identically.
+    std::string render() const;
+  };
+
   std::string name;  // campaign name; becomes file/store naming material
   Mode mode = Mode::kFigures;
 
@@ -51,6 +70,7 @@ struct ScenarioSpec {
   int filters = 10;
   double p_break = 0.5;  // P_B
   int mc_trials = kPerFigureDefaultTrials;  // sweep mode defaults to 0
+  AutoTrials auto_trials;  // when enabled, mc_trials is forced to 0
   int mc_walks = 10;
   std::uint64_t seed = 0x5055ULL;
 

@@ -1,0 +1,347 @@
+// ext_sampling_curve: the rare-event estimator study.
+//
+// The paper's evaluation stops where uniform Monte Carlo goes blind: a
+// hardened deployment under a heavy one-burst attack delivers with
+// P_S ~ 1e-4..1e-6, where a fixed-trial run either reports zero or burns
+// millions of trials per point. This figure walks a break-in-budget ladder
+// into that regime and reports, per rung, what each sim::sampling estimator
+// measures (P_S with its interval) and what it pays (resolved trials),
+// against the analytic cost of a naive fixed-trial run matched to the same
+// half-width (sampling::trials_for_wilson_half_width).
+//
+// params.mc_trials caps every estimator's stopping rule. A positive cap
+// bounds the whole figure (the registry default keeps the bench suite
+// fast); mc_trials <= 0 selects the deep recording run — caps of 2^20
+// (stratified) — which also arms the acceptance checks: a P_S <= 1e-5 rung
+// resolved with a finite interval inside 1e6 weighted trials, and >= 10x
+// trials saved over naive at every resolved P_S <= 1e-3 rung. Trial counts
+// are seed-deterministic (stopping decisions depend only on the trial
+// records), so the table is byte-stable across machines and thread counts;
+// only wall-clock varies.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/detail.h"
+#include "sim/sampling.h"
+
+namespace sos::experiments {
+
+namespace {
+
+/// Rare-event columns need scientific notation: detail::fmt's fixed
+/// precision would print every P_S below 1e-4 as "0.0000".
+std::string sci(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3e", value);
+  return std::string{buffer};
+}
+
+struct EstimatorRun {
+  sim::MonteCarloResult result;
+  double half = 0.0;  // achieved interval half-width
+};
+
+EstimatorRun wrap(sim::MonteCarloResult result) {
+  EstimatorRun run;
+  run.half = (result.ci.hi - result.ci.lo) / 2.0;
+  run.result = std::move(result);
+  return run;
+}
+
+/// True when the run's interval is usable for cross-estimator comparison:
+/// it stopped by rule (not at the cap with zero events) and has positive
+/// width around a positive estimate.
+bool comparable(const EstimatorRun& run) {
+  return run.result.stopped_by_rule && run.result.p_success > 0.0 &&
+         run.half > 0.0;
+}
+
+}  // namespace
+
+Figure ext_sampling_curve(const Params& params) {
+  Figure figure;
+  figure.id = "ext_sampling";
+  figure.title =
+      "rare-event estimators: trials to a matched CI as P_S falls below 1e-5";
+  figure.x_label = "break-in budget N_T";
+  figure.table = common::Table{
+      {"NT", "P_S_model", "P_S_seq", "seq_lo", "seq_hi", "seq_trials",
+       "P_S_strat", "strat_lo", "strat_hi", "strat_trials", "P_S_is", "is_lo",
+       "is_hi", "is_trials", "is_ess", "naive_trials_needed", "saved_strat",
+       "saved_is"}};
+
+  // Deep mode (mc_trials <= 0): the recording run that resolves the 1e-6
+  // tail. Any positive cap bounds all three estimators for quick passes.
+  const bool deep = params.mc_trials <= 0;
+  const int cap = deep ? (1 << 20) : params.mc_trials;
+  // The naive baseline column is analytic, so the sequential run only
+  // demonstrates stopping; the importance run's modest gain here (the
+  // delivering k = 0 bin is not rare enough to need tilting) never earns a
+  // deep budget. Both stay bounded while stratified does the deep work.
+  const int sequential_cap = std::min(cap, 1 << 15);
+  const int importance_cap = std::min(cap, 1 << 16);
+
+  // Paper-scale system (N = 10000, n = 100, L = 3, one-to-all) under a
+  // heavy one-burst attack: N_C = 3000 congests the non-filter layers to
+  // the edge of survivability, and the break-in ladder pushes the
+  // compromised-servlet law until only the K = 0 slice still delivers.
+  const auto design =
+      detail::make_design(params, 3, core::MappingPolicy::one_to_all());
+  const std::vector<int> ladder{1600, 1800, 2000, 2200};
+  constexpr int kCongestion = 3000;
+
+  sim::sampling::StoppingRule rule;
+  rule.relative = true;
+  rule.ci_half_width = 0.25;
+  rule.initial_trials = std::min(1024, cap);
+
+  sim::sampling::StratifiedOptions stratified_options;
+  stratified_options.pilot_per_stratum = std::clamp(cap / 16, 2, 32);
+
+  common::Series seq_series{"P_S (sequential)", {}, {}};
+  common::Series strat_series{"P_S (stratified)", {}, {}};
+  common::Series is_series{"P_S (importance)", {}, {}};
+
+  struct Point {
+    int nt = 0;
+    EstimatorRun seq, strat, is;
+    double naive_needed = 0.0;
+  };
+  std::vector<Point> points;
+
+  for (const int nt : ladder) {
+    const core::OneBurstAttack attack{nt, kCongestion, params.p_break};
+    const attack::OneBurstAttacker attacker{attack};
+    const auto config = detail::mc_config(params);
+
+    Point point;
+    point.nt = nt;
+
+    sim::sampling::StoppingRule seq_rule = rule;
+    seq_rule.max_trials = sequential_cap;
+    seq_rule.initial_trials = std::min(rule.initial_trials, sequential_cap);
+    point.seq = wrap(sim::sampling::run_sequential(
+        design,
+        [&attacker](sosnet::SosOverlay& overlay, common::Rng& rng) {
+          return attacker.execute(overlay, rng);
+        },
+        config, seq_rule));
+
+    sim::sampling::StoppingRule strat_rule = rule;
+    strat_rule.max_trials = cap;
+    point.strat = wrap(sim::sampling::run_stratified(
+        design, attack, config, strat_rule, stratified_options));
+
+    sim::sampling::StoppingRule is_rule = rule;
+    is_rule.max_trials = importance_cap;
+    is_rule.initial_trials = std::min(rule.initial_trials, importance_cap);
+    point.is =
+        wrap(sim::sampling::run_importance(design, attack, config, is_rule));
+
+    // Matched-CI naive cost, read off the stratified run: the trials a
+    // uniform sampler would need for a Wilson interval of the same
+    // half-width at the same estimate.
+    if (point.strat.result.p_success > 0.0 && point.strat.half > 0.0)
+      point.naive_needed = sim::sampling::trials_for_wilson_half_width(
+          point.strat.result.p_success, point.strat.half, rule.z);
+
+    const double model = core::OneBurstModel::p_success(design, attack);
+    // Each estimator's saved ratio is priced against its OWN achieved
+    // precision (a zero-event capped run has no precision to price).
+    const auto saved = [&rule](const EstimatorRun& run) {
+      if (run.result.p_success <= 0.0 || run.half <= 0.0 ||
+          run.result.resolved_trials == 0)
+        return std::string{"-"};
+      const double naive = sim::sampling::trials_for_wilson_half_width(
+          run.result.p_success, run.half, rule.z);
+      return detail::fmt(
+          naive / static_cast<double>(run.result.resolved_trials), 1);
+    };
+    figure.table.add_row(
+        {std::to_string(nt), sci(model), sci(point.seq.result.p_success),
+         sci(point.seq.result.ci.lo), sci(point.seq.result.ci.hi),
+         std::to_string(point.seq.result.resolved_trials),
+         sci(point.strat.result.p_success), sci(point.strat.result.ci.lo),
+         sci(point.strat.result.ci.hi),
+         std::to_string(point.strat.result.resolved_trials),
+         sci(point.is.result.p_success), sci(point.is.result.ci.lo),
+         sci(point.is.result.ci.hi),
+         std::to_string(point.is.result.resolved_trials),
+         detail::fmt(point.is.result.ess, 1),
+         point.naive_needed > 0.0 ? detail::fmt(point.naive_needed, 0) : "-",
+         saved(point.strat), saved(point.is)});
+
+    seq_series.xs.push_back(nt);
+    seq_series.ys.push_back(point.seq.result.p_success);
+    strat_series.xs.push_back(nt);
+    strat_series.ys.push_back(point.strat.result.p_success);
+    is_series.xs.push_back(nt);
+    is_series.ys.push_back(point.is.result.p_success);
+    points.push_back(std::move(point));
+  }
+  figure.series.push_back(std::move(seq_series));
+  figure.series.push_back(std::move(strat_series));
+  figure.series.push_back(std::move(is_series));
+
+  // --- Structural checks (hold at any cap). ---
+  {
+    bool weights_ok = true;
+    std::string detail_text;
+    for (const Point& point : points) {
+      double total = 0.0;
+      for (const auto& stratum : point.strat.result.strata)
+        total += stratum.weight;
+      if (std::abs(total - 1.0) > 1e-9) {
+        weights_ok = false;
+        detail_text = "NT=" + std::to_string(point.nt) +
+                      " weight sum=" + sci(total);
+      }
+    }
+    figure.checks.push_back(make_check(
+        "stratum weights recombine to exactly 1 at every rung",
+        weights_ok, weights_ok ? "max |sum-1| <= 1e-9" : detail_text));
+  }
+  {
+    bool accounting_ok = true;
+    std::string detail_text = "all runs within their caps";
+    for (const Point& point : points) {
+      const auto bad = [](const EstimatorRun& run, int run_cap) {
+        return run.result.resolved_trials == 0 ||
+               run.result.resolved_trials >
+                   static_cast<std::uint64_t>(run_cap) ||
+               !(run.result.ci.lo <= run.result.p_success &&
+                 run.result.p_success <= run.result.ci.hi);
+      };
+      // The stratified pilot pass runs before the cap check, so its floor
+      // (strata x max(pilot, per-stratum minimum)) is part of the
+      // admissible budget.
+      const int pilot_floor =
+          static_cast<int>(point.strat.result.strata.size()) *
+          std::max(stratified_options.pilot_per_stratum,
+                   stratified_options.min_per_stratum);
+      if (bad(point.seq, sequential_cap) ||
+          bad(point.strat, std::max(cap, pilot_floor)) ||
+          bad(point.is, importance_cap)) {
+        accounting_ok = false;
+        detail_text = "violated at NT=" + std::to_string(point.nt);
+      }
+    }
+    figure.checks.push_back(make_check(
+        "every estimator reports trials within its cap and an interval "
+        "bracketing its estimate",
+        accounting_ok, detail_text));
+  }
+  {
+    // Cross-estimator agreement wherever two estimators both resolved: the
+    // intervals (padded by each other's half-width) must overlap. Rungs
+    // where a capped run saw no events are skipped — at small caps the
+    // check can be vacuous, in the deep run it bites on every rung the
+    // ladder resolves twice.
+    bool agree = true;
+    int compared = 0;
+    std::string detail_text;
+    for (const Point& point : points) {
+      const EstimatorRun* runs[] = {&point.seq, &point.strat, &point.is};
+      for (int a = 0; a < 3; ++a) {
+        for (int b = a + 1; b < 3; ++b) {
+          if (!comparable(*runs[a]) || !comparable(*runs[b])) continue;
+          ++compared;
+          const double gap = std::abs(runs[a]->result.p_success -
+                                      runs[b]->result.p_success);
+          if (gap > 2.0 * (runs[a]->half + runs[b]->half)) {
+            agree = false;
+            detail_text = "NT=" + std::to_string(point.nt) + ": " +
+                          sci(runs[a]->result.p_success) + " vs " +
+                          sci(runs[b]->result.p_success);
+          }
+        }
+      }
+    }
+    if (agree)
+      detail_text = std::to_string(compared) + " resolved pairs compared";
+    figure.checks.push_back(make_check(
+        "resolved estimators agree within their joint intervals", agree,
+        detail_text));
+  }
+
+  // --- Acceptance checks (deep recording run only: the small-cap passes
+  // cannot resolve the tail they gate on). ---
+  if (deep) {
+    const Point* acceptance = nullptr;
+    for (const Point& point : points) {
+      if (point.strat.result.stopped_by_rule &&
+          point.strat.result.p_success > 0.0 &&
+          point.strat.result.p_success <= 1e-5 && point.strat.half > 0.0 &&
+          point.strat.result.resolved_trials <= 1'000'000) {
+        acceptance = &point;
+        break;
+      }
+    }
+    figure.checks.push_back(make_check(
+        "a P_S <= 1e-5 rung resolves with a finite interval inside 1e6 "
+        "weighted trials",
+        acceptance != nullptr,
+        acceptance != nullptr
+            ? "NT=" + std::to_string(acceptance->nt) + ": P_S=" +
+                  sci(acceptance->strat.result.p_success) + " +/- " +
+                  sci(acceptance->strat.half) + " in " +
+                  std::to_string(acceptance->strat.result.resolved_trials) +
+                  " trials"
+            : "no rung resolved below 1e-5"));
+
+    bool saved_ok = true;
+    double worst = 0.0;
+    std::string detail_text = "no resolved rung at P_S <= 1e-3";
+    for (const Point& point : points) {
+      if (!point.strat.result.stopped_by_rule || point.naive_needed <= 0.0 ||
+          point.strat.result.p_success > 1e-3)
+        continue;
+      const double ratio =
+          point.naive_needed /
+          static_cast<double>(point.strat.result.resolved_trials);
+      if (worst == 0.0 || ratio < worst) {
+        worst = ratio;
+        detail_text = "worst rung NT=" + std::to_string(point.nt) + ": " +
+                      detail::fmt(ratio, 1) + "x";
+      }
+      if (ratio < 10.0) saved_ok = false;
+    }
+    figure.checks.push_back(make_check(
+        "stratification saves >= 10x trials over matched-CI naive at every "
+        "resolved P_S <= 1e-3 rung (BENCH_sampling.json pins the same "
+        "acceptance)",
+        saved_ok, detail_text));
+  }
+
+  figure.notes.push_back(
+      "one-burst attack, NC=" + std::to_string(kCongestion) +
+      ", P_B=" + detail::fmt(params.p_break, 2) +
+      ", L=3, one-to-all, N=" + std::to_string(params.total_overlay) +
+      "; the NT ladder spans the estimators' reach: NT=2400 already yields "
+      "zero deliveries in >1e5 conditioned trials (P_S < ~1e-8), and by "
+      "NT~4000 the congestion phase kills every walk regardless of servlet "
+      "compromise");
+  figure.notes.push_back(
+      "stopping rule: relative half-width <= 0.25 of the estimate at z=1.96; "
+      "caps " + std::to_string(cap) + " (stratified) / " +
+      std::to_string(sequential_cap) + " (sequential) / " +
+      std::to_string(importance_cap) +
+      " (importance); mc_trials <= 0 selects the deep 2^20 recording run "
+      "that arms the acceptance checks");
+  figure.notes.push_back(
+      "naive_trials_needed is analytic (trials_for_wilson_half_width at the "
+      "stratified estimate and achieved half-width), not a timed run; "
+      "resolved trial counts are seed-deterministic, so this table is "
+      "byte-stable across machines and thread counts");
+  figure.notes.push_back(
+      "importance sampling's defensive mixture earns little here (the "
+      "delivering K=0 bin keeps ~1-6% prior mass, so the likelihood ratio "
+      "stays near 1); it is reported with its ESS as the honest negative "
+      "result");
+  return figure;
+}
+
+}  // namespace sos::experiments

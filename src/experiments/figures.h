@@ -50,5 +50,8 @@ Figure ext_hardening_placement(const Params& params);
 Figure ext_mapping_profile(const Params& params);
 Figure ext_fault_tolerance(const Params& params);
 Figure ext_scale_curve(const Params& params);  // P_S & throughput vs N to 1e7
+// Rare-event estimators: trials to a matched CI as P_S falls to ~1e-6.
+// mc_trials caps every estimator; <= 0 selects the deep 2^20 recording run.
+Figure ext_sampling_curve(const Params& params);
 
 }  // namespace sos::experiments

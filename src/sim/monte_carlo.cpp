@@ -98,6 +98,8 @@ MonteCarloResult reduce_in_trial_order(const MonteCarloConfig& config,
   result.ci = common::mean_confidence_interval(trial_success);
   result.walks = walks;
   result.deliveries = deliveries;
+  result.resolved_trials = static_cast<std::uint64_t>(records.size());
+  result.wilson = common::wilson_interval(deliveries, walks);
   result.mean_broken = broken.mean();
   result.mean_broken_sos = broken_sos.mean();
   result.mean_congested = congested.mean();

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "attack/attack_outcome.h"
 #include "common/rng.h"
@@ -41,6 +43,18 @@ struct MonteCarloConfig {
   ThreadPool* pool = nullptr;    // null = ThreadPool::shared()
 };
 
+/// One stratum of a stratified estimate (sim/sampling.h): the
+/// compromised-secret-servlet count bin [lo, hi), its exact probability
+/// mass, and the conditional delivery statistics measured inside it.
+struct StratumTally {
+  int lo = 0;
+  int hi = 0;            // exclusive
+  double weight = 0.0;   // P[lo <= K < hi] under the servlet-compromise law
+  std::uint64_t trials = 0;
+  double p_hat = 0.0;    // mean conditional per-trial delivery rate
+  double stddev = 0.0;   // sample stddev of the conditional rate
+};
+
 struct MonteCarloResult {
   double p_success = 0.0;        // mean per-trial delivery rate
   common::Interval ci;           // 95% CI on the mean (normal approx.)
@@ -57,6 +71,24 @@ struct MonteCarloResult {
   double mean_congested_filters = 0.0;
   double mean_disclosed = 0.0;   // N_D at congestion time
   double mean_delivery_hops = 0.0;  // layer hops of successful walks
+
+  // --- Estimator fields (sim/sampling.h). Default-initialized to inert
+  //     values so the fixed-trial path's results compare field-by-field
+  //     unchanged; the fixed-trial reduction fills only resolved_trials and
+  //     wilson (both deterministic functions of the existing counters).
+  std::uint64_t resolved_trials = 0;  // trials actually executed
+  /// Wilson score interval on deliveries/walks for the naive and sequential
+  /// estimators (the stopping-rule CI); mirrors `ci` for the stratified and
+  /// importance-sampling estimators, where a raw-proportion interval does
+  /// not apply.
+  common::Interval wilson;
+  bool stopped_by_rule = false;  // sequential: rule satisfied before the cap
+  bool capped = false;           // sequential: max_trials hit, rule unmet
+  double ess = 0.0;              // importance sampling: (Σw)²/Σw²; 0 = n/a
+  double weight_cv = 0.0;        // importance sampling: stddev(w)/mean(w)
+  bool degenerate_weights = false;  // importance sampling: ESS collapsed
+  std::vector<StratumTally> strata;  // stratified: per-stratum tallies
+  std::string estimator_note;    // human-readable estimator diagnostics
 };
 
 /// Attack to apply to a freshly built overlay. Must leave its footprint in

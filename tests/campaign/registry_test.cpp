@@ -54,6 +54,7 @@ TEST(FigureRegistry, PinsTheLegacySuite) {
       {"ext_profile", "ext_mapping_profile", 0},
       {"ext_faults", "ext_fault_tolerance", 0},
       {"ext_scale", "ext_scale_curve", 8},
+      {"ext_sampling", "ext_sampling_curve", 2048},
   };
   const auto& registry = figure_registry();
   ASSERT_EQ(registry.size(), expected.size());

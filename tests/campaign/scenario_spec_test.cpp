@@ -221,6 +221,100 @@ TEST(ScenarioSpecCanonical, SweepRoundTripWithFaultsAndSuccessive) {
   EXPECT_NE(text.find("layers = 1, 2, 3, 4"), std::string::npos);
 }
 
+// --- trials=auto: the stopping-rule grammar for sweep campaigns. ---
+
+constexpr const char* kAutoAccepted =
+    "'default', a non-negative trial count, or "
+    "auto:ci=<half-width>[:rel][:max=<trials>]"
+    "[:estimator=<sequential|stratified|importance>]";
+
+TEST(ScenarioSpecAutoTrials, ParsesTheFullOptionSet) {
+  const auto spec = parse(kSweepHeader + "mc_trials = auto:ci=0.25\n");
+  EXPECT_TRUE(spec.auto_trials.enabled);
+  EXPECT_DOUBLE_EQ(spec.auto_trials.ci, 0.25);
+  EXPECT_FALSE(spec.auto_trials.relative);
+  EXPECT_EQ(spec.auto_trials.max_trials, 1 << 20);
+  EXPECT_EQ(spec.auto_trials.estimator, "sequential");
+  EXPECT_EQ(spec.mc_trials, 0);  // the rule drives MC, not a fixed count
+
+  const auto full = parse(
+      kSweepHeader +
+      "mc_trials = auto:ci=0.5:rel:max=4096:estimator=importance\n");
+  EXPECT_TRUE(full.auto_trials.relative);
+  EXPECT_DOUBLE_EQ(full.auto_trials.ci, 0.5);
+  EXPECT_EQ(full.auto_trials.max_trials, 4096);
+  EXPECT_EQ(full.auto_trials.estimator, "importance");
+}
+
+TEST(ScenarioSpecAutoTrials, GoldenGrammarErrors) {
+  const std::string prefix = "ScenarioSpec: bad mc_trials '";
+  expect_rejects(kSweepHeader + "mc_trials = auto:bogus\n",
+                 prefix + "auto:bogus' (accepted: " + kAutoAccepted + ")");
+  expect_rejects(kSweepHeader + "mc_trials = auto:ci=\n",
+                 prefix + "auto:ci=' (accepted: " + kAutoAccepted + ")");
+  expect_rejects(
+      kSweepHeader + "mc_trials = auto:ci=0.2:ci=0.3\n",
+      prefix + "auto:ci=0.2:ci=0.3' (accepted: " + kAutoAccepted + ")");
+  expect_rejects(
+      kSweepHeader + "mc_trials = auto:rel:rel\n",
+      prefix + "auto:rel:rel' (accepted: " + kAutoAccepted + ")");
+  expect_rejects(
+      kSweepHeader + "mc_trials = auto:max=ten\n",
+      prefix + "auto:max=ten' (accepted: " + kAutoAccepted + ")");
+}
+
+TEST(ScenarioSpecAutoTrials, GoldenValidationErrors) {
+  expect_rejects(
+      kSweepHeader + "mc_trials = auto:ci=1.5\n",
+      "ScenarioSpec: bad mc_trials "
+      "'auto:ci=1.5:max=1048576:estimator=sequential' (accepted: auto "
+      "trials with ci in (0, 1))");
+  expect_rejects(
+      kSweepHeader + "mc_trials = auto:ci=0.25:max=1\n",
+      "ScenarioSpec: bad mc_trials "
+      "'auto:ci=0.25:max=1:estimator=sequential' (accepted: auto trials "
+      "with max >= 2)");
+  expect_rejects(
+      kSweepHeader + "mc_trials = auto:ci=0.25:estimator=bayes\n",
+      "ScenarioSpec: bad mc_trials "
+      "'auto:ci=0.25:max=1048576:estimator=bayes' (accepted: estimator "
+      "sequential, stratified, importance)");
+  expect_rejects(
+      kSweepHeader +
+          "attacker = successive\nrounds = 2\n"
+          "mc_trials = auto:ci=0.25:estimator=stratified\n",
+      "ScenarioSpec: bad mc_trials "
+      "'auto:ci=0.25:max=1048576:estimator=stratified' (accepted: "
+      "stratified/importance estimators with attacker = one-burst (they "
+      "condition on the one-burst compromised-servlet count))");
+  expect_rejects(
+      "campaign = t\nfigures = fig4a\nmc_trials = auto:ci=0.25\n",
+      "ScenarioSpec: bad mc_trials "
+      "'auto:ci=0.25:max=1048576:estimator=sequential' (accepted: 'default' "
+      "or a non-negative trial count (auto trials apply to sweep campaigns "
+      "only))");
+}
+
+TEST(ScenarioSpecAutoTrials, CanonicalRoundTripAndResultScope) {
+  const auto spec = parse(
+      kSweepHeader + "mc_trials = auto:ci=0.25:rel:estimator=stratified\n");
+  const auto text = spec.canonical();
+  EXPECT_NE(text.find("mc_trials = auto:ci=0.25:rel:max=1048576"
+                      ":estimator=stratified"),
+            std::string::npos);
+  EXPECT_EQ(ScenarioSpec::parse(text).canonical(), text);
+  EXPECT_NE(spec.result_scope().find(
+                "mc_trials=auto:ci=0.25:rel:max=1048576:estimator="
+                "stratified"),
+            std::string::npos);
+  // Fixed-trial scopes render exactly as before, keeping cached result
+  // digests warm next to auto campaigns.
+  EXPECT_NE(parse(kSweepHeader + "mc_trials = 12\n")
+                .result_scope()
+                .find("mc_trials=12"),
+            std::string::npos);
+}
+
 TEST(ScenarioSpecScope, ExcludesCampaignNameAndAxes) {
   auto a = parse(kSweepHeader + "layers = 1..4\ncongestion = 0, 500\n");
   auto b = parse("campaign = other\nmode = sweep\nlayers = 2\n"

@@ -86,6 +86,42 @@ TEST(WilsonInterval, NoTrialsIsVacuous) {
   EXPECT_EQ(ci.hi, 1.0);
 }
 
+TEST(WilsonInterval, MatchesPublishedReferenceValues) {
+  // Newcombe (1998), "Two-sided confidence intervals for the single
+  // proportion", worked examples for the Wilson score method at 95%:
+  //   81/263 -> (0.2553, 0.3662)      15/148 -> (0.0624, 0.1605)
+  //   0/20   -> (0.0000, 0.1611)      1/29   -> (0.0061, 0.1718)
+  const auto a = wilson_interval(81, 263);
+  EXPECT_NEAR(a.lo, 0.2553, 5e-4);
+  EXPECT_NEAR(a.hi, 0.3662, 5e-4);
+  const auto b = wilson_interval(15, 148);
+  EXPECT_NEAR(b.lo, 0.0624, 5e-4);
+  EXPECT_NEAR(b.hi, 0.1605, 5e-4);
+  const auto c = wilson_interval(0, 20);
+  EXPECT_NEAR(c.lo, 0.0, 5e-4);
+  EXPECT_NEAR(c.hi, 0.1611, 5e-4);
+  const auto d = wilson_interval(1, 29);
+  EXPECT_NEAR(d.lo, 0.0061, 5e-4);
+  EXPECT_NEAR(d.hi, 0.1718, 5e-4);
+}
+
+TEST(WilsonInterval, ZeroSuccessUpperBoundClosedForm) {
+  // k = 0 collapses the score interval to [0, z^2 / (n + z^2)] — the
+  // closed form behind the "rule of three" regime. n=10, z=1.96:
+  // 3.8416 / 13.8416 = 0.2775401687...
+  const auto ci = wilson_interval(0, 10);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_NEAR(ci.hi, 0.2775401687666166, 1e-12);
+}
+
+TEST(WilsonInterval, AllSuccessMirrorsZeroSuccess) {
+  // k = n is the k = 0 interval reflected about 1/2.
+  const auto none = wilson_interval(0, 10);
+  const auto all = wilson_interval(10, 10);
+  EXPECT_EQ(all.hi, 1.0);
+  EXPECT_NEAR(all.lo, 1.0 - none.hi, 1e-12);
+}
+
 TEST(WilsonInterval, CoversTrueProportion) {
   // Frequentist sanity: ~95% of intervals should contain p.
   Rng rng{123};

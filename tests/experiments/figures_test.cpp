@@ -173,6 +173,19 @@ TEST(Figures, ExtProfileChecksPass) {
   EXPECT_EQ(figure.series.size(), 3u);  // three profiles
 }
 
+TEST(Figures, ExtSamplingChecksPass) {
+  Params params = fast_params();
+  params.mc_trials = 96;  // caps every estimator: structural checks only,
+  params.mc_walks = 2;    // the deep acceptance checks stay disarmed
+  const auto figure = ext_sampling_curve(params);
+  expect_well_formed(figure);
+  expect_all_checks_pass(figure);
+  EXPECT_EQ(figure.series.size(), 3u);  // sequential, stratified, importance
+  const std::string csv = figure.table.to_csv();
+  EXPECT_NE(csv.find("strat_trials"), std::string::npos);
+  EXPECT_NE(csv.find("naive_trials_needed"), std::string::npos);
+}
+
 TEST(Figures, MonteCarloOverlayAddsColumns) {
   Params params;
   params.mc_trials = 4;  // tiny: structural test only

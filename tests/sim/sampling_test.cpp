@@ -1,0 +1,362 @@
+// sim::sampling — sequential stopping, stratified and importance-sampling
+// estimators: determinism contracts (a stopped run is bit-identical to a
+// fixed run of the resolved length at any thread count), stopping-rule
+// properties, the exact servlet-compromise law, and the degenerate-case
+// tripwires (zero-variance strata / collapsed weights must produce a
+// diagnostic note, never a NaN).
+#include "sim/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "attack/one_burst_attacker.h"
+#include "common/stats.h"
+#include "sim/monte_carlo.h"
+#include "sim/thread_pool.h"
+
+namespace sos::sim::sampling {
+namespace {
+
+core::SosDesign small_design() {
+  return core::SosDesign::make(1000, 60, 3, 10,
+                               core::MappingPolicy::one_to_all());
+}
+
+AttackFn one_burst_fn(const core::OneBurstAttack& attack) {
+  return [attacker = attack::OneBurstAttacker{attack}](
+             sosnet::SosOverlay& overlay, common::Rng& rng) {
+    return attacker.execute(overlay, rng);
+  };
+}
+
+/// Every field a fixed-trial reduction fills (the stop metadata —
+/// stopped_by_rule / capped / estimator_note — is the sequential run's own).
+void expect_same_estimate(const MonteCarloResult& a,
+                          const MonteCarloResult& b) {
+  EXPECT_EQ(a.p_success, b.p_success);
+  EXPECT_EQ(a.ci.lo, b.ci.lo);
+  EXPECT_EQ(a.ci.hi, b.ci.hi);
+  EXPECT_EQ(a.walks, b.walks);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.mean_broken, b.mean_broken);
+  EXPECT_EQ(a.mean_broken_sos, b.mean_broken_sos);
+  EXPECT_EQ(a.mean_congested, b.mean_congested);
+  EXPECT_EQ(a.mean_congested_sos, b.mean_congested_sos);
+  EXPECT_EQ(a.mean_congested_filters, b.mean_congested_filters);
+  EXPECT_EQ(a.mean_disclosed, b.mean_disclosed);
+  EXPECT_EQ(a.mean_delivery_hops, b.mean_delivery_hops);
+  EXPECT_EQ(a.resolved_trials, b.resolved_trials);
+  EXPECT_EQ(a.wilson.lo, b.wilson.lo);
+  EXPECT_EQ(a.wilson.hi, b.wilson.hi);
+}
+
+TEST(SamplingSequential, BitIdenticalToFixedRunOfResolvedLength) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{200, 150, 0.5};
+  MonteCarloConfig config;
+  config.walks_per_trial = 4;
+  config.seed = 0xabc1ULL;
+  config.threads = 1;
+  StoppingRule rule;
+  rule.ci_half_width = 0.08;
+  rule.initial_trials = 16;
+  rule.max_trials = 1 << 12;
+
+  const auto sequential = run_sequential(design, one_burst_fn(attack),
+                                         config, rule);
+  ASSERT_TRUE(sequential.stopped_by_rule || sequential.capped);
+
+  MonteCarloConfig fixed = config;
+  fixed.trials = static_cast<int>(sequential.resolved_trials);
+  const auto reference = run_monte_carlo(design, one_burst_fn(attack), fixed);
+  expect_same_estimate(sequential, reference);
+
+  // Thread count must never change any field of the stopped run.
+  for (const int threads : {2, 8}) {
+    ThreadPool pool{threads};
+    MonteCarloConfig multi = config;
+    multi.threads = threads;
+    multi.pool = &pool;
+    const auto parallel = run_sequential(design, one_burst_fn(attack),
+                                         multi, rule);
+    EXPECT_EQ(parallel.stopped_by_rule, sequential.stopped_by_rule);
+    EXPECT_EQ(parallel.capped, sequential.capped);
+    expect_same_estimate(parallel, sequential);
+  }
+}
+
+TEST(SamplingSequential, StoppedRunNeverReportsWiderIntervalThanTarget) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{150, 100, 0.5};
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    for (const double target : {0.10, 0.05}) {
+      MonteCarloConfig config;
+      config.walks_per_trial = 4;
+      config.seed = seed;
+      config.threads = 1;
+      StoppingRule rule;
+      rule.ci_half_width = target;
+      rule.initial_trials = 8;
+      rule.max_trials = 1 << 14;
+      const auto result = run_sequential(design, one_burst_fn(attack),
+                                         config, rule);
+      if (result.stopped_by_rule)
+        EXPECT_LE(0.5 * result.wilson.width(), target)
+            << "seed=" << seed << " target=" << target;
+    }
+  }
+}
+
+TEST(SamplingSequential, UnreachableTargetCapsWithDiagnostic) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{150, 100, 0.5};
+  MonteCarloConfig config;
+  config.walks_per_trial = 2;
+  config.threads = 1;
+  StoppingRule rule;
+  rule.ci_half_width = 1e-6;  // unreachable at this cap
+  rule.initial_trials = 8;
+  rule.max_trials = 64;
+  const auto result = run_sequential(design, one_burst_fn(attack), config,
+                                     rule);
+  EXPECT_FALSE(result.stopped_by_rule);
+  EXPECT_TRUE(result.capped);
+  EXPECT_EQ(result.resolved_trials, 64u);
+  EXPECT_NE(result.estimator_note.find("max_trials"), std::string::npos);
+}
+
+TEST(SamplingSequential, FixedTrialResultKeepsEstimatorFieldsInert) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{150, 100, 0.5};
+  MonteCarloConfig config;
+  config.trials = 40;
+  config.walks_per_trial = 3;
+  config.threads = 1;
+  const auto result = run_monte_carlo(design, one_burst_fn(attack), config);
+  EXPECT_EQ(result.resolved_trials, 40u);
+  const auto wilson =
+      common::wilson_interval(result.deliveries, result.walks);
+  EXPECT_EQ(result.wilson.lo, wilson.lo);
+  EXPECT_EQ(result.wilson.hi, wilson.hi);
+  EXPECT_FALSE(result.stopped_by_rule);
+  EXPECT_FALSE(result.capped);
+  EXPECT_EQ(result.ess, 0.0);
+  EXPECT_EQ(result.weight_cv, 0.0);
+  EXPECT_FALSE(result.degenerate_weights);
+  EXPECT_TRUE(result.strata.empty());
+  EXPECT_TRUE(result.estimator_note.empty());
+}
+
+TEST(SamplingLaw, ServletPmfIsAProperDistributionWithExactMean) {
+  // N = 1000, m = 20, N_T = 300, p = 0.5: E[K] = p * m * N_T / N = 3.
+  const auto pmf = servlet_compromise_pmf(1000, 20, 300, 0.5);
+  ASSERT_EQ(pmf.size(), 21u);
+  double total = 0.0, mean = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    EXPECT_GE(pmf[k], 0.0);
+    total += pmf[k];
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(mean, 3.0, 1e-9);
+}
+
+TEST(SamplingLaw, ServletPmfEdgeCases) {
+  // p = 0: all mass at K = 0. Budget = N: every servlet attempted,
+  // K ~ Binomial(m, p).
+  const auto none = servlet_compromise_pmf(100, 10, 40, 0.0);
+  EXPECT_NEAR(none[0], 1.0, 1e-12);
+  const auto all = servlet_compromise_pmf(100, 10, 100, 0.3);
+  const auto binom = binomial_pmf(10, 0.3);
+  for (std::size_t k = 0; k < all.size(); ++k)
+    EXPECT_NEAR(all[k], binom[k], 1e-12) << "k=" << k;
+}
+
+TEST(SamplingLaw, ConditionedAttackHitsTheDictatedServletCounts) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{200, 0, 0.5};
+  const attack::OneBurstAttacker attacker{attack};
+  sosnet::SosOverlay overlay{design, 17};
+  common::Rng rng{42};
+  const int last = design.layers() - 1;
+  const std::vector<std::pair<int, int>> cases{{5, 2}, {8, 8}, {3, 0}};
+  for (const auto& [victims, successes] : cases) {
+    overlay.reset_health();
+    const auto outcome =
+        attacker.execute_conditioned(overlay, rng, victims, successes);
+    EXPECT_EQ(outcome.broken_per_layer[static_cast<std::size_t>(last)],
+              successes)
+        << "victims=" << victims;
+  }
+  EXPECT_THROW(attacker.execute_conditioned(overlay, rng, 3, 4),
+               std::invalid_argument);
+  EXPECT_THROW(attacker.execute_conditioned(overlay, rng, 9999, 0),
+               std::invalid_argument);
+}
+
+TEST(SamplingLaw, StratumBoundariesCoverTheSupport) {
+  const auto pmf = servlet_compromise_pmf(1000, 20, 300, 0.5);
+  const auto edges = stratum_boundaries(pmf, 6);
+  ASSERT_GE(edges.size(), 2u);
+  EXPECT_EQ(edges.front(), 0);
+  EXPECT_EQ(edges.back(), static_cast<int>(pmf.size()));
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i)
+    EXPECT_LT(edges[i], edges[i + 1]);
+  // Degenerate pmf: a single-point mass yields the trivial two-edge cover.
+  EXPECT_EQ(stratum_boundaries({1.0}, 4), (std::vector<int>{0, 1}));
+}
+
+TEST(SamplingLaw, TrialsForWilsonHalfWidthInvertsTheInterval) {
+  for (const double p : {0.5, 0.05, 1e-3}) {
+    for (const double h : {0.02, 0.005}) {
+      const double n = trials_for_wilson_half_width(p, h);
+      // Quadratic-regime sanity: n within a few percent of z^2 p(1-p)/h^2
+      // whenever that classic approximation is itself valid (n * p >> 1).
+      if (n * p > 50.0) {
+        const double classic = 1.96 * 1.96 * p * (1.0 - p) / (h * h);
+        EXPECT_NEAR(n, classic, 0.1 * classic) << "p=" << p << " h=" << h;
+      }
+      EXPECT_GT(trials_for_wilson_half_width(p, h / 2), n);
+    }
+  }
+}
+
+TEST(SamplingStratified, AgreesWithTheNaiveEstimatorAndIsThreadStable) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{200, 150, 0.5};
+  MonteCarloConfig config;
+  config.walks_per_trial = 4;
+  config.seed = 0x57ULL;
+  config.threads = 1;
+  StoppingRule rule;
+  rule.ci_half_width = 0.02;
+  rule.initial_trials = 64;
+  rule.max_trials = 1 << 12;
+
+  const auto stratified = run_stratified(design, attack, config, rule);
+  EXPECT_TRUE(std::isfinite(stratified.p_success));
+  EXPECT_GT(stratified.resolved_trials, 0u);
+  EXPECT_FALSE(stratified.strata.empty());
+
+  MonteCarloConfig naive = config;
+  naive.trials = 3000;
+  const auto reference = run_monte_carlo(design, one_burst_fn(attack), naive);
+  // Cross-estimator agreement within the union of both 95% intervals,
+  // stretched 2x for the 1-in-20 tail.
+  const double slack =
+      2.0 * (0.5 * stratified.ci.width() + 0.5 * reference.ci.width());
+  EXPECT_NEAR(stratified.p_success, reference.p_success, slack + 1e-12);
+
+  for (const int threads : {2, 8}) {
+    ThreadPool pool{threads};
+    MonteCarloConfig multi = config;
+    multi.threads = threads;
+    multi.pool = &pool;
+    const auto parallel = run_stratified(design, attack, multi, rule);
+    EXPECT_EQ(parallel.p_success, stratified.p_success);
+    EXPECT_EQ(parallel.ci.lo, stratified.ci.lo);
+    EXPECT_EQ(parallel.ci.hi, stratified.ci.hi);
+    EXPECT_EQ(parallel.resolved_trials, stratified.resolved_trials);
+    ASSERT_EQ(parallel.strata.size(), stratified.strata.size());
+    for (std::size_t h = 0; h < parallel.strata.size(); ++h) {
+      EXPECT_EQ(parallel.strata[h].trials, stratified.strata[h].trials);
+      EXPECT_EQ(parallel.strata[h].p_hat, stratified.strata[h].p_hat);
+    }
+  }
+}
+
+TEST(SamplingImportance, AgreesWithTheNaiveEstimatorAndReportsESS) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{200, 150, 0.5};
+  MonteCarloConfig config;
+  config.walks_per_trial = 4;
+  config.seed = 0x1517ULL;
+  config.threads = 1;
+  StoppingRule rule;
+  rule.ci_half_width = 0.02;
+  rule.initial_trials = 128;
+  rule.max_trials = 1 << 12;
+
+  const auto importance = run_importance(design, attack, config, rule);
+  EXPECT_TRUE(std::isfinite(importance.p_success));
+  EXPECT_GT(importance.ess, 0.0);
+  EXPECT_LE(importance.ess,
+            static_cast<double>(importance.resolved_trials) + 1e-9);
+
+  MonteCarloConfig naive = config;
+  naive.trials = 3000;
+  const auto reference = run_monte_carlo(design, one_burst_fn(attack), naive);
+  const double slack =
+      2.0 * (0.5 * importance.ci.width() + 0.5 * reference.ci.width());
+  EXPECT_NEAR(importance.p_success, reference.p_success, slack + 1e-12);
+}
+
+TEST(SamplingTripwires, ZeroVarianceStrataProduceANoteNotANaN) {
+  // Congestion so heavy nothing ever delivers: every stratum's conditional
+  // variance is zero. The estimator must report that and stay finite.
+  const auto design = small_design();
+  const core::OneBurstAttack attack{400, 900, 0.9};
+  MonteCarloConfig config;
+  config.walks_per_trial = 2;
+  config.threads = 1;
+  StoppingRule rule;
+  rule.ci_half_width = 0.05;
+  rule.initial_trials = 32;
+  rule.max_trials = 256;
+  const auto result = run_stratified(design, attack, config, rule);
+  EXPECT_TRUE(std::isfinite(result.p_success));
+  EXPECT_TRUE(std::isfinite(result.ci.lo));
+  EXPECT_TRUE(std::isfinite(result.ci.hi));
+  EXPECT_NE(result.estimator_note.find("zero"), std::string::npos)
+      << result.estimator_note;
+  for (const auto& tally : result.strata) {
+    EXPECT_TRUE(std::isfinite(tally.p_hat));
+    EXPECT_TRUE(std::isfinite(tally.stddev));
+  }
+}
+
+TEST(SamplingTripwires, CollapsedWeightsRaiseTheDegeneracyFlag) {
+  const auto design = small_design();
+  const core::OneBurstAttack attack{200, 150, 0.5};
+  MonteCarloConfig config;
+  config.walks_per_trial = 2;
+  config.threads = 1;
+  StoppingRule rule;
+  rule.ci_half_width = 0.05;
+  rule.initial_trials = 64;
+  rule.max_trials = 256;
+  ImportanceOptions options;
+  // An ESS floor at 100% of the trials: any weight spread at all trips the
+  // diagnostic, which must arrive as a note + flag, never a NaN.
+  options.degenerate_ess_fraction = 1.0;
+  const auto result =
+      run_importance(design, attack, config, rule, options);
+  EXPECT_TRUE(result.degenerate_weights);
+  EXPECT_NE(result.estimator_note.find("degenerate"), std::string::npos);
+  EXPECT_TRUE(std::isfinite(result.p_success));
+  EXPECT_TRUE(std::isfinite(result.weight_cv));
+}
+
+TEST(SamplingRules, StoppingRuleValidation) {
+  StoppingRule rule;
+  EXPECT_NO_THROW(rule.validate());
+  rule.ci_half_width = 0.0;
+  EXPECT_THROW(rule.validate(), std::invalid_argument);
+  rule = StoppingRule{};
+  rule.initial_trials = 1;
+  EXPECT_THROW(rule.validate(), std::invalid_argument);
+  rule = StoppingRule{};
+  rule.max_trials = 4;
+  rule.initial_trials = 8;
+  EXPECT_THROW(rule.validate(), std::invalid_argument);
+  rule = StoppingRule{};
+  rule.min_events = 0;
+  EXPECT_THROW(rule.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sos::sim::sampling
