@@ -581,6 +581,68 @@ BENCHMARK(BM_SupervisedWarmSweep)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// --- Distributed execution: TCP coordinator throughput on the same spec ---
+//
+// BM_DistributedColdSweep runs the identical 48-point sweep through the
+// RemoteWorkerPool: local loopback workers register over TCP, pull
+// work-stealing shards, and stream result frames back to the coordinator,
+// which checkpoints each one. Its delta against BM_SupervisedColdSweep is
+// the price of the socket transport (TCP framing + heartbeats vs pipes);
+// the warm variant settles from the store before any worker registers, so
+// it bounds the coordinator's fixed cost. scripts/bench_baseline records
+// the pair in BENCH_distributed.json.
+
+void BM_DistributedColdSweep(benchmark::State& state) {
+  const auto spec = bench_campaign_spec();
+  const auto store = bench_store_dir("distributed_cold");
+  std::size_t points = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(store);
+    state.ResumeTiming();
+    campaign::RemotePoolOptions options;
+    options.store_dir = store;
+    campaign::RemoteWorkerPool pool{spec, options};
+    const auto report = pool.run();
+    points = report.total;
+    benchmark::DoNotOptimize(report.computed);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistributedColdSweep)
+    ->UseRealTime()  // workers are separate processes on loopback TCP
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributedWarmSweep(benchmark::State& state) {
+  const auto spec = bench_campaign_spec();
+  const auto store = bench_store_dir("distributed_warm");
+  std::filesystem::remove_all(store);
+  {
+    campaign::RemotePoolOptions prime;
+    prime.store_dir = store;
+    campaign::RemoteWorkerPool{spec, prime}.run();  // prime the store
+  }
+  std::size_t points = 0;
+  for (auto _ : state) {
+    campaign::RemotePoolOptions options;
+    options.store_dir = store;
+    campaign::RemoteWorkerPool pool{spec, options};
+    const auto report = pool.run();
+    points = report.total;
+    benchmark::DoNotOptimize(report.cached);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistributedWarmSweep)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // Single registered figure (fig4a, analytic only) through the campaign
 // path: cold pays the full legacy generator cost plus one checkpoint,
 // warm is one store hit plus render.

@@ -38,6 +38,13 @@
 # followed by the bench/perf_micro BM_Sampling* microbenches (sequential /
 # stratified / importance at a matched CI target, the BENCH_sampling.json
 # workload).
+#
+# Pass --distributed to run the distributed-execution pass: the
+# distributed-smoke acceptance tests (`ctest -L distributed-smoke`: TCP
+# worker registration, heartbeat eviction, network chaos, cross-executor
+# store bit-identity) followed by the bench/perf_micro BM_Distributed*
+# microbenches (coordinator throughput over loopback TCP workers, the
+# BENCH_distributed.json workload).
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -50,6 +57,7 @@ resume=0
 supervised=0
 scale=0
 sampling=0
+distributed=0
 filtered=()
 for arg in "$@"; do
   case "$arg" in
@@ -59,6 +67,7 @@ for arg in "$@"; do
     --supervised) supervised=1; resume=1 ;;
     --scale) scale=1 ;;
     --sampling) sampling=1 ;;
+    --distributed) distributed=1 ;;
     *) filtered+=("$arg") ;;
   esac
 done
@@ -108,6 +117,17 @@ if [[ "$sampling" == 1 ]]; then
     echo "== perf_micro (BM_Sampling*)"
     "$micro" --benchmark_filter='BM_Sampling' \
       | tee "$results_dir/perf_sampling.txt" >/dev/null || true
+  fi
+fi
+
+if [[ "$distributed" == 1 ]]; then
+  echo "== distributed-smoke acceptance tests ($build_dir)"
+  ctest --test-dir "$build_dir" -L distributed-smoke --output-on-failure
+  micro="$build_dir/bench/perf_micro"
+  if [[ -x "$micro" ]]; then
+    echo "== perf_micro (BM_Distributed*)"
+    "$micro" --benchmark_filter='BM_Distributed' \
+      | tee "$results_dir/perf_distributed.txt" >/dev/null || true
   fi
 fi
 

@@ -1,0 +1,63 @@
+#include "campaign/attempt_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/strings.h"
+
+namespace sos::campaign {
+
+void RetryPolicy::validate() const {
+  if (max_retries < 0)
+    throw std::invalid_argument("RetryPolicy: bad max_retries '" +
+                                std::to_string(max_retries) +
+                                "' (accepted: >= 0)");
+  if (backoff_base_s < 0.0 || backoff_max_s < 0.0)
+    throw std::invalid_argument(
+        "RetryPolicy: bad backoff '" +
+        common::format_double(backoff_base_s, 4) + "/" +
+        common::format_double(backoff_max_s, 4) +
+        "' (accepted: base and max both >= 0 seconds)");
+}
+
+AttemptLedger::AttemptLedger(int total_points, RetryPolicy policy)
+    : policy_(policy),
+      state_(static_cast<std::size_t>(std::max(0, total_points))),
+      jitter_rng_(policy.jitter_seed) {
+  policy_.validate();
+  if (total_points < 0)
+    throw std::invalid_argument("AttemptLedger: bad total_points '" +
+                                std::to_string(total_points) +
+                                "' (accepted: >= 0)");
+}
+
+AttemptLedger::Verdict AttemptLedger::charge(int index,
+                                             Clock::time_point now) {
+  State& state = state_.at(static_cast<std::size_t>(index));
+  state.failures += 1;
+  if (state.failures > policy_.max_retries) return Verdict::kQuarantine;
+  ++retried_;
+  state.eligible_at = now + backoff_for(state.failures);
+  return Verdict::kRetry;
+}
+
+int AttemptLedger::failures(int index) const {
+  return state_.at(static_cast<std::size_t>(index)).failures;
+}
+
+AttemptLedger::Clock::time_point AttemptLedger::eligible_at(int index) const {
+  return state_.at(static_cast<std::size_t>(index)).eligible_at;
+}
+
+AttemptLedger::Clock::duration AttemptLedger::backoff_for(int failure_count) {
+  double delay = policy_.backoff_base_s *
+                 std::pow(2.0, std::max(0, failure_count - 1));
+  delay = std::min(delay, policy_.backoff_max_s);
+  delay *= 1.0 + 0.5 * jitter_rng_.next_double();  // jitter factor [1, 1.5)
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(delay));
+}
+
+}  // namespace sos::campaign

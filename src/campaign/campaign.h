@@ -1,12 +1,17 @@
 // Umbrella header for the campaign engine: declarative scenario specs,
 // figure registry, content-addressed result store, the checkpointing
-// runner and the crash-tolerant supervisor. See docs/CAMPAIGNS.md for the
-// spec format, store layout and supervision semantics.
+// runner, the crash-tolerant supervisor and the distributed TCP worker
+// pool. See docs/CAMPAIGNS.md for the spec format, store layout,
+// supervision semantics and the remote worker protocol.
 #pragma once
 
-#include "campaign/digest.h"        // IWYU pragma: export
-#include "campaign/registry.h"      // IWYU pragma: export
-#include "campaign/result_store.h"  // IWYU pragma: export
-#include "campaign/runner.h"        // IWYU pragma: export
-#include "campaign/scenario_spec.h" // IWYU pragma: export
-#include "campaign/supervisor.h"    // IWYU pragma: export
+#include "campaign/attempt_ledger.h"   // IWYU pragma: export
+#include "campaign/chaos.h"            // IWYU pragma: export
+#include "campaign/digest.h"           // IWYU pragma: export
+#include "campaign/registry.h"         // IWYU pragma: export
+#include "campaign/remote_pool.h"      // IWYU pragma: export
+#include "campaign/remote_protocol.h"  // IWYU pragma: export
+#include "campaign/result_store.h"     // IWYU pragma: export
+#include "campaign/runner.h"           // IWYU pragma: export
+#include "campaign/scenario_spec.h"    // IWYU pragma: export
+#include "campaign/supervisor.h"       // IWYU pragma: export

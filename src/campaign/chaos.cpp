@@ -1,0 +1,68 @@
+#include "campaign/chaos.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace sos::campaign {
+
+void ChaosConfig::validate() const {
+  const auto check_prob = [](const char* field, double value) {
+    if (!(value >= 0.0 && value <= 1.0))
+      throw std::invalid_argument(
+          "ChaosConfig: bad " + std::string(field) + " '" +
+          common::format_double(value, 4) +
+          "' (accepted: probability in [0, 1])");
+  };
+  check_prob("sigkill", sigkill);
+  check_prob("hang", hang);
+  check_prob("bad_exit", bad_exit);
+  check_prob("truncate", truncate);
+  check_prob("net_drop", net_drop);
+  check_prob("net_partition", net_partition);
+  check_prob("net_torn", net_torn);
+  check_prob("net_duplicate", net_duplicate);
+  if (!(net_partition_s > 0.0))
+    throw std::invalid_argument(
+        "ChaosConfig: bad net_partition_s '" +
+        common::format_double(net_partition_s, 4) +
+        "' (accepted: > 0 seconds)");
+  if (max_fires_per_point < 0)
+    throw std::invalid_argument(
+        "ChaosConfig: bad max_fires_per_point '" +
+        std::to_string(max_fires_per_point) +
+        "' (accepted: 0 = unlimited, or a positive fire budget)");
+}
+
+ChaosAction chaos_action(const ChaosConfig& chaos, int point_index,
+                         int attempt) {
+  if (!chaos.enabled()) return ChaosAction::kNone;
+  if (chaos.max_fires_per_point > 0 && attempt >= chaos.max_fires_per_point)
+    return ChaosAction::kNone;
+  common::Rng rng{chaos.seed ^
+                  common::mix64(static_cast<std::uint64_t>(
+                      0x9e3779b9u + static_cast<unsigned>(point_index)))};
+  for (int skip = 0; skip < attempt; ++skip) rng.next();
+  const double roll = rng.next_double();
+  double acc = chaos.sigkill;
+  if (roll < acc) return ChaosAction::kSigkill;
+  acc += chaos.hang;
+  if (roll < acc) return ChaosAction::kHang;
+  acc += chaos.bad_exit;
+  if (roll < acc) return ChaosAction::kBadExit;
+  acc += chaos.truncate;
+  if (roll < acc) return ChaosAction::kTruncate;
+  acc += chaos.net_drop;
+  if (roll < acc) return ChaosAction::kNetDrop;
+  acc += chaos.net_partition;
+  if (roll < acc) return ChaosAction::kNetPartition;
+  acc += chaos.net_torn;
+  if (roll < acc) return ChaosAction::kNetTorn;
+  acc += chaos.net_duplicate;
+  if (roll < acc) return ChaosAction::kNetDuplicate;
+  return ChaosAction::kNone;
+}
+
+}  // namespace sos::campaign

@@ -1,0 +1,130 @@
+#include "campaign/remote_protocol.h"
+
+#include "common/proc.h"
+
+namespace sos::campaign {
+
+namespace {
+
+std::string tagged(MessageType type) {
+  return std::string(1, static_cast<char>(type));
+}
+
+void append_u64le(std::string& out, std::uint64_t value) {
+  common::append_u32le(out, static_cast<std::uint32_t>(value & 0xffffffffu));
+  common::append_u32le(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint64_t read_u64le(const char* bytes) {
+  return static_cast<std::uint64_t>(common::read_u32le(bytes)) |
+         static_cast<std::uint64_t>(common::read_u32le(bytes + 4)) << 32;
+}
+
+/// The body of a frame whose tag matches `expected`; nullopt otherwise.
+std::optional<std::string_view> body_of(const std::string& frame,
+                                        MessageType expected) {
+  if (message_type(frame) != expected) return std::nullopt;
+  return std::string_view{frame}.substr(1);
+}
+
+}  // namespace
+
+std::optional<MessageType> message_type(const std::string& frame) {
+  if (frame.empty()) return std::nullopt;
+  const auto tag = static_cast<std::uint8_t>(frame[0]);
+  if (tag < static_cast<std::uint8_t>(MessageType::kHello) ||
+      tag > static_cast<std::uint8_t>(MessageType::kShutdown))
+    return std::nullopt;
+  return static_cast<MessageType>(tag);
+}
+
+std::string encode_hello(const Hello& hello) {
+  std::string frame = tagged(MessageType::kHello);
+  common::append_u32le(frame, hello.version);
+  append_u64le(frame, hello.pid);
+  return frame;
+}
+
+std::optional<Hello> parse_hello(const std::string& frame) {
+  const auto body = body_of(frame, MessageType::kHello);
+  if (!body || body->size() != 12) return std::nullopt;
+  Hello hello;
+  hello.version = common::read_u32le(body->data());
+  hello.pid = read_u64le(body->data() + 4);
+  return hello;
+}
+
+std::string encode_welcome(std::string_view spec_text) {
+  std::string frame = tagged(MessageType::kWelcome);
+  frame += spec_text;
+  return frame;
+}
+
+std::optional<std::string> parse_welcome(const std::string& frame) {
+  const auto body = body_of(frame, MessageType::kWelcome);
+  if (!body) return std::nullopt;
+  return std::string{*body};
+}
+
+std::string encode_reject(std::string_view reason) {
+  std::string frame = tagged(MessageType::kReject);
+  frame += reason;
+  return frame;
+}
+
+std::optional<std::string> parse_reject(const std::string& frame) {
+  const auto body = body_of(frame, MessageType::kReject);
+  if (!body) return std::nullopt;
+  return std::string{*body};
+}
+
+std::string encode_assign(const std::vector<Assignment>& assignments) {
+  std::string frame = tagged(MessageType::kAssign);
+  common::append_u32le(frame, static_cast<std::uint32_t>(assignments.size()));
+  for (const Assignment& assignment : assignments) {
+    common::append_u32le(frame, static_cast<std::uint32_t>(assignment.index));
+    common::append_u32le(frame,
+                         static_cast<std::uint32_t>(assignment.attempt));
+  }
+  return frame;
+}
+
+std::optional<std::vector<Assignment>> parse_assign(const std::string& frame) {
+  const auto body = body_of(frame, MessageType::kAssign);
+  if (!body || body->size() < 4) return std::nullopt;
+  const std::uint32_t count = common::read_u32le(body->data());
+  if (body->size() != 4 + static_cast<std::size_t>(count) * 8)
+    return std::nullopt;
+  std::vector<Assignment> assignments;
+  assignments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const char* record = body->data() + 4 + static_cast<std::size_t>(i) * 8;
+    Assignment assignment;
+    assignment.index = static_cast<int>(common::read_u32le(record));
+    assignment.attempt = static_cast<int>(common::read_u32le(record + 4));
+    assignments.push_back(assignment);
+  }
+  return assignments;
+}
+
+std::string encode_result(int index, std::string_view bytes) {
+  std::string frame = tagged(MessageType::kResult);
+  common::append_u32le(frame, static_cast<std::uint32_t>(index));
+  frame += bytes;
+  return frame;
+}
+
+std::optional<ResultFrame> parse_result(const std::string& frame) {
+  const auto body = body_of(frame, MessageType::kResult);
+  if (!body || body->size() < 4) return std::nullopt;
+  ResultFrame result;
+  result.index = static_cast<int>(common::read_u32le(body->data()));
+  result.bytes = std::string{body->substr(4)};
+  return result;
+}
+
+std::string encode_heartbeat() { return tagged(MessageType::kHeartbeat); }
+
+std::string encode_shutdown() { return tagged(MessageType::kShutdown); }
+
+}  // namespace sos::campaign

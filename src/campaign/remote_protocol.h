@@ -1,0 +1,90 @@
+// The coordinator <-> remote worker wire protocol.
+//
+// Transport: TCP, carrying the same length-prefixed frames as the
+// Supervisor's pipes (common/proc.h codec, decoded by FrameBuffer). Every
+// frame payload is one message: a one-byte type tag followed by a
+// type-specific body. All integers are little-endian.
+//
+//   direction        message     body
+//   worker -> coord  kHello      [u32 protocol version][u64 worker pid]
+//   coord -> worker  kWelcome    [canonical ScenarioSpec text]
+//   coord -> worker  kReject     [reason text] (connection then closes)
+//   coord -> worker  kAssign     [u32 count] count x ([u32 index][u32 attempt])
+//   worker -> coord  kResult     [u32 point index][result bytes]
+//   both directions  kHeartbeat  (empty)
+//   coord -> worker  kShutdown   (empty; campaign settled, exit cleanly)
+//
+// Registration: a worker connects, sends kHello, and receives either
+// kWelcome — carrying the full canonical spec text, from which the worker
+// rebuilds the exact CampaignRunner point expansion (this is what makes
+// result bytes machine-independent: the worker computes
+// CampaignRunner::compute_point_bytes, the same unit of work as every
+// other executor) — or kReject (protocol version mismatch).
+//
+// Assignments carry the attempt number per point so worker-side chaos
+// draws replay PR 5's (seed, point, attempt) schedules exactly.
+//
+// Every parse_* returns nullopt on a malformed frame (wrong tag, short
+// body, inconsistent count); the coordinator treats that as a protocol
+// violation and evicts the connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sos::campaign {
+
+/// Bump on any wire-format change; kHello/kWelcome enforce the match.
+inline constexpr std::uint32_t kRemoteProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kReject = 3,
+  kAssign = 4,
+  kResult = 5,
+  kHeartbeat = 6,
+  kShutdown = 7,
+};
+
+struct Hello {
+  std::uint32_t version = kRemoteProtocolVersion;
+  std::uint64_t pid = 0;  // worker's pid: lets a coordinator that forked
+                          // local workers map a session back to its child
+};
+
+struct Assignment {
+  int index = 0;    // point index within the campaign expansion
+  int attempt = 0;  // charged failures so far (chaos draws key on this)
+};
+
+struct ResultFrame {
+  int index = 0;
+  std::string bytes;
+};
+
+/// The type tag of a frame, or nullopt for an empty/unknown-tag frame.
+std::optional<MessageType> message_type(const std::string& frame);
+
+std::string encode_hello(const Hello& hello);
+std::optional<Hello> parse_hello(const std::string& frame);
+
+std::string encode_welcome(std::string_view spec_text);
+std::optional<std::string> parse_welcome(const std::string& frame);
+
+std::string encode_reject(std::string_view reason);
+std::optional<std::string> parse_reject(const std::string& frame);
+
+std::string encode_assign(const std::vector<Assignment>& assignments);
+std::optional<std::vector<Assignment>> parse_assign(const std::string& frame);
+
+std::string encode_result(int index, std::string_view bytes);
+std::optional<ResultFrame> parse_result(const std::string& frame);
+
+std::string encode_heartbeat();
+std::string encode_shutdown();
+
+}  // namespace sos::campaign

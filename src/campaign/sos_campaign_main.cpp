@@ -17,6 +17,13 @@
 //       with backoff and, past --max-retries, quarantined so the campaign
 //       completes degraded instead of dying. Chaos flags (--chaos-*)
 //       inject worker faults for testing the supervision itself.
+//       --distributed executes the points over TCP serve workers (forked
+//       loopback ones by default, plus any external `sos_campaign serve`
+//       processes that connect): heartbeat liveness, partition-tolerant
+//       charging, byte-identical store.
+//   sos_campaign serve --connect=HOST:PORT
+//       One remote worker: registers with a --distributed coordinator,
+//       computes assigned points, streams results, heartbeats.
 //   sos_campaign status <store-dir>
 //       Completed/pending/quarantined point counts from the manifest +
 //       object files + quarantine records.
@@ -30,6 +37,8 @@
 //   2  usage error; status: pending points remain
 //   3  quarantined points present (run completed degraded / status sees
 //      quarantine records)
+//   4  fleet unreachable (no worker registered with a --distributed
+//      coordinator in time / serve could not reach its coordinator)
 #include <signal.h>
 #include <unistd.h>
 
@@ -66,6 +75,20 @@ int usage(std::FILE* out) {
                "[--chaos-bad-exit=P]\n"
                "                    [--chaos-truncate=P] [--chaos-seed=N] "
                "[--chaos-max-fires=N]\n"
+               "                    [--distributed] [--local-workers=N] "
+               "[--listen-port=PORT]\n"
+               "                    [--points-per-assign=N] "
+               "[--heartbeat-interval=SECONDS]\n"
+               "                    [--heartbeat-timeout=SECONDS] "
+               "[--registration-timeout=SECONDS]\n"
+               "                    [--chaos-net-drop=P] "
+               "[--chaos-net-partition=P] [--chaos-net-torn=P]\n"
+               "                    [--chaos-net-duplicate=P] "
+               "[--chaos-net-partition-s=SECONDS]\n"
+               "       sos_campaign serve --connect=HOST:PORT "
+               "[--heartbeat-interval=SECONDS]\n"
+               "                    [--connect-timeout=SECONDS] "
+               "[--max-reconnects=N] [--chaos-*]\n"
                "       sos_campaign status <store-dir>\n"
                "       sos_campaign clean <store-dir>\n"
                "\n"
@@ -74,7 +97,10 @@ int usage(std::FILE* out) {
                "  1  hard error (bad spec, missing manifest, I/O failure)\n"
                "  2  usage error; status: pending points remain\n"
                "  3  quarantined points present (degraded run / status sees\n"
-               "     quarantine records)\n");
+               "     quarantine records)\n"
+               "  4  fleet unreachable (coordinator saw no worker register "
+               "in time /\n"
+               "     serve could not reach its coordinator)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -163,6 +189,36 @@ int finish_run(const campaign::CampaignRunner& runner,
   return 0;
 }
 
+/// The --max-retries/--backoff-* flags shared by --supervised and
+/// --distributed runs.
+void apply_retry_flags(const common::Args& args,
+                       campaign::RetryPolicy& retry) {
+  retry.max_retries =
+      static_cast<int>(args.get_int("max-retries", retry.max_retries));
+  retry.backoff_base_s = args.get_double("backoff-base", retry.backoff_base_s);
+  retry.backoff_max_s = args.get_double("backoff-max", retry.backoff_max_s);
+}
+
+/// The --chaos-* fault-injection flags shared by --supervised,
+/// --distributed and serve (the network family is inert over pipes).
+void apply_chaos_flags(const common::Args& args,
+                       campaign::ChaosConfig& chaos) {
+  chaos.seed = static_cast<std::uint64_t>(
+      args.get_int("chaos-seed", static_cast<std::int64_t>(chaos.seed)));
+  chaos.sigkill = args.get_double("chaos-sigkill", 0.0);
+  chaos.hang = args.get_double("chaos-hang", 0.0);
+  chaos.bad_exit = args.get_double("chaos-bad-exit", 0.0);
+  chaos.truncate = args.get_double("chaos-truncate", 0.0);
+  chaos.net_drop = args.get_double("chaos-net-drop", 0.0);
+  chaos.net_partition = args.get_double("chaos-net-partition", 0.0);
+  chaos.net_torn = args.get_double("chaos-net-torn", 0.0);
+  chaos.net_duplicate = args.get_double("chaos-net-duplicate", 0.0);
+  chaos.net_partition_s =
+      args.get_double("chaos-net-partition-s", chaos.net_partition_s);
+  chaos.max_fires_per_point = static_cast<int>(
+      args.get_int("chaos-max-fires", chaos.max_fires_per_point));
+}
+
 int run_supervised(const campaign::ScenarioSpec& spec,
                    const common::Args& args, const std::string& store_dir,
                    const std::string& results_dir) {
@@ -174,19 +230,8 @@ int run_supervised(const campaign::ScenarioSpec& spec,
       args.get_int("points-per-worker", options.points_per_worker));
   options.point_deadline_s =
       args.get_double("point-deadline", options.point_deadline_s);
-  options.max_retries =
-      static_cast<int>(args.get_int("max-retries", options.max_retries));
-  options.backoff_base_s =
-      args.get_double("backoff-base", options.backoff_base_s);
-  options.backoff_max_s = args.get_double("backoff-max", options.backoff_max_s);
-  options.chaos.seed = static_cast<std::uint64_t>(args.get_int(
-      "chaos-seed", static_cast<std::int64_t>(options.chaos.seed)));
-  options.chaos.sigkill = args.get_double("chaos-sigkill", 0.0);
-  options.chaos.hang = args.get_double("chaos-hang", 0.0);
-  options.chaos.bad_exit = args.get_double("chaos-bad-exit", 0.0);
-  options.chaos.truncate = args.get_double("chaos-truncate", 0.0);
-  options.chaos.max_fires_per_point = static_cast<int>(
-      args.get_int("chaos-max-fires", options.chaos.max_fires_per_point));
+  apply_retry_flags(args, options.retry);
+  apply_chaos_flags(args, options.chaos);
   if (const int rc = reject_unused(args); rc != 0) return rc;
 
   campaign::Supervisor supervisor{spec, options};
@@ -197,6 +242,76 @@ int run_supervised(const campaign::ScenarioSpec& spec,
   return finish_run(supervisor.runner(), report, results_dir);
 }
 
+int run_distributed(const campaign::ScenarioSpec& spec,
+                    const common::Args& args, const std::string& store_dir,
+                    const std::string& results_dir) {
+  campaign::RemotePoolOptions options;
+  options.store_dir = store_dir;
+  options.local_workers =
+      static_cast<int>(args.get_int("local-workers", options.local_workers));
+  options.points_per_assign = static_cast<int>(
+      args.get_int("points-per-assign", options.points_per_assign));
+  options.heartbeat_interval_s =
+      args.get_double("heartbeat-interval", options.heartbeat_interval_s);
+  options.heartbeat_timeout_s =
+      args.get_double("heartbeat-timeout", options.heartbeat_timeout_s);
+  options.registration_timeout_s =
+      args.get_double("registration-timeout", options.registration_timeout_s);
+  options.listen_port = static_cast<std::uint16_t>(
+      args.get_int("listen-port", options.listen_port));
+  apply_retry_flags(args, options.retry);
+  apply_chaos_flags(args, options.chaos);
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+
+  campaign::RemoteWorkerPool pool{spec, options};
+  std::printf(
+      "campaign %s: %zu points, store %s (distributed, %d local workers, "
+      "listening on 127.0.0.1:%u)\n",
+      spec.name.c_str(), pool.runner().points().size(), store_dir.c_str(),
+      options.local_workers, static_cast<unsigned>(pool.port()));
+  try {
+    const auto report = pool.run();
+    return finish_run(pool.runner(), report, results_dir);
+  } catch (const campaign::FleetUnreachableError& error) {
+    std::fprintf(stderr, "sos_campaign: fleet unreachable: %s\n",
+                 error.what());
+    return campaign::kExitFleetUnreachable;
+  }
+}
+
+int cmd_serve(const common::Args& args) {
+  const std::string endpoint = args.get_string("connect", "");
+  const auto colon = endpoint.rfind(':');
+  if (endpoint.empty() || colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    std::fprintf(stderr,
+                 "serve needs --connect=HOST:PORT (got '%s')\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  campaign::RemoteWorkerConfig config;
+  config.host = endpoint.substr(0, colon);
+  try {
+    const int port = std::stoi(endpoint.substr(colon + 1));
+    if (port < 1 || port > 65535) throw std::out_of_range("port");
+    config.port = static_cast<std::uint16_t>(port);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "serve: bad port in --connect='%s' (accepted: 1..65535)\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  config.heartbeat_interval_s =
+      args.get_double("heartbeat-interval", config.heartbeat_interval_s);
+  config.connect_timeout_s =
+      args.get_double("connect-timeout", config.connect_timeout_s);
+  config.max_reconnects =
+      static_cast<int>(args.get_int("max-reconnects", config.max_reconnects));
+  apply_chaos_flags(args, config.chaos);
+  config.chaos.validate();
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+  return campaign::run_remote_worker(config);
+}
+
 int cmd_run(const common::Args& args) {
   if (args.positional().size() < 2) return usage(stderr);
   auto spec = resolve_spec(args.positional()[1], args);
@@ -204,8 +319,15 @@ int cmd_run(const common::Args& args) {
   const std::string store_dir = args.get_string(
       "store", (std::filesystem::path("campaign-store") / spec.name).string());
   const std::string results_dir = args.get_string("results", "results");
+  if (args.get_bool("supervised", false) && args.get_bool("distributed", false)) {
+    std::fprintf(stderr,
+                 "--supervised and --distributed are mutually exclusive\n");
+    return 2;
+  }
   if (args.get_bool("supervised", false))
     return run_supervised(spec, args, store_dir, results_dir);
+  if (args.get_bool("distributed", false))
+    return run_distributed(spec, args, store_dir, results_dir);
 
   campaign::CampaignOptions options;
   options.store_dir = store_dir;
@@ -299,6 +421,7 @@ int main(int argc, char** argv) {
       return cmd_list();
     }
     if (command == "run") return cmd_run(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "status") return cmd_status(args);
     if (command == "clean") return cmd_clean(args);
     if (command == "help") return usage(stdout);

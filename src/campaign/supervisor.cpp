@@ -6,14 +6,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <deque>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/proc.h"
-#include "common/rng.h"
 #include "common/strings.h"
 
 namespace sos::campaign {
@@ -21,30 +19,6 @@ namespace sos::campaign {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/// Which chaos fault (if any) fires for this (point, attempt). Draws come
-/// from a stream keyed on (seed, index), advanced to the attempt, so a
-/// schedule replays identically however the supervisor interleaves work.
-enum class ChaosAction { kNone, kSigkill, kHang, kBadExit, kTruncate };
-
-ChaosAction chaos_action(const ChaosConfig& chaos, int index, int attempt) {
-  if (!chaos.enabled()) return ChaosAction::kNone;
-  if (chaos.max_fires_per_point > 0 && attempt >= chaos.max_fires_per_point)
-    return ChaosAction::kNone;
-  common::Rng rng{chaos.seed ^ common::mix64(static_cast<std::uint64_t>(
-                                   0x9e3779b9u + static_cast<unsigned>(index)))};
-  for (int skip = 0; skip < attempt; ++skip) rng.next();
-  const double roll = rng.next_double();
-  double acc = chaos.sigkill;
-  if (roll < acc) return ChaosAction::kSigkill;
-  acc += chaos.hang;
-  if (roll < acc) return ChaosAction::kHang;
-  acc += chaos.bad_exit;
-  if (roll < acc) return ChaosAction::kBadExit;
-  acc += chaos.truncate;
-  if (roll < acc) return ChaosAction::kTruncate;
-  return ChaosAction::kNone;
-}
 
 /// Result frame payload: [u32 point index][result bytes].
 std::string result_payload(int index, const std::string& bytes) {
@@ -86,6 +60,12 @@ int worker_main(const CampaignRunner& runner, const ChaosConfig& chaos,
         write_truncated_frame(
             write_fd, result_payload(shard[i], "chaos-torn-frame"));
         return 0;  // the lying worker: clean exit, torn result
+      case ChaosAction::kNetDrop:
+      case ChaosAction::kNetPartition:
+      case ChaosAction::kNetTorn:
+      case ChaosAction::kNetDuplicate:
+        // Network faults need a network; pipe workers compute normally.
+        break;
       case ChaosAction::kNone:
         break;
     }
@@ -97,25 +77,6 @@ int worker_main(const CampaignRunner& runner, const ChaosConfig& chaos,
 }
 
 }  // namespace
-
-void ChaosConfig::validate() const {
-  const auto check_prob = [](const char* field, double value) {
-    if (!(value >= 0.0 && value <= 1.0))
-      throw std::invalid_argument(
-          "ChaosConfig: bad " + std::string(field) + " '" +
-          common::format_double(value, 4) +
-          "' (accepted: probability in [0, 1])");
-  };
-  check_prob("sigkill", sigkill);
-  check_prob("hang", hang);
-  check_prob("bad_exit", bad_exit);
-  check_prob("truncate", truncate);
-  if (max_fires_per_point < 0)
-    throw std::invalid_argument(
-        "ChaosConfig: bad max_fires_per_point '" +
-        std::to_string(max_fires_per_point) +
-        "' (accepted: 0 = unlimited, or a positive fire budget)");
-}
 
 void SupervisorOptions::validate() const {
   if (max_workers < 1)
@@ -130,16 +91,7 @@ void SupervisorOptions::validate() const {
     throw std::invalid_argument("SupervisorOptions: bad point_deadline_s '" +
                                 common::format_double(point_deadline_s, 4) +
                                 "' (accepted: > 0 seconds)");
-  if (max_retries < 0)
-    throw std::invalid_argument("SupervisorOptions: bad max_retries '" +
-                                std::to_string(max_retries) +
-                                "' (accepted: >= 0)");
-  if (backoff_base_s < 0.0 || backoff_max_s < 0.0)
-    throw std::invalid_argument(
-        "SupervisorOptions: bad backoff '" +
-        common::format_double(backoff_base_s, 4) + "/" +
-        common::format_double(backoff_max_s, 4) +
-        "' (accepted: base and max both >= 0 seconds)");
+  retry.validate();
   chaos.validate();
 }
 
@@ -156,11 +108,7 @@ CampaignReport Supervisor::run() {
 
   const int total = static_cast<int>(runner_.points().size());
 
-  struct PointState {
-    int failures = 0;  // charged attempts that ended in a worker fault
-    Clock::time_point eligible_at{};  // backoff gate; default = epoch = now
-  };
-  std::vector<PointState> state(static_cast<std::size_t>(total));
+  AttemptLedger ledger{total, options_.retry};
 
   std::deque<int> queue;
   int cached = 0;
@@ -183,19 +131,8 @@ CampaignReport Supervisor::run() {
   std::vector<Worker> workers;
 
   int computed = 0;
-  int retried = 0;
-  common::Rng jitter_rng{options_.jitter_seed};
   const auto deadline_budget = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(options_.point_deadline_s));
-
-  const auto backoff_for = [&](int failures) {
-    double delay = options_.backoff_base_s *
-                   std::pow(2.0, std::max(0, failures - 1));
-    delay = std::min(delay, options_.backoff_max_s);
-    delay *= 1.0 + 0.5 * jitter_rng.next_double();  // jitter factor [1, 1.5)
-    return std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(delay));
-  };
 
   // Launches one worker over up to points_per_worker currently eligible
   // points (earliest first, preserving expansion order); returns false when
@@ -209,9 +146,9 @@ CampaignReport Supervisor::run() {
            shard.size() < static_cast<std::size_t>(options_.points_per_worker)) {
       const int index = queue.front();
       queue.pop_front();
-      if (state[static_cast<std::size_t>(index)].eligible_at <= now) {
+      if (ledger.eligible(index, now)) {
         shard.push_back(index);
-        attempts.push_back(state[static_cast<std::size_t>(index)].failures);
+        attempts.push_back(ledger.failures(index));
       } else {
         waiting.push_back(index);
       }
@@ -245,19 +182,15 @@ CampaignReport Supervisor::run() {
     std::deque<int> requeue;
     if (!unfinished.empty()) {
       const int culprit = unfinished.front();
-      PointState& ps = state[static_cast<std::size_t>(culprit)];
-      ps.failures += 1;
-      if (ps.failures > options_.max_retries) {
+      if (ledger.charge(culprit, now) == AttemptLedger::Verdict::kQuarantine) {
         PointFailure failure;
         failure.index = culprit;
         failure.key = runner_.points()[static_cast<std::size_t>(culprit)].key;
-        failure.attempts = ps.failures;
+        failure.attempts = ledger.failures(culprit);
         failure.reason = reason;
         store.quarantine(runner_.digest(culprit), failure);
         // Quarantined: NOT requeued; the campaign degrades around it.
       } else {
-        ++retried;
-        ps.eligible_at = now + backoff_for(ps.failures);
         requeue.push_back(culprit);
       }
       for (std::size_t i = 1; i < unfinished.size(); ++i)
@@ -297,8 +230,7 @@ CampaignReport Supervisor::run() {
       // Everything pending is backing off: sleep until the earliest gate.
       auto earliest = Clock::time_point::max();
       for (const int index : queue)
-        earliest = std::min(earliest,
-                            state[static_cast<std::size_t>(index)].eligible_at);
+        earliest = std::min(earliest, ledger.eligible_at(index));
       const auto now = Clock::now();
       if (earliest > now)
         std::this_thread::sleep_for(
@@ -316,8 +248,7 @@ CampaignReport Supervisor::run() {
     }
     if (static_cast<int>(workers.size()) < options_.max_workers)
       for (const int index : queue)
-        wake_at = std::min(wake_at,
-                           state[static_cast<std::size_t>(index)].eligible_at);
+        wake_at = std::min(wake_at, ledger.eligible_at(index));
 
     const auto now_before = Clock::now();
     int timeout_ms = 1;
@@ -392,7 +323,7 @@ CampaignReport Supervisor::run() {
   CampaignReport report = runner_.status();
   report.cached = cached;
   report.computed = computed;
-  report.retried = retried;
+  report.retried = ledger.retried();
   return report;
 }
 

@@ -43,40 +43,11 @@
 #include <string>
 #include <vector>
 
+#include "campaign/attempt_ledger.h"
+#include "campaign/chaos.h"
 #include "campaign/runner.h"
 
 namespace sos::campaign {
-
-/// Exit code a chaos "bogus exit" worker terminates with (test-visible so
-/// failure reasons can be asserted against it).
-inline constexpr int kChaosBadExitCode = 41;
-
-/// Seeded, test-only worker fault injector — the execution-layer sibling of
-/// faults::FaultConfig. Each probability selects one way for a worker to
-/// die immediately before computing a point; draws are deterministic per
-/// (seed, point index, attempt), so schedules replay exactly. Inert by
-/// default.
-struct ChaosConfig {
-  std::uint64_t seed = 0x5055ULL;
-  double sigkill = 0.0;   // raise(SIGKILL): instant worker death
-  double hang = 0.0;      // raise(SIGSTOP): silent hang until the deadline
-  double bad_exit = 0.0;  // _exit(kChaosBadExitCode) without computing
-  double truncate = 0.0;  // write half a result frame, then exit "cleanly"
-
-  /// Faults fire on at most this many attempts per point (so a chaotic
-  /// point deterministically succeeds once retried past them). 0 means
-  /// unlimited: every attempt re-rolls, and a certain fault (p=1.0) drives
-  /// the point into quarantine.
-  int max_fires_per_point = 1;
-
-  bool enabled() const noexcept {
-    return sigkill > 0 || hang > 0 || bad_exit > 0 || truncate > 0;
-  }
-
-  /// Throws std::invalid_argument ("(accepted:)" style) on out-of-range
-  /// probabilities or a negative max_fires_per_point.
-  void validate() const;
-};
 
 struct SupervisorOptions {
   std::string store_dir;
@@ -88,18 +59,13 @@ struct SupervisorOptions {
   /// result, so it bounds single-point silence, not whole-shard runtime.
   double point_deadline_s = 300.0;
 
-  /// Charged failures a point survives before quarantine. A point is
-  /// attempted at most 1 + max_retries times.
-  int max_retries = 2;
+  /// Retry/backoff/quarantine charging, shared with RemotePoolOptions via
+  /// the AttemptLedger so the two executors cannot drift.
+  RetryPolicy retry;
 
-  /// Retry backoff: min(backoff_max_s, backoff_base_s * 2^(failures-1)),
-  /// stretched by a deterministic jitter factor in [1, 1.5) drawn from
-  /// jitter_seed.
-  double backoff_base_s = 0.05;
-  double backoff_max_s = 2.0;
-  std::uint64_t jitter_seed = 0x5055ULL;
-
-  ChaosConfig chaos;  // test-only fault injection, inert by default
+  /// Test-only fault injection, inert by default. The network faults are
+  /// meaningless over pipes and are ignored by this executor.
+  ChaosConfig chaos;
 
   /// Same contract as CampaignOptions::checkpoint_hook: invoked after each
   /// newly computed point is durable, with the running count. A throwing
@@ -108,8 +74,8 @@ struct SupervisorOptions {
   std::function<void(int completed)> checkpoint_hook;
 
   /// Throws std::invalid_argument ("(accepted:)" style) on non-positive
-  /// worker counts/deadline, negative retry/backoff values, or an invalid
-  /// chaos config.
+  /// worker counts/deadline, an invalid retry policy, or an invalid chaos
+  /// config.
   void validate() const;
 };
 

@@ -1,6 +1,7 @@
 #include "common/proc.h"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -16,12 +17,22 @@ namespace sos::common {
 
 namespace {
 
-/// write(2) until done, retrying EINTR; false on any other error.
+/// write(2) until done. Retries EINTR, and on EAGAIN/EWOULDBLOCK — a
+/// nonblocking fd (a TCP socket to a remote worker) whose kernel buffer is
+/// full — polls for writability and resumes, so a frame is never torn by a
+/// partial write. Any other error (EPIPE from a dead peer included) is a
+/// clean false; the caller decides whether a gone peer is fatal.
 bool write_fully(int fd, const char* data, std::size_t size) noexcept {
   while (size > 0) {
     const ::ssize_t n = ::write(fd, data, size);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        ::pollfd waiter{fd, POLLOUT, 0};
+        // Error/hangup wakes the poll too; the next write reports it.
+        (void)::poll(&waiter, 1, /*timeout_ms=*/1000);
+        continue;
+      }
       return false;
     }
     data += n;

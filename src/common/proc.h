@@ -30,9 +30,12 @@ namespace sos::common {
 /// length prefix from a torn write would otherwise ask for gigabytes).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
 
-/// Writes one length-prefixed frame to `fd`. Returns false if the write
-/// cannot complete (closed pipe / EPIPE included) — callers in worker
-/// children treat that as "parent is gone, stop quietly".
+/// Writes one length-prefixed frame to `fd`. Safe on blocking pipes and
+/// nonblocking sockets alike: partial writes and EAGAIN are resumed (with
+/// a poll for writability), so a frame is written whole or not at all from
+/// this side. Returns false if the write cannot complete (closed pipe or
+/// reset connection / EPIPE included) — callers in workers treat that as
+/// "the peer is gone, stop quietly".
 bool write_frame(int fd, std::string_view payload) noexcept;
 
 /// Little-endian u32 helpers for frame payload encodings (e.g. a point

@@ -60,8 +60,8 @@ class ChaosTest : public ::testing::Test {
     options.max_workers = 2;
     options.points_per_worker = 4;
     options.point_deadline_s = 30.0;
-    options.backoff_base_s = 0.005;
-    options.backoff_max_s = 0.05;
+    options.retry.backoff_base_s = 0.005;
+    options.retry.backoff_max_s = 0.05;
     return options;
   }
 
@@ -141,7 +141,7 @@ TEST_F(ChaosTest, UnlimitedFaultsDriveEveryPointIntoQuarantine) {
   auto options = chaos_options(store("s"));
   options.chaos.bad_exit = 1.0;
   options.chaos.max_fires_per_point = 0;
-  options.max_retries = 2;
+  options.retry.max_retries = 2;
   Supervisor supervisor{spec, options};
   const auto report = supervisor.run();
   EXPECT_EQ(report.computed, 0);
@@ -173,7 +173,7 @@ TEST_F(ChaosTest, RerunAfterQuarantineRecoversThePoints) {
   auto broken = chaos_options(store("s"));
   broken.chaos.sigkill = 1.0;
   broken.chaos.max_fires_per_point = 0;
-  broken.max_retries = 1;
+  broken.retry.max_retries = 1;
   const auto degraded = Supervisor{spec, broken}.run();
   ASSERT_TRUE(degraded.degraded());
 

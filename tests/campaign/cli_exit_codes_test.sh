@@ -2,7 +2,9 @@
 # Pins the sos_campaign exit-code contract (documented in `sos_campaign
 # help`):
 #
-#   run:    0 complete, 3 completed degraded (quarantined points)
+#   run:    0 complete, 3 completed degraded (quarantined points),
+#           4 fleet unreachable (--distributed with no workers)
+#   serve:  4 fleet unreachable (no coordinator to connect to)
 #   status: 0 complete, 2 pending points remain, 3 quarantined present
 #
 # Scripts (run_all.sh --supervised, CI gates) branch on these numbers, so
@@ -105,6 +107,47 @@ expect_rc 0 $? "status after supervised recovery"
 expect_rc 0 $? "supervised rerun recovers the quarantined store"
 "$cli" status "$work/degraded" > /dev/null 2>&1
 expect_rc 0 $? "status after quarantine recovery"
+
+# A distributed run completes exit 0 and its store is byte-identical to
+# the plain run's (same spec, same content-addressed objects).
+"$cli" run "$spec" --store="$work/dist" --results="$work/results" \
+  --distributed --local-workers=2 --points-per-assign=2 \
+  --heartbeat-interval=0.02 --backoff-base=0.01 --backoff-max=0.05 \
+  > /dev/null 2>&1
+expect_rc 0 $? "distributed run"
+"$cli" status "$work/dist" > /dev/null 2>&1
+expect_rc 0 $? "status of a distributed store"
+if ! diff <(cd "$work/store/objects" && ls -1 && cat ./*) \
+          <(cd "$work/dist/objects" && ls -1 && cat ./*) > /dev/null; then
+  echo "FAIL: distributed store differs from the in-process store" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: distributed store is byte-identical to the in-process store"
+fi
+
+# A distributed coordinator with no workers at all exits 4 once the
+# registration timeout lapses.
+"$cli" run "$spec" --store="$work/unreach" --results="$work/results" \
+  --distributed --local-workers=0 --registration-timeout=0.3 \
+  > /dev/null 2>&1
+expect_rc 4 $? "distributed run with an unreachable fleet"
+
+# serve against a dead endpoint exits 4 (after its connect budget), and
+# serve without --connect is a usage error.
+"$cli" serve --connect=127.0.0.1:9 --connect-timeout=0.2 > /dev/null 2>&1
+expect_rc 4 $? "serve with no coordinator listening"
+"$cli" serve > /dev/null 2>&1
+expect_rc 2 $? "serve without --connect (usage error)"
+
+# Distributed chaos: first-attempt network faults retry to completion.
+"$cli" run "$spec" --store="$work/dist-chaos" --results="$work/results" \
+  --distributed --local-workers=2 --points-per-assign=2 \
+  --heartbeat-interval=0.02 --heartbeat-timeout=0.5 \
+  --backoff-base=0.01 --backoff-max=0.05 \
+  --chaos-net-drop=0.5 --chaos-net-duplicate=0.3 > /dev/null 2>&1
+expect_rc 0 $? "distributed run that retries past network chaos"
+"$cli" status "$work/dist-chaos" > /dev/null 2>&1
+expect_rc 0 $? "status after distributed chaos recovery"
 
 if [[ "$failures" != 0 ]]; then
   echo "$failures exit-code contract violation(s)" >&2

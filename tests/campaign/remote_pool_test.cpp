@@ -1,0 +1,289 @@
+// RemoteWorkerPool end-to-end: a distributed campaign over TCP workers
+// must produce a store byte-identical to the in-process CampaignRunner
+// and the forked Supervisor on the same spec, at any worker count; serve
+// warm caches; resume checkpoints across executors; register external
+// workers (run_remote_worker driven from a thread, exactly what
+// `sos_campaign serve` runs); and fail with FleetUnreachableError — never
+// a hang — when no worker ever shows up.
+//
+// Thread-worker caution: CampaignRunner's point computation fans out over
+// ThreadPool::shared(), which must be owned by one caller at a time — so
+// tests drive at most ONE in-process worker thread, and multi-worker
+// fleets use the pool's forked loopback children.
+#include "campaign/remote_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/supervisor.h"
+
+namespace sos::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small sweep: 2 x 2 x 2 x 1 = 8 points with a light Monte Carlo overlay
+/// (the same grid the supervisor tests pin).
+ScenarioSpec tiny_sweep() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.mode = ScenarioSpec::Mode::kSweep;
+  spec.total_overlay = 1000;
+  spec.mc_trials = 2;
+  spec.mc_walks = 2;
+  spec.seed = 7;
+  spec.layers = {1, 3};
+  spec.mappings = {"one-to-one", "one-to-all"};
+  spec.break_in = {0, 50};
+  spec.congestion = {200};
+  return spec;
+}
+
+RemotePoolOptions fast_options(const std::string& store_dir) {
+  RemotePoolOptions options;
+  options.store_dir = store_dir;
+  options.heartbeat_interval_s = 0.02;
+  options.heartbeat_timeout_s = 1.0;
+  options.registration_timeout_s = 10.0;
+  options.retry.backoff_base_s = 0.01;
+  options.retry.backoff_max_s = 0.1;
+  return options;
+}
+
+class RemotePoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("sos_remote_pool_test_" + std::to_string(::getpid()) + "_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string store(const std::string& name) const {
+    return (root_ / name).string();
+  }
+
+  /// Reference output from an unsupervised in-process run of `spec`.
+  std::string reference_csv(const ScenarioSpec& spec) {
+    CampaignOptions options;
+    options.store_dir = store("reference");
+    CampaignRunner runner{spec, options};
+    runner.run();
+    return runner.sweep_csv();
+  }
+
+  /// Sorted (digest, object bytes) inventory — the bit-identity witness.
+  std::vector<std::pair<std::string, std::string>> store_objects(
+      const std::string& dir) {
+    ResultStore result_store{dir};
+    std::vector<std::pair<std::string, std::string>> objects;
+    for (auto digest : result_store.object_digests()) {
+      auto bytes = result_store.load(digest);
+      objects.emplace_back(std::move(digest), bytes ? *bytes : "<invalid>");
+    }
+    std::sort(objects.begin(), objects.end());
+    return objects;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(RemotePoolTest, DistributedRunIsBitIdenticalToInProcess) {
+  const auto spec = tiny_sweep();
+  const auto reference = reference_csv(spec);
+
+  auto options = fast_options(store("dist"));
+  options.local_workers = 3;
+  options.points_per_assign = 2;
+  RemoteWorkerPool pool{spec, options};
+  const auto report = pool.run();
+
+  EXPECT_EQ(report.total, 8);
+  EXPECT_EQ(report.computed, 8);
+  EXPECT_EQ(report.retried, 0);
+  EXPECT_TRUE(report.complete());
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(pool.runner().sweep_csv(), reference);
+  EXPECT_EQ(store_objects(store("dist")), store_objects(store("reference")));
+}
+
+TEST_F(RemotePoolTest, EveryExecutorProducesTheSameStoreBytes) {
+  // The non-negotiable invariant: in-process, 8 forked supervisor
+  // workers, and a TCP worker fleet all converge to identical objects.
+  const auto spec = tiny_sweep();
+  reference_csv(spec);  // in-process -> store("reference")
+
+  SupervisorOptions supervised;
+  supervised.store_dir = store("supervised");
+  supervised.max_workers = 8;
+  supervised.points_per_worker = 1;
+  supervised.retry.backoff_base_s = 0.01;
+  supervised.retry.backoff_max_s = 0.1;
+  Supervisor{spec, supervised}.run();
+
+  auto distributed = fast_options(store("dist"));
+  distributed.local_workers = 4;
+  distributed.points_per_assign = 1;
+  RemoteWorkerPool{spec, distributed}.run();
+
+  const auto reference = store_objects(store("reference"));
+  EXPECT_EQ(store_objects(store("supervised")), reference);
+  EXPECT_EQ(store_objects(store("dist")), reference);
+}
+
+TEST_F(RemotePoolTest, WarmRerunServesEveryPointFromCache) {
+  const auto spec = tiny_sweep();
+  auto options = fast_options(store("s"));
+  options.local_workers = 2;
+  RemoteWorkerPool{spec, options}.run();
+
+  RemoteWorkerPool warm{spec, fast_options(store("s"))};
+  const auto report = warm.run();
+  EXPECT_EQ(report.cached, 8);
+  EXPECT_EQ(report.computed, 0);
+  EXPECT_TRUE(report.complete());
+}
+
+TEST_F(RemotePoolTest, ResumesFromInProcessCheckpoints) {
+  // Stores are interchangeable across every executor: an in-process run
+  // interrupted after 3 checkpoints finishes under the TCP pool, and only
+  // the unfinished points are recomputed.
+  const auto spec = tiny_sweep();
+  const auto reference = reference_csv(spec);
+
+  CampaignOptions crash_options;
+  crash_options.store_dir = store("s");
+  crash_options.checkpoint_interval = 2;
+  crash_options.checkpoint_hook = [](int completed) {
+    if (completed == 3) throw std::runtime_error("simulated crash");
+  };
+  EXPECT_THROW((CampaignRunner{spec, crash_options}.run()),
+               std::runtime_error);
+
+  auto options = fast_options(store("s"));
+  options.local_workers = 2;
+  RemoteWorkerPool resumed{spec, options};
+  const auto report = resumed.run();
+  EXPECT_EQ(report.cached, 3);
+  EXPECT_EQ(report.computed, 5);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(resumed.runner().sweep_csv(), reference);
+}
+
+TEST_F(RemotePoolTest, ExternalWorkerRegistersAndComputesEverything) {
+  // No local children at all: one external worker — run_remote_worker on
+  // a thread, the exact `sos_campaign serve` body — joins over TCP and
+  // carries the whole campaign.
+  const auto spec = tiny_sweep();
+  const auto reference = reference_csv(spec);
+
+  auto options = fast_options(store("ext"));
+  options.local_workers = 0;
+  RemoteWorkerPool pool{spec, options};
+
+  RemoteWorkerConfig worker;
+  worker.port = pool.port();
+  worker.heartbeat_interval_s = 0.02;
+  int worker_exit = -1;
+  std::thread serve([&]() { worker_exit = run_remote_worker(worker); });
+
+  const auto report = pool.run();
+  serve.join();
+  EXPECT_EQ(worker_exit, 0);  // clean SHUTDOWN
+  EXPECT_EQ(report.computed, 8);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(pool.runner().sweep_csv(), reference);
+  EXPECT_EQ(store_objects(store("ext")), store_objects(store("reference")));
+}
+
+TEST_F(RemotePoolTest, CheckpointHookSeesEveryComputedPointInOrder) {
+  std::vector<int> counts;
+  auto options = fast_options(store("s"));
+  options.local_workers = 1;
+  options.checkpoint_hook = [&counts](int completed) {
+    counts.push_back(completed);
+  };
+  RemoteWorkerPool{tiny_sweep(), options}.run();
+  const std::vector<int> expected{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(counts, expected);
+}
+
+TEST_F(RemotePoolTest, EmptyFleetThrowsFleetUnreachable) {
+  auto options = fast_options(store("s"));
+  options.local_workers = 0;
+  options.registration_timeout_s = 0.3;
+  RemoteWorkerPool pool{tiny_sweep(), options};
+  EXPECT_THROW(pool.run(), FleetUnreachableError);
+}
+
+TEST_F(RemotePoolTest, WorkerWithNoCoordinatorExitsFleetUnreachable) {
+  // Bind-then-rebind guarantees a dead port; connect must give up with
+  // the documented exit code, not spin forever.
+  auto dead_port_probe = common::Listener::bind_loopback();
+  const auto dead_port = dead_port_probe.port();
+  dead_port_probe = common::Listener::bind_loopback();
+
+  RemoteWorkerConfig worker;
+  worker.port = dead_port;
+  worker.connect_timeout_s = 0.2;
+  EXPECT_EQ(run_remote_worker(worker), kExitFleetUnreachable);
+  EXPECT_EQ(kExitFleetUnreachable, 4);  // the CLI contract pins the value
+}
+
+TEST_F(RemotePoolTest, PortIsKnownBeforeRun) {
+  RemoteWorkerPool pool{tiny_sweep(), fast_options(store("s"))};
+  EXPECT_GT(pool.port(), 0);
+}
+
+TEST_F(RemotePoolTest, OptionsValidateRejectsNonsense) {
+  const auto spec = tiny_sweep();
+
+  auto bad_workers = fast_options(store("s"));
+  bad_workers.local_workers = -1;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_workers}), std::invalid_argument);
+
+  auto bad_assign = fast_options(store("s"));
+  bad_assign.points_per_assign = 0;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_assign}), std::invalid_argument);
+
+  auto bad_beat = fast_options(store("s"));
+  bad_beat.heartbeat_interval_s = 0.0;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_beat}), std::invalid_argument);
+
+  auto bad_timeout = fast_options(store("s"));
+  bad_timeout.heartbeat_timeout_s = bad_timeout.heartbeat_interval_s / 2;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_timeout}), std::invalid_argument);
+
+  auto bad_registration = fast_options(store("s"));
+  bad_registration.registration_timeout_s = 0.0;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_registration}),
+               std::invalid_argument);
+
+  auto bad_retry = fast_options(store("s"));
+  bad_retry.retry.max_retries = -1;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_retry}), std::invalid_argument);
+
+  auto bad_chaos = fast_options(store("s"));
+  bad_chaos.chaos.net_drop = 1.5;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_chaos}), std::invalid_argument);
+
+  auto bad_partition = fast_options(store("s"));
+  bad_partition.chaos.net_partition_s = 0.0;
+  EXPECT_THROW((RemoteWorkerPool{spec, bad_partition}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sos::campaign

@@ -1,0 +1,117 @@
+// The coordinator <-> worker wire protocol: every message round-trips
+// through its encode/parse pair, every parser rejects malformed frames
+// (wrong tag, short body, inconsistent count) with nullopt, and the tag
+// dispatch covers unknown bytes — the coordinator's "evict on protocol
+// violation" rule rests on these rejections.
+#include "campaign/remote_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sos::campaign {
+namespace {
+
+TEST(RemoteProtocol, HelloRoundTrip) {
+  Hello hello;
+  hello.version = 7;
+  hello.pid = 0x1234567890abcdefULL;
+  const auto parsed = parse_hello(encode_hello(hello));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, 7u);
+  EXPECT_EQ(parsed->pid, 0x1234567890abcdefULL);
+  EXPECT_EQ(message_type(encode_hello(hello)), MessageType::kHello);
+}
+
+TEST(RemoteProtocol, WelcomeCarriesTheSpecTextVerbatim) {
+  const std::string spec = "campaign = tiny\nmode = sweep\nlayers = 1,3\n";
+  const auto parsed = parse_welcome(encode_welcome(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, spec);
+  // Empty spec text is legal at the codec layer.
+  EXPECT_EQ(parse_welcome(encode_welcome("")), "");
+}
+
+TEST(RemoteProtocol, RejectRoundTrip) {
+  const auto parsed = parse_reject(encode_reject("version mismatch"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, "version mismatch");
+}
+
+TEST(RemoteProtocol, AssignRoundTripPreservesOrderAndAttempts) {
+  const std::vector<Assignment> shard{{3, 0}, {1, 2}, {40000, 11}};
+  const auto parsed = parse_assign(encode_assign(shard));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].index, shard[i].index);
+    EXPECT_EQ((*parsed)[i].attempt, shard[i].attempt);
+  }
+  // An empty assignment encodes and parses too.
+  const auto empty = parse_assign(encode_assign({}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(RemoteProtocol, ResultRoundTripIncludingBinaryBytes) {
+  std::string bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<char>(i));
+  const auto parsed = parse_result(encode_result(42, bytes));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->index, 42);
+  EXPECT_EQ(parsed->bytes, bytes);
+  // Empty result bytes are legal at the codec layer.
+  const auto empty = parse_result(encode_result(0, ""));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->bytes, "");
+}
+
+TEST(RemoteProtocol, ControlFramesAreOneTagByte) {
+  EXPECT_EQ(message_type(encode_heartbeat()), MessageType::kHeartbeat);
+  EXPECT_EQ(message_type(encode_shutdown()), MessageType::kShutdown);
+  EXPECT_EQ(encode_heartbeat().size(), 1u);
+  EXPECT_EQ(encode_shutdown().size(), 1u);
+}
+
+TEST(RemoteProtocol, MessageTypeRejectsEmptyAndUnknownTags) {
+  EXPECT_FALSE(message_type("").has_value());
+  EXPECT_FALSE(message_type(std::string(1, '\x00')).has_value());
+  EXPECT_FALSE(message_type(std::string(1, '\x63')).has_value());
+  EXPECT_FALSE(message_type("garbage frame").has_value());
+}
+
+TEST(RemoteProtocol, ParsersRejectWrongTagAndShortBodies) {
+  // Wrong tag: a heartbeat is not a hello.
+  EXPECT_FALSE(parse_hello(encode_heartbeat()).has_value());
+  EXPECT_FALSE(parse_assign(encode_result(1, "x")).has_value());
+  EXPECT_FALSE(parse_result(encode_assign({{1, 0}})).has_value());
+  EXPECT_FALSE(parse_welcome(encode_reject("r")).has_value());
+  EXPECT_FALSE(parse_reject(encode_welcome("w")).has_value());
+
+  // Short bodies: truncate each encoded message by one byte.
+  Hello hello;
+  const std::string short_hello =
+      encode_hello(hello).substr(0, encode_hello(hello).size() - 1);
+  EXPECT_FALSE(parse_hello(short_hello).has_value());
+
+  const std::string short_result = encode_result(5, "").substr(0, 3);
+  EXPECT_FALSE(parse_result(short_result).has_value());
+
+  const std::string short_assign =
+      encode_assign({{1, 0}}).substr(0, encode_assign({{1, 0}}).size() - 1);
+  EXPECT_FALSE(parse_assign(short_assign).has_value());
+}
+
+TEST(RemoteProtocol, AssignRejectsInconsistentCounts) {
+  // A count that promises more records than the body holds (and vice
+  // versa) is a protocol violation, not a partial parse.
+  std::string frame = encode_assign({{1, 0}, {2, 1}});
+  frame[1] = 3;  // count is the first body byte (u32le, small values)
+  EXPECT_FALSE(parse_assign(frame).has_value());
+  frame[1] = 1;
+  EXPECT_FALSE(parse_assign(frame).has_value());
+}
+
+}  // namespace
+}  // namespace sos::campaign

@@ -67,8 +67,8 @@ TEST_F(SamplingSupervised, SupervisedAutoCampaignIsBitIdenticalToInProcess) {
 
     SupervisorOptions options;
     options.store_dir = store(estimator + "_sup");
-    options.backoff_base_s = 0.01;
-    options.backoff_max_s = 0.1;
+    options.retry.backoff_base_s = 0.01;
+    options.retry.backoff_max_s = 0.1;
     options.max_workers = 2;
     options.points_per_worker = 1;
     Supervisor supervisor{spec, options};

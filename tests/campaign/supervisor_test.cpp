@@ -43,8 +43,8 @@ ScenarioSpec tiny_sweep() {
 SupervisorOptions fast_options(const std::string& store_dir) {
   SupervisorOptions options;
   options.store_dir = store_dir;
-  options.backoff_base_s = 0.01;
-  options.backoff_max_s = 0.1;
+  options.retry.backoff_base_s = 0.01;
+  options.retry.backoff_max_s = 0.1;
   return options;
 }
 
@@ -173,7 +173,7 @@ TEST_F(SupervisorTest, OptionsValidateRejectsNonsense) {
   EXPECT_THROW((Supervisor{spec, bad_deadline}), std::invalid_argument);
 
   auto bad_retries = fast_options(store("s"));
-  bad_retries.max_retries = -1;
+  bad_retries.retry.max_retries = -1;
   EXPECT_THROW((Supervisor{spec, bad_retries}), std::invalid_argument);
 
   auto bad_chaos = fast_options(store("s"));

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
 #include <signal.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,84 @@ TEST(FrameBuffer, ImpossibleLengthPrefixMarksTheStreamCorrupt) {
   buffer.feed(good.data(), good.size());
   EXPECT_FALSE(buffer.next_frame().has_value());
   EXPECT_TRUE(buffer.corrupt());
+}
+
+TEST(FrameBuffer, PropertyRandomSplitsNeverChangeTheDecodedFrames) {
+  // Property test: however read(2) fragments the byte stream — including
+  // several back-to-back frames landing in one feed — the decoder yields
+  // exactly the frames that were written, in order. 64 seeded trials over
+  // random payload sizes (empty through a few KiB) and random 1..N-byte
+  // feed chunks.
+  std::uint64_t state = 0x5051aULL;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::string> expected;
+    std::string stream;
+    const int frames_in_trial = 1 + static_cast<int>(next() % 8);
+    for (int f = 0; f < frames_in_trial; ++f) {
+      std::string payload(next() % 3000, '\0');
+      for (char& byte : payload) byte = static_cast<char>(next() & 0xff);
+      stream += frame_bytes(payload);
+      expected.push_back(std::move(payload));
+    }
+    FrameBuffer buffer;
+    std::vector<std::string> decoded;
+    std::size_t cursor = 0;
+    while (cursor < stream.size()) {
+      const std::size_t chunk = 1 + next() % (stream.size() - cursor);
+      buffer.feed(stream.data() + cursor, chunk);
+      cursor += chunk;
+      while (auto frame = buffer.next_frame()) decoded.push_back(*frame);
+    }
+    ASSERT_EQ(decoded, expected) << "trial " << trial;
+    EXPECT_FALSE(buffer.mid_frame()) << "trial " << trial;
+    EXPECT_FALSE(buffer.corrupt()) << "trial " << trial;
+  }
+}
+
+TEST(FrameBuffer, BackToBackFramesInOneFeedAllDecode) {
+  std::string stream;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 100; ++i) {
+    expected.push_back("frame-" + std::to_string(i));
+    stream += frame_bytes(expected.back());
+  }
+  FrameBuffer buffer;
+  buffer.feed(stream.data(), stream.size());
+  std::vector<std::string> decoded;
+  while (auto frame = buffer.next_frame()) decoded.push_back(*frame);
+  EXPECT_EQ(decoded, expected);
+  EXPECT_FALSE(buffer.mid_frame());
+}
+
+TEST(FrameBuffer, CorruptPrefixAfterValidFramesStillDeliversTheValidOnes) {
+  // Frames decoded before the impossible length prefix arrived must not be
+  // lost: the supervisor checkpoints them before noticing the corruption.
+  std::string stream = frame_bytes("good-1") + frame_bytes("good-2");
+  append_u32le(stream, kMaxFrameBytes + 7);
+  FrameBuffer buffer;
+  buffer.feed(stream.data(), stream.size());
+  EXPECT_EQ(buffer.next_frame(), "good-1");
+  EXPECT_EQ(buffer.next_frame(), "good-2");
+  EXPECT_FALSE(buffer.next_frame().has_value());
+  EXPECT_TRUE(buffer.corrupt());
+}
+
+TEST(FrameBuffer, EofMidPrefixIsMidFrameToo) {
+  // Even a partial length prefix (fewer than 4 bytes) counts as a torn
+  // frame: the writer died between starting and finishing a result.
+  std::string prefix;
+  append_u32le(prefix, 32);
+  FrameBuffer buffer;
+  buffer.feed(prefix.data(), 2);
+  EXPECT_FALSE(buffer.next_frame().has_value());
+  EXPECT_TRUE(buffer.mid_frame());
+  EXPECT_FALSE(buffer.corrupt());
 }
 
 TEST(FrameBuffer, U32RoundTrip) {
@@ -152,6 +232,75 @@ TEST(Subprocess, PollExitIsNonBlockingAndCaches) {
   const auto again = child.poll_exit();
   ASSERT_TRUE(again.has_value());
   EXPECT_TRUE(again->clean());
+}
+
+TEST(SubprocessExit, DescribeCoversCodesAndSignals) {
+  // describe() strings are operator-facing (quarantine reasons, CLI
+  // output) and test-asserted elsewhere, so the exact spellings are API.
+  Subprocess::Exit exit;
+  EXPECT_EQ(exit.describe(), "exit 0");
+  EXPECT_TRUE(exit.clean());
+
+  exit.code = 41;
+  EXPECT_EQ(exit.describe(), "exit 41");
+  EXPECT_FALSE(exit.clean());
+
+  exit.signaled = true;
+  exit.code = SIGKILL;
+  EXPECT_EQ(exit.describe(), "signal 9 (SIGKILL)");
+  exit.code = SIGSEGV;
+  EXPECT_EQ(exit.describe(), "signal " + std::to_string(SIGSEGV) +
+                                 " (SIGSEGV)");
+  exit.code = SIGTERM;
+  EXPECT_EQ(exit.describe(), "signal " + std::to_string(SIGTERM) +
+                                 " (SIGTERM)");
+  exit.code = SIGABRT;
+  EXPECT_EQ(exit.describe(), "signal " + std::to_string(SIGABRT) +
+                                 " (SIGABRT)");
+  exit.code = SIGFPE;
+  EXPECT_EQ(exit.describe(), "signal " + std::to_string(SIGFPE) +
+                                 " (SIGFPE)");
+
+  // A signal without a friendly name still renders its number.
+  exit.code = SIGUSR2;
+  EXPECT_EQ(exit.describe(), "signal " + std::to_string(SIGUSR2));
+
+  // A signaled exit is never clean, even with code 0 nonsense.
+  exit.code = 0;
+  EXPECT_FALSE(exit.clean());
+}
+
+TEST(Subprocess, WriteFrameToAClosedReaderFailsInsteadOfKillingUs) {
+  // The EPIPE hardening: with SIGPIPE ignored, write_frame against a pipe
+  // whose reader is gone must return false (worker "peer is gone, stop
+  // quietly" path), not terminate the process.
+  auto child = Subprocess::spawn([](int write_fd) {
+    ::signal(SIGPIPE, SIG_IGN);
+    // First frame lands while the parent still holds the read end open.
+    if (!write_frame(write_fd, "landed")) return 2;
+    // Wait for the read end to disappear (parent closes it), then write:
+    // every subsequent frame must fail cleanly with EPIPE.
+    ::pollfd waiter{write_fd, 0, 0};
+    for (int i = 0; i < 1000; ++i) {
+      ::poll(&waiter, 1, 10);
+      if (waiter.revents & POLLERR) break;
+    }
+    if (write_frame(write_fd, "into the void")) return 3;
+    return 0;
+  });
+  // Drain the whole first frame (header + payload may arrive as separate
+  // reads) before closing: closing after a partial read would EPIPE the
+  // child's payload write and race the test.
+  FrameBuffer buffer;
+  char chunk[64];
+  while (!buffer.next_frame().has_value()) {
+    const ::ssize_t n = ::read(child.read_fd(), chunk, sizeof(chunk));
+    ASSERT_GT(n, 0);
+    buffer.feed(chunk, static_cast<std::size_t>(n));
+  }
+  child.close_read();
+  const auto exit = child.wait_exit();
+  EXPECT_TRUE(exit.clean()) << exit.describe();
 }
 
 TEST(Subprocess, TruncatedFrameIsVisibleAtEof) {
