@@ -1,0 +1,7 @@
+// Regenerates ext_frontier via the campaign registry (see docs/CAMPAIGNS.md
+// and bench_common.h for flags; docs/OPTIMIZER.md for the search itself).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return sos::bench::run_registered_figure(argc, argv, "ext_frontier");
+}

@@ -19,6 +19,7 @@
 #include "core/exact_models.h"
 #include "core/one_burst_model.h"
 #include "core/successive_model.h"
+#include "optimize/optimize.h"
 #include "overlay/chord.h"
 #include "sim/monte_carlo.h"
 #include "sim/sampling.h"
@@ -640,6 +641,143 @@ void BM_DistributedWarmSweep(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DistributedWarmSweep)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- Design-space optimizer: batched scoring + store-routed frontiers ---
+//
+// BM_OptimizerEvaluateDesigns is the BENCH_optimizer.json headline: the
+// batched analytic path (one worst-case budget-split sweep per design,
+// slot-per-design over the shared pool) must clear >= 1000 designs/s on a
+// release build — the floor that keeps exhaustive search practical on
+// 10^4-point grids. BM_OptimizerExhaustiveSearch prices the full
+// branch-and-bound loop over the same space; the cold/warm OptimizeRunner
+// pair prices the store-routed frontier, where cold pays search plus one
+// Monte Carlo validation campaign per winner and warm serves every winner
+// from its content-addressed store object.
+
+optimize::DesignSpace bench_design_space() {
+  optimize::DesignSpace space;
+  space.total_overlay_nodes = 10000;
+  space.filter_count = 10;
+  space.layers = {1, 2, 3, 4};
+  space.sos_nodes = {60, 80, 100, 120, 140, 160};
+  space.mappings = {"one-to-one", "one-to-five", "one-to-all"};
+  space.distributions = {"even", "decreasing"};
+  return space;
+}
+
+optimize::AttackerObjective bench_optimizer_objective() {
+  optimize::AttackerObjective objective;
+  objective.model = optimize::AttackerModel::kOneBurst;
+  objective.budget.total = 3000.0;
+  objective.budget.break_in_cost = 4.0;
+  objective.budget.congestion_cost = 1.0;
+  objective.budget.break_in_success = 0.5;
+  objective.split_steps = 21;
+  return objective;
+}
+
+void BM_OptimizerEvaluateDesigns(benchmark::State& state) {
+  const auto space = bench_design_space();
+  const auto points = space.enumerate();
+  const optimize::CostModel cost;
+  const auto objective = bench_optimizer_objective();
+  for (auto _ : state) {
+    const auto scored = optimize::evaluate_designs(points, cost, objective);
+    benchmark::DoNotOptimize(scored.data());
+  }
+  state.counters["designs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(points.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OptimizerEvaluateDesigns)
+    ->UseRealTime()  // scored over the shared pool
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizerExhaustiveSearch(benchmark::State& state) {
+  const auto space = bench_design_space();
+  const optimize::CostModel cost;
+  const auto objective = bench_optimizer_objective();
+  const optimize::ExhaustiveOptions options;
+  long long evaluated = 0;
+  for (auto _ : state) {
+    const auto result =
+        optimize::exhaustive_search(space, cost, objective, options);
+    evaluated = result.stats.evaluated;
+    benchmark::DoNotOptimize(result.frontier.data());
+  }
+  state.counters["evaluated"] = static_cast<double>(evaluated);
+}
+BENCHMARK(BM_OptimizerExhaustiveSearch)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Tiny frontier spec for the runner pair: the search is cheap, so the
+// numbers isolate the per-winner validation-campaign cost.
+optimize::OptimizeSpec bench_optimize_spec() {
+  optimize::OptimizeSpec spec;
+  spec.name = "bench_frontier";
+  spec.space.total_overlay_nodes = 1000;
+  spec.space.filter_count = 8;
+  spec.space.layers = {2, 3};
+  spec.space.sos_nodes = {24, 48};
+  spec.space.mappings = {"one-to-one", "one-to-all"};
+  spec.space.distributions = {"even"};
+  spec.objective = bench_optimizer_objective();
+  spec.objective.budget.total = 300.0;
+  spec.objective.split_steps = 11;
+  spec.validate_trials = 64;
+  spec.mc_walks = 2;
+  spec.seed = 0x9e37;
+  return spec;
+}
+
+void BM_OptimizerColdFrontier(benchmark::State& state) {
+  const auto spec = bench_optimize_spec();
+  const auto store = bench_store_dir("optimize_cold");
+  int winners = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(store);
+    state.ResumeTiming();
+    campaign::OptimizeOptions options;
+    options.store_dir = store;
+    campaign::OptimizeRunner runner{spec, options};
+    const auto report = runner.run();
+    winners = report.validated;
+    benchmark::DoNotOptimize(report.winners.data());
+  }
+  std::filesystem::remove_all(store);
+  state.counters["winners"] = winners;
+}
+BENCHMARK(BM_OptimizerColdFrontier)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizerWarmFrontier(benchmark::State& state) {
+  const auto spec = bench_optimize_spec();
+  const auto store = bench_store_dir("optimize_warm");
+  std::filesystem::remove_all(store);
+  {
+    campaign::OptimizeOptions prime;
+    prime.store_dir = store;
+    campaign::OptimizeRunner{spec, prime}.run();  // prime the store
+  }
+  int winners = 0;
+  for (auto _ : state) {
+    campaign::OptimizeOptions options;
+    options.store_dir = store;
+    campaign::OptimizeRunner runner{spec, options};
+    const auto report = runner.run();
+    winners = report.validated;
+    benchmark::DoNotOptimize(report.winners.data());
+  }
+  std::filesystem::remove_all(store);
+  state.counters["winners"] = winners;
+}
+BENCHMARK(BM_OptimizerWarmFrontier)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

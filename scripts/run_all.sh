@@ -45,6 +45,13 @@
 # store bit-identity) followed by the bench/perf_micro BM_Distributed*
 # microbenches (coordinator throughput over loopback TCP workers, the
 # BENCH_distributed.json workload).
+#
+# Pass --optimize to run the design-space optimizer pass: the
+# optimize-smoke acceptance tests (`ctest -L optimize-smoke`: frontier
+# search, campaign-routed winner validation with warm-cache reruns,
+# supervised quarantine) followed by the bench/perf_micro BM_Optimizer*
+# microbenches (batched design scoring throughput and cold-vs-warm
+# frontier runs, the BENCH_optimizer.json workload).
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -58,6 +65,7 @@ supervised=0
 scale=0
 sampling=0
 distributed=0
+optimize=0
 filtered=()
 for arg in "$@"; do
   case "$arg" in
@@ -68,6 +76,7 @@ for arg in "$@"; do
     --scale) scale=1 ;;
     --sampling) sampling=1 ;;
     --distributed) distributed=1 ;;
+    --optimize) optimize=1 ;;
     *) filtered+=("$arg") ;;
   esac
 done
@@ -128,6 +137,17 @@ if [[ "$distributed" == 1 ]]; then
     echo "== perf_micro (BM_Distributed*)"
     "$micro" --benchmark_filter='BM_Distributed' \
       | tee "$results_dir/perf_distributed.txt" >/dev/null || true
+  fi
+fi
+
+if [[ "$optimize" == 1 ]]; then
+  echo "== optimize-smoke acceptance tests ($build_dir)"
+  ctest --test-dir "$build_dir" -L optimize-smoke --output-on-failure
+  micro="$build_dir/bench/perf_micro"
+  if [[ -x "$micro" ]]; then
+    echo "== perf_micro (BM_Optimizer*)"
+    "$micro" --benchmark_filter='BM_Optimizer' \
+      | tee "$results_dir/perf_optimizer.txt" >/dev/null || true
   fi
 fi
 

@@ -1,13 +1,16 @@
 // Umbrella header for the campaign engine: declarative scenario specs,
 // figure registry, content-addressed result store, the checkpointing
-// runner, the crash-tolerant supervisor and the distributed TCP worker
-// pool. See docs/CAMPAIGNS.md for the spec format, store layout,
-// supervision semantics and the remote worker protocol.
+// runner, the crash-tolerant supervisor, the distributed TCP worker
+// pool and the store-routed design-space optimizer front end. See
+// docs/CAMPAIGNS.md for the spec format, store layout, supervision
+// semantics and the remote worker protocol; docs/OPTIMIZER.md for the
+// optimizer.
 #pragma once
 
 #include "campaign/attempt_ledger.h"   // IWYU pragma: export
 #include "campaign/chaos.h"            // IWYU pragma: export
 #include "campaign/digest.h"           // IWYU pragma: export
+#include "campaign/optimize_runner.h"  // IWYU pragma: export
 #include "campaign/registry.h"         // IWYU pragma: export
 #include "campaign/remote_pool.h"      // IWYU pragma: export
 #include "campaign/remote_protocol.h"  // IWYU pragma: export

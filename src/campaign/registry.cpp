@@ -44,6 +44,8 @@ const std::vector<RegisteredFigure> kRegistry{
     {"ext_scale", "ext_scale_curve", 8, experiments::ext_scale_curve},
     {"ext_sampling", "ext_sampling_curve", 2048,
      experiments::ext_sampling_curve},
+    {"ext_frontier", "ext_design_frontier", 48,
+     experiments::ext_design_frontier},
 };
 
 std::string registered_ids() {

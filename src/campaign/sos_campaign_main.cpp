@@ -24,6 +24,15 @@
 //   sos_campaign serve --connect=HOST:PORT
 //       One remote worker: registers with a --distributed coordinator,
 //       computes assigned points, streams results, heartbeats.
+//   sos_campaign optimize <spec|default> [flags]
+//       Pareto design-space search (docs/OPTIMIZER.md): runs the spec's
+//       searcher (exhaustive branch-and-bound or simulated annealing),
+//       then validates every frontier winner with a Monte Carlo campaign
+//       through the shared result store, so reruns are warm and a killed
+//       validation resumes. --search-only skips validation (winners stay
+//       pending, exit 2); --status classifies winners against the store
+//       without computing; --supervised validates in forked workers with
+//       retry/quarantine (chaos flags apply).
 //   sos_campaign status <store-dir>
 //       Completed/pending/quarantined point counts from the manifest +
 //       object files + quarantine records.
@@ -89,15 +98,25 @@ int usage(std::FILE* out) {
                "[--heartbeat-interval=SECONDS]\n"
                "                    [--connect-timeout=SECONDS] "
                "[--max-reconnects=N] [--chaos-*]\n"
+               "       sos_campaign optimize <spec-file|default> "
+               "[--store=DIR] [--results=DIR]\n"
+               "                    [--search-only] [--status] "
+               "[--validate-trials=N] [--seed=N]\n"
+               "                    [--supervised] [--max-workers=N] "
+               "[--point-deadline=SECONDS]\n"
+               "                    [--max-retries=N] [--backoff-*] "
+               "[--chaos-*]\n"
                "       sos_campaign status <store-dir>\n"
                "       sos_campaign clean <store-dir>\n"
                "\n"
                "exit codes:\n"
-               "  0  success; status: campaign complete\n"
+               "  0  success; status/optimize: campaign complete, frontier "
+               "validated\n"
                "  1  hard error (bad spec, missing manifest, I/O failure)\n"
-               "  2  usage error; status: pending points remain\n"
+               "  2  usage error; status/optimize: pending points or "
+               "unvalidated winners\n"
                "  3  quarantined points present (degraded run / status sees\n"
-               "     quarantine records)\n"
+               "     quarantine records / optimize winner quarantined)\n"
                "  4  fleet unreachable (coordinator saw no worker register "
                "in time /\n"
                "     serve could not reach its coordinator)\n");
@@ -355,6 +374,100 @@ int cmd_run(const common::Args& args) {
   return finish_run(runner, report, results_dir);
 }
 
+/// `optimize` accepts a spec file path or the literal "default" (the
+/// compiled-in OptimizeSpec: the paper's N=10000 system over L in 1..5).
+optimize::OptimizeSpec resolve_optimize_spec(const std::string& target,
+                                             const common::Args& args) {
+  optimize::OptimizeSpec spec;
+  if (target == "default") {
+    // Defaults are the struct initializers; nothing to load.
+  } else if (std::filesystem::exists(target)) {
+    spec = optimize::OptimizeSpec::parse_file(target);
+  } else {
+    throw std::invalid_argument(
+        "unknown optimization '" + target +
+        "' (accepted: an optimize spec file path or 'default'; see "
+        "docs/OPTIMIZER.md for the spec format)");
+  }
+  spec.validate_trials = static_cast<int>(
+      args.get_int("validate-trials", spec.validate_trials));
+  spec.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(spec.seed)));
+  spec.validate();
+  return spec;
+}
+
+int cmd_optimize(const common::Args& args) {
+  if (args.positional().size() < 2) return usage(stderr);
+  const auto spec = resolve_optimize_spec(args.positional()[1], args);
+
+  campaign::OptimizeOptions options;
+  options.store_dir = args.get_string(
+      "store", (std::filesystem::path("campaign-store") / spec.name).string());
+  const std::string results_dir = args.get_string("results", "results");
+  options.search_only = args.get_bool("search-only", false);
+  options.supervised = args.get_bool("supervised", false);
+  options.supervisor.max_workers = static_cast<int>(
+      args.get_int("max-workers", options.supervisor.max_workers));
+  options.supervisor.points_per_worker = static_cast<int>(args.get_int(
+      "points-per-worker", options.supervisor.points_per_worker));
+  options.supervisor.point_deadline_s = args.get_double(
+      "point-deadline", options.supervisor.point_deadline_s);
+  apply_retry_flags(args, options.supervisor.retry);
+  apply_chaos_flags(args, options.supervisor.chaos);
+  const bool status_only = args.get_bool("status", false);
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+
+  campaign::OptimizeRunner runner{spec, options};
+  std::printf(
+      "optimize %s: %zu designs (%s searcher), store %s%s\n",
+      spec.name.c_str(), spec.space.size(),
+      optimize::OptimizeSpec::searcher_label(spec.resolved_searcher()),
+      options.store_dir.c_str(),
+      options.supervised ? ", supervised validation" : "");
+  const auto report = status_only ? runner.status() : runner.run();
+
+  std::printf("  frontier: %zu winner(s) from %lld evaluated",
+              report.search.frontier.size(), report.search.stats.evaluated);
+  if (report.search.stats.pruned > 0)
+    std::printf(" (%lld pruned)", report.search.stats.pruned);
+  std::printf("\n");
+  int rank = 0;
+  for (const auto& winner : report.winners) {
+    ++rank;
+    std::printf("  %2d. %-40s cost %8.1f  P_S %.4f", rank,
+                winner.design.point.key().c_str(), winner.design.cost,
+                winner.design.p_success());
+    if (winner.quarantined) {
+      std::printf("  mc QUARANTINED (attempts %d)", winner.attempts);
+    } else if (winner.done && spec.validate_trials > 0) {
+      std::printf("  mc %.4f [%.4f, %.4f]", winner.p_mc, winner.ci_lo,
+                  winner.ci_hi);
+    } else {
+      std::printf("  mc pending");
+    }
+    std::printf("\n");
+  }
+  for (const auto& path : runner.write_outputs(report, results_dir))
+    std::printf("  wrote %s\n", path.c_str());
+
+  // Scriptable contract (pinned by tests/campaign/cli_exit_codes_test.sh):
+  // 0 validated frontier, kExitPending unvalidated winners remain,
+  // kExitQuarantined when any winner's validation was quarantined.
+  if (report.degraded()) {
+    std::fprintf(stderr,
+                 "sos_campaign: optimize completed DEGRADED (%d winner(s) "
+                 "quarantined)\n",
+                 report.quarantined);
+    return kExitQuarantined;
+  }
+  if (report.pending > 0) {
+    std::printf("  %d winner(s) pending validation\n", report.pending);
+    return kExitPending;
+  }
+  return 0;
+}
+
 int cmd_status(const common::Args& args) {
   if (args.positional().size() < 2) return usage(stderr);
   if (const int rc = reject_unused(args); rc != 0) return rc;
@@ -422,6 +535,7 @@ int main(int argc, char** argv) {
     }
     if (command == "run") return cmd_run(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "optimize") return cmd_optimize(args);
     if (command == "status") return cmd_status(args);
     if (command == "clean") return cmd_clean(args);
     if (command == "help") return usage(stdout);

@@ -12,8 +12,8 @@
 // interleaving yields bit-identical results.
 //
 // Lives in common (not sim) so the core analytical sweeps can parallelize
-// over the same process-wide workers without a core -> sim dependency;
-// sim/thread_pool.h re-exports it under the historical sos::sim name.
+// over the same process-wide workers without a core -> sim dependency; sim
+// headers alias it as sos::sim::ThreadPool for their own signatures.
 #pragma once
 
 #include <atomic>

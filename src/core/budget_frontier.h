@@ -21,6 +21,8 @@ class ThreadPool;
 
 namespace sos::core {
 
+class SuccessiveEvaluator;
+
 struct AttackBudget {
   double total = 4000.0;        // abstract resource units
   double break_in_cost = 2.0;   // units per break-in attempt (intrusions
@@ -51,6 +53,16 @@ class BudgetFrontier {
                                         const AttackBudget& budget,
                                         int steps = 21,
                                         common::ThreadPool* pool = nullptr);
+
+  /// Serial batch-friendly form: fills `curve` (resized to `steps`) with the
+  /// same grid and p_success values as sweep() — bit-identical — evaluating
+  /// every split through `evaluator` on the caller's thread. Safe to call
+  /// from inside a parallel_for task (no pool use), which is how
+  /// sos::optimize evaluates thousands of designs concurrently: the outer
+  /// loop parallelizes over designs, each worker sweeps its own splits.
+  static void sweep_into(SuccessiveEvaluator& evaluator,
+                         const AttackBudget& budget, int steps,
+                         std::vector<BudgetSplit>& curve);
 
   /// The attacker's optimal (defender's worst) split from the same grid.
   static BudgetSplit worst_case(const SosDesign& design,

@@ -1,0 +1,218 @@
+// ext_design_frontier: the Pareto design-space frontier.
+//
+// The paper hand-picks a few (L, mapping, n_i) designs; this figure lets
+// the optimizer pick them. A compact enumerable design space is searched
+// twice — exhaustive branch-and-bound (the exactness reference) and seeded
+// simulated annealing — under the worst-case budget-split objective
+// (BudgetFrontier::worst_case) and a deployment cost model; the two
+// frontiers must agree exactly. Each frontier winner then gets a Monte
+// Carlo measurement at the attacker's chosen split. The table is the
+// frontier (one row per winner, cost-ascending); the series is the P_S vs
+// cost trade-off curve the deployer actually navigates. For checkpointed /
+// store-routed searches over bigger spaces, use `sos_campaign optimize`
+// (docs/OPTIMIZER.md).
+#include <chrono>
+
+#include "experiments/detail.h"
+#include "optimize/optimize.h"
+
+namespace sos::experiments {
+
+namespace {
+
+optimize::DesignSpace frontier_space(const Params& params) {
+  optimize::DesignSpace space;
+  space.total_overlay_nodes = params.total_overlay;
+  space.filter_count = params.filters;
+  space.layers = {1, 2, 3, 4};
+  // A node-count axis bracketing the paper's n = 100 (scaled with --sos).
+  const int n = params.sos_nodes;
+  space.sos_nodes = {std::max(4, (3 * n) / 5), n, (7 * n) / 5};
+  space.mappings = {"one-to-one", "one-to-five", "one-to-all"};
+  space.distributions = {"even"};
+  return space;
+}
+
+// One-burst worst-case objective with congestion cheap relative to
+// break-ins: the regime where the frontier actually spans the mapping and
+// layer axes (a break-in-heavy successive attacker collapses it onto
+// one-to-one designs — run that via `sos_campaign optimize`). One-burst
+// also keeps the analytic side exact, so the Monte Carlo overlay check
+// carries only sampling noise plus the concrete-overlay bias.
+optimize::AttackerObjective frontier_objective(const Params& params) {
+  optimize::AttackerObjective objective;
+  objective.model = optimize::AttackerModel::kOneBurst;
+  objective.budget.total = 3000.0;
+  objective.budget.break_in_cost = 4.0;
+  objective.budget.congestion_cost = 1.0;
+  objective.budget.break_in_success = params.p_break;
+  objective.split_steps = 21;
+  return objective;
+}
+
+}  // namespace
+
+Figure ext_design_frontier(const Params& params) {
+  Figure figure;
+  figure.id = "ext_frontier";
+  figure.title = "Pareto design frontier: worst-case P_S vs deployment cost";
+  figure.x_label = "deployment cost";
+  figure.table = common::Table{{"rank", "L", "n", "mapping", "cost", "N_T",
+                                "N_C", "P_S_worst", "P_S_mc", "ci_lo",
+                                "ci_hi"}};
+
+  const optimize::DesignSpace space = frontier_space(params);
+  const optimize::AttackerObjective objective = frontier_objective(params);
+  optimize::CostModel cost;  // default prices (docs/OPTIMIZER.md)
+
+  // Throughput of the batched analytic path (the BENCH_optimizer.json
+  // headline): score the whole space once, wall-clocked.
+  const std::vector<optimize::DesignPoint> points = space.enumerate();
+  const auto start = std::chrono::steady_clock::now();
+  const auto scored = optimize::evaluate_designs(points, cost, objective);
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const double designs_per_s =
+      seconds > 0.0 ? static_cast<double>(scored.size()) / seconds : 0.0;
+
+  // Both searchers over the same space.
+  optimize::ExhaustiveOptions exhaustive_options;
+  const auto exact =
+      optimize::exhaustive_search(space, cost, objective, exhaustive_options);
+  optimize::AnnealOptions anneal_options;
+  anneal_options.restarts = 8;
+  anneal_options.iterations = 200;
+  anneal_options.seed = params.seed;
+  const auto annealed =
+      optimize::anneal_search(space, cost, objective, anneal_options);
+
+  bool frontiers_match =
+      exact.frontier.size() == annealed.frontier.size();
+  for (std::size_t i = 0; frontiers_match && i < exact.frontier.size(); ++i) {
+    frontiers_match =
+        exact.frontier[i].point.key() == annealed.frontier[i].point.key() &&
+        exact.frontier[i].cost == annealed.frontier[i].cost &&
+        exact.frontier[i].p_success() == annealed.frontier[i].p_success();
+  }
+
+  // Monte Carlo at each winner's worst-case split (batched over the pool).
+  detail::McBatch batch{params};
+  std::vector<detail::DeferredRow> rows;
+  common::Series curve{"worst-case P_S", {}, {}};
+  int rank = 0;
+  for (const auto& winner : exact.frontier) {
+    ++rank;
+    const core::AttackBudget effective = objective.effective_budget();
+    core::SuccessiveAttack attack;
+    attack.break_in_budget = winner.worst.break_in_budget;
+    attack.congestion_budget = winner.worst.congestion_budget;
+    attack.break_in_success = params.p_break;
+    attack.prior_knowledge = effective.prior_knowledge;
+    attack.rounds = effective.rounds;
+
+    detail::DeferredRow row;
+    row.cells = {std::to_string(rank),
+                 std::to_string(winner.point.layers),
+                 std::to_string(winner.point.sos_nodes),
+                 winner.point.mapping,
+                 detail::fmt(winner.cost, 1),
+                 std::to_string(winner.worst.break_in_budget),
+                 std::to_string(winner.worst.congestion_budget),
+                 detail::fmt(winner.p_success())};
+    if (params.mc_trials > 0) {
+      row.mc = batch.add(winner.point.design, attack);
+    } else {
+      row.cells.insert(row.cells.end(), {"-", "-", "-"});
+    }
+    rows.push_back(std::move(row));
+    curve.xs.push_back(winner.cost);
+    curve.ys.push_back(winner.p_success());
+  }
+
+  // Keep each row's batch slot: the Wilson-interval check below reads the
+  // results again after emit_rows consumes the row list.
+  std::vector<int> mc_slots;
+  for (const auto& row : rows) mc_slots.push_back(row.mc);
+  detail::emit_rows(figure.table, batch, rows);
+  figure.series.push_back(std::move(curve));
+
+  // --- Checks. ---
+  figure.checks.push_back(make_check(
+      "simulated annealing recovers the exact branch-and-bound frontier on "
+      "an enumerable space",
+      frontiers_match,
+      "exhaustive " + std::to_string(exact.frontier.size()) +
+          " winners (evaluated " + std::to_string(exact.stats.evaluated) +
+          ", pruned " + std::to_string(exact.stats.pruned) + "), SA " +
+          std::to_string(annealed.frontier.size()) + " winners from " +
+          std::to_string(annealed.stats.evaluated) + " evaluations"));
+
+  bool sorted_and_nondominated = true;
+  for (std::size_t i = 0; i < exact.frontier.size(); ++i) {
+    if (i > 0 && !optimize::frontier_less(exact.frontier[i - 1],
+                                          exact.frontier[i]))
+      sorted_and_nondominated = false;
+    for (std::size_t j = 0; j < exact.frontier.size(); ++j)
+      if (i != j &&
+          optimize::dominates(exact.frontier[i], exact.frontier[j]))
+        sorted_and_nondominated = false;
+  }
+  figure.checks.push_back(make_check(
+      "frontier is sorted by cost and mutually non-dominated",
+      sorted_and_nondominated,
+      std::to_string(exact.frontier.size()) + " winners, cost " +
+          (exact.frontier.empty()
+               ? std::string("-")
+               : detail::fmt(exact.frontier.front().cost, 1) + ".." +
+                     detail::fmt(exact.frontier.back().cost, 1))));
+
+  figure.checks.push_back(make_check(
+      "batched analytic path clears 50 designs/s even at figure scale "
+      "(BENCH_optimizer.json pins >= 1000/s on a release build)",
+      designs_per_s >= 50.0,
+      detail::fmt(designs_per_s, 1) + " designs/s over " +
+          std::to_string(scored.size()) + " designs"));
+
+  if (params.mc_trials >= 64) {
+    bool within = true;
+    std::string detail_text;
+    for (std::size_t i = 0; i < exact.frontier.size(); ++i) {
+      if (mc_slots[i] < 0) continue;
+      const auto& mc = batch.result(mc_slots[i]);
+      // The analytic model is average-case; PR 3 measured gaps up to ~0.08
+      // against the concrete overlay, so the CI check carries that margin.
+      const bool ok = exact.frontier[i].p_success() >= mc.ci.lo - 0.08 &&
+                      exact.frontier[i].p_success() <= mc.ci.hi + 0.08;
+      if (!ok) {
+        within = false;
+        detail_text += exact.frontier[i].point.key() + " model " +
+                       detail::fmt(exact.frontier[i].p_success()) +
+                       " outside [" + detail::fmt(mc.ci.lo) + ", " +
+                       detail::fmt(mc.ci.hi) + "]; ";
+      }
+    }
+    figure.checks.push_back(make_check(
+        "every frontier winner's Monte Carlo P_S brackets the analytic "
+        "worst-case prediction (±0.08 model-bias margin)",
+        within,
+        within ? std::to_string(exact.frontier.size()) +
+                     " winners within their Wilson intervals"
+               : detail_text));
+  }
+
+  figure.notes.push_back(
+      "objective: worst-case P_S over a 21-point budget-split grid "
+      "(one-burst attacker, budget 3000 at 4 units/break-in, "
+      "1 unit/congested node) — core::BudgetFrontier::worst_case");
+  figure.notes.push_back(
+      "cost model: node=1, filter=10, layer=25, link=0.05 per "
+      "neighbor-table entry; see docs/OPTIMIZER.md for the frontier "
+      "semantics");
+  figure.notes.push_back(
+      "designs/s is machine-dependent and never compared byte-for-byte; "
+      "store-routed searches with campaign-validated winners run via "
+      "`sos_campaign optimize`");
+  return figure;
+}
+
+}  // namespace sos::experiments

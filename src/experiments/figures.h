@@ -53,5 +53,8 @@ Figure ext_scale_curve(const Params& params);  // P_S & throughput vs N to 1e7
 // Rare-event estimators: trials to a matched CI as P_S falls to ~1e-6.
 // mc_trials caps every estimator; <= 0 selects the deep 2^20 recording run.
 Figure ext_sampling_curve(const Params& params);
+// Pareto design frontier: worst-case P_S vs deployment cost, exhaustive
+// branch-and-bound cross-checked against seeded simulated annealing.
+Figure ext_design_frontier(const Params& params);
 
 }  // namespace sos::experiments

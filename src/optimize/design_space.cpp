@@ -1,0 +1,114 @@
+#include "optimize/design_space.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace sos::optimize {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& field, const std::string& value,
+                         const std::string& accepted) {
+  throw std::invalid_argument("DesignSpace: bad " + field + " '" + value +
+                              "' (accepted: " + accepted + ")");
+}
+
+template <typename T>
+void require_unique(const std::string& field, const std::vector<T>& values) {
+  std::set<T> seen;
+  for (const T& value : values) {
+    if (!seen.insert(value).second) {
+      std::ostringstream text;
+      text << value;
+      reject(field, text.str(), "unique axis values");
+    }
+  }
+}
+
+}  // namespace
+
+std::string DesignPoint::key() const {
+  std::ostringstream text;
+  text << "L=" << layers << " n=" << sos_nodes << " map=" << mapping
+       << " dist=" << distribution;
+  return text.str();
+}
+
+void DesignSpace::validate() const {
+  if (total_overlay_nodes < 1)
+    reject("total_overlay_nodes", std::to_string(total_overlay_nodes),
+           "an integer >= 1");
+  if (filter_count < 1)
+    reject("filter_count", std::to_string(filter_count), "an integer >= 1");
+  if (layers.empty()) reject("layers", "", "a non-empty axis");
+  if (sos_nodes.empty()) reject("sos_nodes", "", "a non-empty axis");
+  if (mappings.empty()) reject("mappings", "", "a non-empty axis");
+  if (distributions.empty()) reject("distributions", "", "a non-empty axis");
+  require_unique("layers", layers);
+  require_unique("sos_nodes", sos_nodes);
+  require_unique("mappings", mappings);
+  require_unique("distributions", distributions);
+
+  const int min_nodes = *std::min_element(sos_nodes.begin(), sos_nodes.end());
+  for (int layer_count : layers) {
+    if (layer_count < 1 || layer_count > min_nodes)
+      reject("layers", std::to_string(layer_count),
+             "an integer in [1, " + std::to_string(min_nodes) +
+                 "] (the smallest sos_nodes value)");
+  }
+  for (int nodes : sos_nodes) {
+    if (nodes < 1 || nodes > total_overlay_nodes)
+      reject("sos_nodes", std::to_string(nodes),
+             "an integer in [1, " + std::to_string(total_overlay_nodes) + "]");
+  }
+  for (const std::string& mapping : mappings)
+    core::MappingPolicy::parse(mapping);  // throws its own accepted-list
+  for (const std::string& distribution : distributions)
+    core::NodeDistribution::parse(distribution);
+}
+
+bool DesignSpace::combination_kept(int layer_index,
+                                   int distribution_index) const {
+  return layers[static_cast<std::size_t>(layer_index)] != 1 ||
+         distribution_index == 0;
+}
+
+std::size_t DesignSpace::size() const {
+  validate();
+  std::size_t kept_pairs = 0;
+  for (int li = 0; li < static_cast<int>(layers.size()); ++li)
+    for (int di = 0; di < static_cast<int>(distributions.size()); ++di)
+      if (combination_kept(li, di)) ++kept_pairs;
+  return kept_pairs * sos_nodes.size() * mappings.size();
+}
+
+std::vector<DesignPoint> DesignSpace::enumerate() const {
+  validate();
+  std::vector<DesignPoint> out;
+  out.reserve(size());
+  for (int li = 0; li < static_cast<int>(layers.size()); ++li) {
+    for (int nodes : sos_nodes) {
+      for (const std::string& mapping : mappings) {
+        for (int di = 0; di < static_cast<int>(distributions.size()); ++di) {
+          if (!combination_kept(li, di)) continue;
+          DesignPoint point;
+          point.layers = layers[static_cast<std::size_t>(li)];
+          point.sos_nodes = nodes;
+          point.mapping = mapping;
+          point.distribution =
+              distributions[static_cast<std::size_t>(di)];
+          point.design = core::SosDesign::make(
+              total_overlay_nodes, nodes, point.layers, filter_count,
+              core::MappingPolicy::parse(mapping),
+              core::NodeDistribution::parse(point.distribution));
+          out.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sos::optimize

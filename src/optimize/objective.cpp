@@ -1,0 +1,100 @@
+#include "optimize/objective.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "core/successive_model.h"
+
+namespace sos::optimize {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& field, const std::string& value,
+                         const std::string& accepted) {
+  throw std::invalid_argument("AttackerObjective: bad " + field + " '" +
+                              value + "' (accepted: " + accepted + ")");
+}
+
+}  // namespace
+
+const char* attacker_model_label(AttackerModel model) {
+  return model == AttackerModel::kOneBurst ? "one-burst" : "successive";
+}
+
+AttackerModel parse_attacker_model(const std::string& text) {
+  if (text == "one-burst") return AttackerModel::kOneBurst;
+  if (text == "successive") return AttackerModel::kSuccessive;
+  reject("attacker", text, "one-burst, successive");
+}
+
+core::AttackBudget AttackerObjective::effective_budget() const {
+  core::AttackBudget effective = budget;
+  if (model == AttackerModel::kOneBurst) {
+    effective.rounds = 1;
+    effective.prior_knowledge = 0.0;
+  }
+  return effective;
+}
+
+void AttackerObjective::validate() const {
+  if (budget.total <= 0.0)
+    reject("budget_total", std::to_string(budget.total), "a real > 0");
+  if (budget.break_in_cost <= 0.0)
+    reject("budget_break_in_cost", std::to_string(budget.break_in_cost),
+           "a real > 0");
+  if (budget.congestion_cost <= 0.0)
+    reject("budget_congestion_cost", std::to_string(budget.congestion_cost),
+           "a real > 0");
+  if (budget.rounds < 1)
+    reject("rounds", std::to_string(budget.rounds), "an integer >= 1");
+  if (budget.prior_knowledge < 0.0 || budget.prior_knowledge > 1.0)
+    reject("prior_knowledge", std::to_string(budget.prior_knowledge),
+           "a real in [0, 1]");
+  if (budget.break_in_success < 0.0 || budget.break_in_success > 1.0)
+    reject("p_break", std::to_string(budget.break_in_success),
+           "a real in [0, 1]");
+  if (split_steps < 2)
+    reject("split_steps", std::to_string(split_steps), "an integer >= 2");
+}
+
+core::BudgetSplit worst_case_split(core::SuccessiveEvaluator& evaluator,
+                                   const AttackerObjective& objective,
+                                   std::vector<core::BudgetSplit>& curve) {
+  core::BudgetFrontier::sweep_into(evaluator, objective.effective_budget(),
+                                   objective.split_steps, curve);
+  return core::BudgetFrontier::worst_case(curve);
+}
+
+std::vector<EvaluatedDesign> evaluate_designs(
+    const std::vector<DesignPoint>& points, const CostModel& cost,
+    const AttackerObjective& objective, common::ThreadPool* pool) {
+  cost.validate();
+  objective.validate();
+  std::vector<EvaluatedDesign> out(points.size());
+  if (points.empty()) return out;
+
+  common::ThreadPool& workers =
+      pool != nullptr ? *pool : common::ThreadPool::shared();
+  const int worker_count =
+      std::min(workers.size(), static_cast<int>(points.size()));
+  // Per-worker split-curve scratch; the SuccessiveEvaluator itself is
+  // per-design (it copies the design at construction) but its buffers are
+  // small, so the per-design rebuild is dwarfed by the split sweep.
+  std::vector<std::vector<core::BudgetSplit>> scratch(
+      static_cast<std::size_t>(std::max(worker_count, 1)));
+
+  workers.parallel_for(
+      static_cast<int>(points.size()), 0, [&](int index, int worker) {
+        const DesignPoint& point = points[static_cast<std::size_t>(index)];
+        EvaluatedDesign& result = out[static_cast<std::size_t>(index)];
+        result.point = point;
+        result.cost = cost.deployment_cost(point.design);
+        core::SuccessiveEvaluator evaluator(point.design);
+        result.worst = worst_case_split(
+            evaluator, objective, scratch[static_cast<std::size_t>(worker)]);
+      });
+  return out;
+}
+
+}  // namespace sos::optimize

@@ -1,0 +1,73 @@
+// Robustness objective: a design's score is its *worst-case* P_S against a
+// rational attacker that optimizes the split of one resource pool between
+// break-ins and congestion (core::BudgetFrontier::worst_case).
+//
+// Both of the paper's attacker models are expressible: `successive` uses the
+// AttackBudget's (rounds, prior_knowledge) as-is; `one_burst` pins rounds=1
+// and prior_knowledge=0, which reproduces the one-burst model exactly
+// (Section 3.2 reduction, verified by the model tests). Evaluation is
+// batched: the pool parallelizes over designs, each worker sweeping its own
+// split grid serially through BudgetFrontier::sweep_into — no nested
+// parallel_for, results bit-identical at any worker count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/budget_frontier.h"
+#include "optimize/cost_model.h"
+#include "optimize/design_space.h"
+
+namespace sos::common {
+class ThreadPool;
+}  // namespace sos::common
+
+namespace sos::optimize {
+
+enum class AttackerModel {
+  kOneBurst,    // rounds=1, prior_knowledge=0 (paper Eqs. 1-9)
+  kSuccessive,  // budget's rounds/prior_knowledge (Algorithm 1)
+};
+
+const char* attacker_model_label(AttackerModel model);
+AttackerModel parse_attacker_model(const std::string& text);
+
+struct AttackerObjective {
+  AttackerModel model = AttackerModel::kSuccessive;
+  core::AttackBudget budget;
+  int split_steps = 21;  // budget-fraction grid resolution
+
+  /// Budget as actually evaluated: one_burst overrides rounds=1, P_E=0.
+  core::AttackBudget effective_budget() const;
+
+  /// Throws std::invalid_argument ("(accepted:)" style) on a non-positive
+  /// total, non-positive unit costs, split_steps < 2, rounds < 1, or
+  /// probabilities outside [0, 1].
+  void validate() const;
+};
+
+/// One scored candidate: the point, its deployment cost, and the attacker's
+/// best response (whose p_success is the design's guaranteed floor).
+struct EvaluatedDesign {
+  DesignPoint point;
+  double cost = 0.0;
+  core::BudgetSplit worst;
+
+  double p_success() const { return worst.p_success; }
+};
+
+/// Worst-case split for a single design on the caller's thread (no pool
+/// use — safe inside parallel_for tasks). `curve` is reusable scratch.
+core::BudgetSplit worst_case_split(core::SuccessiveEvaluator& evaluator,
+                                   const AttackerObjective& objective,
+                                   std::vector<core::BudgetSplit>& curve);
+
+/// Scores every point over `pool` (null = ThreadPool::shared()), slot per
+/// design: out[i] always corresponds to points[i], bit-identical for any
+/// worker count. This is the batched analytic path the searchers and the
+/// BM_Optimizer benches run through.
+std::vector<EvaluatedDesign> evaluate_designs(
+    const std::vector<DesignPoint>& points, const CostModel& cost,
+    const AttackerObjective& objective, common::ThreadPool* pool = nullptr);
+
+}  // namespace sos::optimize

@@ -1,0 +1,17 @@
+// Umbrella header for sos::optimize — the Pareto design-space optimizer.
+//
+// Pipeline: a DesignSpace enumerates (L, n, mapping, distribution)
+// candidates; a CostModel prices each; an AttackerObjective scores each by
+// its worst-case P_S (BudgetFrontier::worst_case); exhaustive_search /
+// anneal_search emit the Pareto frontier (max P_S vs min cost). Monte Carlo
+// validation of frontier winners lives one layer up, in
+// campaign::OptimizeRunner, so this library stays free of campaign/store
+// dependencies (the experiments library links it for the figure).
+#pragma once
+
+#include "optimize/cost_model.h"     // IWYU pragma: export
+#include "optimize/design_space.h"   // IWYU pragma: export
+#include "optimize/objective.h"      // IWYU pragma: export
+#include "optimize/optimize_spec.h"  // IWYU pragma: export
+#include "optimize/pareto.h"         // IWYU pragma: export
+#include "optimize/search.h"         // IWYU pragma: export

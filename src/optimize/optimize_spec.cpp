@@ -1,0 +1,303 @@
+#include "optimize/optimize_spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/files.h"
+#include "common/strings.h"
+
+namespace sos::optimize {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& field, const std::string& value,
+                         const std::string& accepted) {
+  throw std::invalid_argument("OptimizeSpec: bad " + field + " '" + value +
+                              "' (accepted: " + accepted + ")");
+}
+
+constexpr const char* kKnownKeys =
+    "optimize, n, filters, layers, sos, mappings, distributions, cost_node, "
+    "cost_filter, cost_layer, cost_link, attacker, budget_total, "
+    "budget_break_in_cost, budget_congestion_cost, rounds, prior_knowledge, "
+    "p_break, split_steps, searcher, auto_exhaustive_max, sa_restarts, "
+    "sa_iterations, sa_t_initial, sa_t_final, sa_seed, validate_trials, "
+    "mc_walks, seed";
+
+long long parse_int(const std::string& key, const std::string& value) {
+  const char* text = value.c_str();
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') reject(key, value, "an integer");
+  return parsed;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  const char* text = value.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0') reject(key, value, "a real number");
+  return parsed;
+}
+
+std::uint64_t parse_seed(const std::string& key, const std::string& value) {
+  if (value.empty() || value[0] == '-')
+    reject(key, value, "a non-negative integer, decimal or 0x hex");
+  const char* text = value.c_str();
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0')
+    reject(key, value, "a non-negative integer, decimal or 0x hex");
+  return parsed;
+}
+
+/// "1,2,4" or "1..8" (inclusive) or a mix — same grammar as ScenarioSpec.
+std::vector<int> parse_int_list(const std::string& key,
+                                const std::string& value) {
+  constexpr const char* kAccepted =
+      "comma-separated integers and lo..hi ranges, e.g. 1,2,4 or 1..8";
+  std::vector<int> out;
+  for (const auto& raw : common::split(value, ',')) {
+    const std::string item = common::trim(raw);
+    if (item.empty()) reject(key, value, kAccepted);
+    const auto dots = item.find("..");
+    if (dots == std::string::npos) {
+      out.push_back(static_cast<int>(parse_int(key, item)));
+      continue;
+    }
+    const std::string lo_text = common::trim(item.substr(0, dots));
+    const std::string hi_text = common::trim(item.substr(dots + 2));
+    if (lo_text.empty() || hi_text.empty()) reject(key, value, kAccepted);
+    const int lo = static_cast<int>(parse_int(key, lo_text));
+    const int hi = static_cast<int>(parse_int(key, hi_text));
+    if (lo > hi) reject(key, value, kAccepted);
+    for (int i = lo; i <= hi; ++i) out.push_back(i);
+  }
+  if (out.empty()) reject(key, value, kAccepted);
+  return out;
+}
+
+std::vector<std::string> parse_name_list(const std::string& value) {
+  std::vector<std::string> out;
+  for (const auto& raw : common::split(value, ',')) {
+    const std::string item = common::trim(raw);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string join_ints(const std::vector<int>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (const int v : values) parts.push_back(std::to_string(v));
+  return common::join(parts, ", ");
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+OptimizeSpec::Searcher parse_searcher(const std::string& value) {
+  if (value == "auto") return OptimizeSpec::Searcher::kAuto;
+  if (value == "exhaustive") return OptimizeSpec::Searcher::kExhaustive;
+  if (value == "anneal") return OptimizeSpec::Searcher::kAnneal;
+  reject("searcher", value, "auto, exhaustive, anneal");
+}
+
+}  // namespace
+
+const char* OptimizeSpec::searcher_label(Searcher searcher) {
+  switch (searcher) {
+    case Searcher::kAuto: return "auto";
+    case Searcher::kExhaustive: return "exhaustive";
+    case Searcher::kAnneal: return "anneal";
+  }
+  return "auto";
+}
+
+OptimizeSpec::Searcher OptimizeSpec::resolved_searcher() const {
+  if (searcher != Searcher::kAuto) return searcher;
+  return space.size() <= static_cast<std::size_t>(auto_exhaustive_max)
+             ? Searcher::kExhaustive
+             : Searcher::kAnneal;
+}
+
+OptimizeSpec OptimizeSpec::parse(const std::string& text) {
+  OptimizeSpec spec;
+  std::vector<std::string> seen;
+
+  for (const auto& raw_line : common::split(text, '\n')) {
+    std::string line{raw_line};
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = common::trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      reject("line", line,
+             "'key = value' lines, blank lines, and # comments");
+    const std::string key = common::trim(line.substr(0, eq));
+    const std::string value = common::trim(line.substr(eq + 1));
+    if (key.empty())
+      reject("line", line,
+             "'key = value' lines, blank lines, and # comments");
+    for (const auto& prior : seen)
+      if (prior == key) reject("duplicate key", key, "each key at most once");
+    seen.push_back(key);
+
+    if (key == "optimize") {
+      spec.name = value;
+    } else if (key == "n") {
+      spec.space.total_overlay_nodes = static_cast<int>(parse_int(key, value));
+    } else if (key == "filters") {
+      spec.space.filter_count = static_cast<int>(parse_int(key, value));
+    } else if (key == "layers") {
+      spec.space.layers = parse_int_list(key, value);
+    } else if (key == "sos") {
+      spec.space.sos_nodes = parse_int_list(key, value);
+    } else if (key == "mappings") {
+      spec.space.mappings = parse_name_list(value);
+    } else if (key == "distributions") {
+      spec.space.distributions = parse_name_list(value);
+    } else if (key == "cost_node") {
+      spec.cost.node_cost = parse_double(key, value);
+    } else if (key == "cost_filter") {
+      spec.cost.filter_cost = parse_double(key, value);
+    } else if (key == "cost_layer") {
+      spec.cost.layer_cost = parse_double(key, value);
+    } else if (key == "cost_link") {
+      spec.cost.link_cost = parse_double(key, value);
+    } else if (key == "attacker") {
+      spec.objective.model = parse_attacker_model(value);
+    } else if (key == "budget_total") {
+      spec.objective.budget.total = parse_double(key, value);
+    } else if (key == "budget_break_in_cost") {
+      spec.objective.budget.break_in_cost = parse_double(key, value);
+    } else if (key == "budget_congestion_cost") {
+      spec.objective.budget.congestion_cost = parse_double(key, value);
+    } else if (key == "rounds") {
+      spec.objective.budget.rounds = static_cast<int>(parse_int(key, value));
+    } else if (key == "prior_knowledge") {
+      spec.objective.budget.prior_knowledge = parse_double(key, value);
+    } else if (key == "p_break") {
+      spec.objective.budget.break_in_success = parse_double(key, value);
+    } else if (key == "split_steps") {
+      spec.objective.split_steps = static_cast<int>(parse_int(key, value));
+    } else if (key == "searcher") {
+      spec.searcher = parse_searcher(value);
+    } else if (key == "auto_exhaustive_max") {
+      spec.auto_exhaustive_max = static_cast<int>(parse_int(key, value));
+    } else if (key == "sa_restarts") {
+      spec.anneal.restarts = static_cast<int>(parse_int(key, value));
+    } else if (key == "sa_iterations") {
+      spec.anneal.iterations = static_cast<int>(parse_int(key, value));
+    } else if (key == "sa_t_initial") {
+      spec.anneal.t_initial = parse_double(key, value);
+    } else if (key == "sa_t_final") {
+      spec.anneal.t_final = parse_double(key, value);
+    } else if (key == "sa_seed") {
+      spec.anneal.seed = parse_seed(key, value);
+    } else if (key == "validate_trials") {
+      spec.validate_trials = static_cast<int>(parse_int(key, value));
+    } else if (key == "mc_walks") {
+      spec.mc_walks = static_cast<int>(parse_int(key, value));
+    } else if (key == "seed") {
+      spec.seed = parse_seed(key, value);
+    } else {
+      reject("key", key, kKnownKeys);
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+OptimizeSpec OptimizeSpec::parse_file(const std::string& path) {
+  const auto text = common::read_file(path);
+  if (!text)
+    throw std::invalid_argument("OptimizeSpec: cannot read spec file '" +
+                                path + "'");
+  return parse(*text);
+}
+
+void OptimizeSpec::validate() const {
+  if (!valid_name(name))
+    reject("optimize", name,
+           "a non-empty name of letters, digits, '_', '-', '.'");
+  space.validate();
+  cost.validate();
+  objective.validate();
+  if (auto_exhaustive_max < 1)
+    reject("auto_exhaustive_max", std::to_string(auto_exhaustive_max),
+           "an integer >= 1");
+  if (anneal.restarts < 1)
+    reject("sa_restarts", std::to_string(anneal.restarts),
+           "an integer >= 1");
+  if (anneal.iterations < 1)
+    reject("sa_iterations", std::to_string(anneal.iterations),
+           "an integer >= 1");
+  if (!(anneal.t_initial > 0.0) || !(anneal.t_final > 0.0) ||
+      anneal.t_final > anneal.t_initial)
+    reject("sa_t_initial/sa_t_final",
+           fmt_double(anneal.t_initial) + " / " + fmt_double(anneal.t_final),
+           "t_initial >= t_final > 0");
+  if (validate_trials < 0)
+    reject("validate_trials", std::to_string(validate_trials),
+           "an integer >= 0 (0 disables the Monte Carlo check)");
+  if (mc_walks < 1)
+    reject("mc_walks", std::to_string(mc_walks), "an integer >= 1");
+}
+
+std::string OptimizeSpec::canonical() const {
+  std::string out;
+  out += "optimize = " + name + "\n";
+  out += "n = " + std::to_string(space.total_overlay_nodes) + "\n";
+  out += "filters = " + std::to_string(space.filter_count) + "\n";
+  out += "layers = " + join_ints(space.layers) + "\n";
+  out += "sos = " + join_ints(space.sos_nodes) + "\n";
+  out += "mappings = " + common::join(space.mappings, ", ") + "\n";
+  out += "distributions = " + common::join(space.distributions, ", ") + "\n";
+  out += "cost_node = " + fmt_double(cost.node_cost) + "\n";
+  out += "cost_filter = " + fmt_double(cost.filter_cost) + "\n";
+  out += "cost_layer = " + fmt_double(cost.layer_cost) + "\n";
+  out += "cost_link = " + fmt_double(cost.link_cost) + "\n";
+  out += std::string("attacker = ") + attacker_model_label(objective.model) +
+         "\n";
+  out += "budget_total = " + fmt_double(objective.budget.total) + "\n";
+  out += "budget_break_in_cost = " +
+         fmt_double(objective.budget.break_in_cost) + "\n";
+  out += "budget_congestion_cost = " +
+         fmt_double(objective.budget.congestion_cost) + "\n";
+  out += "rounds = " + std::to_string(objective.budget.rounds) + "\n";
+  out += "prior_knowledge = " + fmt_double(objective.budget.prior_knowledge) +
+         "\n";
+  out += "p_break = " + fmt_double(objective.budget.break_in_success) + "\n";
+  out += "split_steps = " + std::to_string(objective.split_steps) + "\n";
+  out += std::string("searcher = ") + searcher_label(searcher) + "\n";
+  out += "auto_exhaustive_max = " + std::to_string(auto_exhaustive_max) + "\n";
+  out += "sa_restarts = " + std::to_string(anneal.restarts) + "\n";
+  out += "sa_iterations = " + std::to_string(anneal.iterations) + "\n";
+  out += "sa_t_initial = " + fmt_double(anneal.t_initial) + "\n";
+  out += "sa_t_final = " + fmt_double(anneal.t_final) + "\n";
+  out += "sa_seed = " + std::to_string(anneal.seed) + "\n";
+  out += "validate_trials = " + std::to_string(validate_trials) + "\n";
+  out += "mc_walks = " + std::to_string(mc_walks) + "\n";
+  out += "seed = " + std::to_string(seed) + "\n";
+  return out;
+}
+
+}  // namespace sos::optimize

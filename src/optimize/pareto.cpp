@@ -1,0 +1,65 @@
+#include "optimize/pareto.h"
+
+#include <algorithm>
+
+namespace sos::optimize {
+
+bool dominates(const EvaluatedDesign& a, const EvaluatedDesign& b) {
+  if (a.cost > b.cost || a.p_success() < b.p_success()) return false;
+  return a.cost < b.cost || a.p_success() > b.p_success();
+}
+
+bool frontier_less(const EvaluatedDesign& a, const EvaluatedDesign& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.p_success() != b.p_success()) return a.p_success() > b.p_success();
+  return a.point.key() < b.point.key();
+}
+
+std::vector<EvaluatedDesign> pareto_frontier(
+    std::vector<EvaluatedDesign> points) {
+  // Canonical order first: after sorting by (cost asc, p desc), a point can
+  // only be dominated by an *earlier* point, so one forward pass with a
+  // running max-P_S filters the dominated ones. Strictness: an earlier point
+  // with equal cost and equal P_S does not dominate.
+  std::sort(points.begin(), points.end(), frontier_less);
+  std::vector<EvaluatedDesign> frontier;
+  double best_p = -1.0;
+  double best_p_cost = 0.0;
+  for (EvaluatedDesign& point : points) {
+    if (!frontier.empty() && frontier.back().point.key() == point.point.key())
+      continue;  // duplicate design
+    const bool dominated =
+        point.p_success() < best_p ||
+        (point.p_success() == best_p && point.cost > best_p_cost);
+    if (dominated) continue;
+    if (point.p_success() > best_p) {
+      best_p = point.p_success();
+      best_p_cost = point.cost;
+    }
+    frontier.push_back(std::move(point));
+  }
+  // Duplicate keys may still be non-adjacent after dominated points drop
+  // out; canonical order puts equal (cost, P_S) duplicates adjacent, and
+  // unequal duplicates of one key cannot both be non-dominated (same key =>
+  // same design => same cost and P_S), so the adjacent check above is
+  // complete.
+  return frontier;
+}
+
+bool archive_insert(std::vector<EvaluatedDesign>& archive,
+                    const EvaluatedDesign& candidate) {
+  for (const EvaluatedDesign& member : archive) {
+    if (member.point.key() == candidate.point.key() ||
+        dominates(member, candidate))
+      return false;
+  }
+  archive.erase(std::remove_if(archive.begin(), archive.end(),
+                               [&](const EvaluatedDesign& member) {
+                                 return dominates(candidate, member);
+                               }),
+                archive.end());
+  archive.push_back(candidate);
+  return true;
+}
+
+}  // namespace sos::optimize

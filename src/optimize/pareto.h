@@ -1,0 +1,38 @@
+// Pareto-dominance utilities over (maximize P_S, minimize cost).
+//
+// a dominates b iff a is no worse on both axes and strictly better on at
+// least one. The frontier is the non-dominated subset, deduplicated by
+// design key and sorted canonically (cost ascending, then P_S descending,
+// then key) so two searchers that find the same set of designs emit
+// byte-identical frontiers regardless of discovery order.
+#pragma once
+
+#include <vector>
+
+#include "optimize/objective.h"
+
+namespace sos::optimize {
+
+/// Strict Pareto dominance: a.cost <= b.cost && a.p >= b.p, strict in at
+/// least one coordinate. Irreflexive, antisymmetric, transitive.
+bool dominates(const EvaluatedDesign& a, const EvaluatedDesign& b);
+
+/// Canonical frontier order: cost ascending, ties by P_S descending, then
+/// by design key lexicographically.
+bool frontier_less(const EvaluatedDesign& a, const EvaluatedDesign& b);
+
+/// The non-dominated subset of `points` in canonical order. Duplicate
+/// design keys collapse to one entry; distinct designs with identical
+/// (cost, P_S) all survive (neither dominates the other).
+std::vector<EvaluatedDesign> pareto_frontier(
+    std::vector<EvaluatedDesign> points);
+
+/// Incremental non-dominated archive insert (the SA accept path): drops
+/// `candidate` if some archived point dominates it or shares its key,
+/// otherwise erases every archived point it dominates and appends it.
+/// Returns true when the candidate entered the archive. The archive is NOT
+/// kept in canonical order — run pareto_frontier over it when done.
+bool archive_insert(std::vector<EvaluatedDesign>& archive,
+                    const EvaluatedDesign& candidate);
+
+}  // namespace sos::optimize

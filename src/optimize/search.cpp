@@ -1,0 +1,333 @@
+#include "optimize/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/successive_model.h"
+
+namespace sos::optimize {
+
+namespace {
+
+/// Upper bound on a design's worst-case P_S: the pure-congestion split
+/// (fraction 0) is grid point 0 of the split sweep, and the worst case is
+/// the minimum over the grid, so P_S(fraction=0) >= worst-case P_S. The
+/// attack built here matches fill_split_grid's step-0 arithmetic exactly.
+double congestion_only_bound(core::SuccessiveEvaluator& evaluator,
+                             const AttackerObjective& objective) {
+  const core::AttackBudget budget = objective.effective_budget();
+  core::SuccessiveAttack attack;
+  attack.break_in_budget = 0;
+  attack.congestion_budget = std::min(
+      evaluator.design().total_overlay_nodes,
+      static_cast<int>(std::floor(budget.total / budget.congestion_cost)));
+  attack.break_in_success = budget.break_in_success;
+  attack.prior_knowledge = budget.prior_knowledge;
+  attack.rounds = budget.rounds;
+  return evaluator.p_success(attack);
+}
+
+/// True when some archived design makes `candidate` strictly dominated even
+/// under its most optimistic P_S (`upper_bound`): a strictly cheaper member
+/// already achieves at least the bound, so the candidate cannot reach the
+/// frontier no matter what its full evaluation returns.
+bool prunable(const std::vector<EvaluatedDesign>& archive,
+              double candidate_cost, double upper_bound) {
+  for (const EvaluatedDesign& member : archive) {
+    if (member.cost < candidate_cost && member.p_success() >= upper_bound)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SearchResult exhaustive_search(const DesignSpace& space, const CostModel& cost,
+                               const AttackerObjective& objective,
+                               const ExhaustiveOptions& options) {
+  cost.validate();
+  objective.validate();
+  if (options.chunk < 1)
+    throw std::invalid_argument(
+        "exhaustive_search: bad chunk (accepted: an integer >= 1)");
+
+  SearchResult result;
+  std::vector<DesignPoint> points = space.enumerate();
+  result.stats.space_size = static_cast<long long>(points.size());
+
+  if (!options.bound) {
+    // Pure reference: score everything, no pruning.
+    std::vector<EvaluatedDesign> scored =
+        evaluate_designs(points, cost, objective, options.pool);
+    result.stats.evaluated = static_cast<long long>(scored.size());
+    result.frontier = pareto_frontier(std::move(scored));
+    return result;
+  }
+
+  // Canonical branch order: ascending deployment cost (ties by key). Costs
+  // are closed-form and cheap; only P_S sweeps are worth bounding away.
+  std::vector<double> costs(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    costs[i] = cost.deployment_cost(points[i].design);
+  std::vector<int> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const std::size_t ia = static_cast<std::size_t>(a);
+    const std::size_t ib = static_cast<std::size_t>(b);
+    if (costs[ia] != costs[ib]) return costs[ia] < costs[ib];
+    return points[ia].key() < points[ib].key();
+  });
+
+  common::ThreadPool& workers = options.pool != nullptr
+                                    ? *options.pool
+                                    : common::ThreadPool::shared();
+  std::vector<EvaluatedDesign> archive;
+  std::vector<double> bounds(points.size(), 0.0);
+  std::vector<int> survivors;
+  std::vector<EvaluatedDesign> chunk_results;
+  std::vector<std::vector<core::BudgetSplit>> scratch(
+      static_cast<std::size_t>(std::max(workers.size(), 1)));
+
+  for (std::size_t begin = 0; begin < order.size();
+       begin += static_cast<std::size_t>(options.chunk)) {
+    const std::size_t end = std::min(
+        order.size(), begin + static_cast<std::size_t>(options.chunk));
+    const int chunk_size = static_cast<int>(end - begin);
+
+    // Bound pass: slot per candidate, bit-identical at any worker count.
+    workers.parallel_for(chunk_size, 0, [&](int offset, int /*worker*/) {
+      const std::size_t index = static_cast<std::size_t>(
+          order[begin + static_cast<std::size_t>(offset)]);
+      core::SuccessiveEvaluator evaluator(points[index].design);
+      bounds[index] = congestion_only_bound(evaluator, objective);
+    });
+    result.stats.bounded += chunk_size;
+
+    // Prune against the archive as of the chunk start (deterministic: the
+    // archive only changes at chunk boundaries).
+    survivors.clear();
+    for (std::size_t at = begin; at < end; ++at) {
+      const int index = order[at];
+      const std::size_t i = static_cast<std::size_t>(index);
+      if (prunable(archive, costs[i], bounds[i]))
+        ++result.stats.pruned;
+      else
+        survivors.push_back(index);
+    }
+
+    // Full pass over the survivors, then fold in canonical order.
+    chunk_results.assign(survivors.size(), EvaluatedDesign{});
+    workers.parallel_for(
+        static_cast<int>(survivors.size()), 0, [&](int offset, int worker) {
+          const std::size_t index = static_cast<std::size_t>(
+              survivors[static_cast<std::size_t>(offset)]);
+          EvaluatedDesign& scored =
+              chunk_results[static_cast<std::size_t>(offset)];
+          scored.point = points[index];
+          scored.cost = costs[index];
+          core::SuccessiveEvaluator evaluator(points[index].design);
+          scored.worst = worst_case_split(
+              evaluator, objective,
+              scratch[static_cast<std::size_t>(worker)]);
+        });
+    result.stats.evaluated += static_cast<long long>(survivors.size());
+    for (const EvaluatedDesign& scored : chunk_results)
+      archive_insert(archive, scored);
+  }
+
+  result.frontier = pareto_frontier(std::move(archive));
+  return result;
+}
+
+namespace {
+
+/// Grid coordinates of one SA state.
+struct AnnealState {
+  int layer = 0;
+  int nodes = 0;
+  int mapping = 0;
+  int distribution = 0;
+};
+
+struct AnnealChain {
+  std::vector<EvaluatedDesign> archive;
+  long long evaluated = 0;
+  long long moves = 0;
+};
+
+DesignPoint make_point(const DesignSpace& space, const AnnealState& state) {
+  DesignPoint point;
+  point.layers = space.layers[static_cast<std::size_t>(state.layer)];
+  point.sos_nodes = space.sos_nodes[static_cast<std::size_t>(state.nodes)];
+  point.mapping = space.mappings[static_cast<std::size_t>(state.mapping)];
+  point.distribution =
+      space.distributions[static_cast<std::size_t>(state.distribution)];
+  point.design = core::SosDesign::make(
+      space.total_overlay_nodes, point.sos_nodes, point.layers,
+      space.filter_count, core::MappingPolicy::parse(point.mapping),
+      core::NodeDistribution::parse(point.distribution));
+  return point;
+}
+
+bool state_valid(const DesignSpace& space, const AnnealState& state) {
+  if (space.layers[static_cast<std::size_t>(state.layer)] >
+      space.sos_nodes[static_cast<std::size_t>(state.nodes)])
+    return false;
+  return space.combination_kept(state.layer, state.distribution);
+}
+
+/// Normalization scale for the cost term of the scalarized energy: the
+/// maximum deployment cost over the most expensive corner of each
+/// (mapping, distribution) pair. Exactness is irrelevant — it only shapes
+/// the energy landscape — but it must be deterministic, which this is.
+double cost_scale(const DesignSpace& space, const CostModel& cost) {
+  const int max_layers = *std::max_element(space.layers.begin(),
+                                           space.layers.end());
+  const int max_nodes = *std::max_element(space.sos_nodes.begin(),
+                                          space.sos_nodes.end());
+  double scale = 1.0;
+  for (const std::string& mapping : space.mappings) {
+    for (const std::string& distribution : space.distributions) {
+      const int layers = std::min(max_layers, max_nodes);
+      core::SosDesign corner = core::SosDesign::make(
+          space.total_overlay_nodes, max_nodes, layers, space.filter_count,
+          core::MappingPolicy::parse(mapping),
+          layers == 1 ? core::NodeDistribution::even()
+                      : core::NodeDistribution::parse(distribution));
+      scale = std::max(scale, cost.deployment_cost(corner));
+    }
+  }
+  return scale;
+}
+
+}  // namespace
+
+SearchResult anneal_search(const DesignSpace& space, const CostModel& cost,
+                           const AttackerObjective& objective,
+                           const AnnealOptions& options) {
+  cost.validate();
+  objective.validate();
+  space.validate();
+  if (options.restarts < 1)
+    throw std::invalid_argument(
+        "anneal_search: bad restarts (accepted: an integer >= 1)");
+  if (options.iterations < 1)
+    throw std::invalid_argument(
+        "anneal_search: bad iterations (accepted: an integer >= 1)");
+  if (!(options.t_initial > 0.0) || !(options.t_final > 0.0) ||
+      options.t_final > options.t_initial)
+    throw std::invalid_argument(
+        "anneal_search: bad temperatures (accepted: t_initial >= t_final "
+        "> 0)");
+
+  SearchResult result;
+  result.stats.space_size = static_cast<long long>(space.size());
+  const double scale = cost_scale(space, cost);
+  const std::size_t axis_sizes[4] = {space.layers.size(),
+                                     space.sos_nodes.size(),
+                                     space.mappings.size(),
+                                     space.distributions.size()};
+
+  std::vector<AnnealChain> chains(
+      static_cast<std::size_t>(options.restarts));
+  common::ThreadPool& workers = options.pool != nullptr
+                                    ? *options.pool
+                                    : common::ThreadPool::shared();
+
+  // Restart chains are fully independent: chain r derives its stream from
+  // (seed, r) alone and writes only its own slot, so the merged result is
+  // bit-identical whether the chains run on 1 thread or 16.
+  workers.parallel_for(options.restarts, 0, [&](int restart, int /*worker*/) {
+    AnnealChain& chain = chains[static_cast<std::size_t>(restart)];
+    common::Rng rng(common::mix64(options.seed) ^
+                    common::mix64(static_cast<std::uint64_t>(restart) + 1));
+    // Each restart optimizes its own scalarization so the family spreads
+    // across the frontier: lambda near 1 hunts max-P_S designs, near 0
+    // min-cost ones.
+    const double lambda =
+        options.restarts == 1
+            ? 0.5
+            : 0.05 + 0.9 * static_cast<double>(restart) /
+                         (options.restarts - 1);
+    std::unordered_map<std::string, EvaluatedDesign> memo;
+    std::vector<core::BudgetSplit> curve;
+
+    const auto evaluate = [&](const AnnealState& state) -> EvaluatedDesign {
+      DesignPoint point = make_point(space, state);
+      const std::string key = point.key();
+      auto found = memo.find(key);
+      if (found != memo.end()) return found->second;
+      EvaluatedDesign scored;
+      scored.cost = cost.deployment_cost(point.design);
+      core::SuccessiveEvaluator evaluator(point.design);
+      scored.worst = worst_case_split(evaluator, objective, curve);
+      scored.point = std::move(point);
+      ++chain.evaluated;
+      archive_insert(chain.archive, scored);
+      memo.emplace(key, scored);
+      return scored;
+    };
+    const auto energy = [&](const EvaluatedDesign& scored) {
+      return -(lambda * scored.p_success() +
+               (1.0 - lambda) * (1.0 - scored.cost / scale));
+    };
+
+    // Random valid start (axis draws are cheap; validity is dense).
+    AnnealState state;
+    do {
+      state.layer = static_cast<int>(rng.next_below(axis_sizes[0]));
+      state.nodes = static_cast<int>(rng.next_below(axis_sizes[1]));
+      state.mapping = static_cast<int>(rng.next_below(axis_sizes[2]));
+      state.distribution = static_cast<int>(rng.next_below(axis_sizes[3]));
+    } while (!state_valid(space, state));
+    double current_energy = energy(evaluate(state));
+
+    const double cooling =
+        options.iterations == 1
+            ? 1.0
+            : std::pow(options.t_final / options.t_initial,
+                       1.0 / (options.iterations - 1));
+    double temperature = options.t_initial;
+    for (int iter = 0; iter < options.iterations;
+         ++iter, temperature *= cooling) {
+      ++chain.moves;
+      const int axis = static_cast<int>(rng.next_below(4));
+      const int step = rng.bernoulli(0.5) ? 1 : -1;
+      AnnealState proposal = state;
+      int* coordinate = axis == 0   ? &proposal.layer
+                        : axis == 1 ? &proposal.nodes
+                        : axis == 2 ? &proposal.mapping
+                                    : &proposal.distribution;
+      *coordinate += step;
+      if (*coordinate < 0 ||
+          *coordinate >= static_cast<int>(axis_sizes[axis]) ||
+          !state_valid(space, proposal))
+        continue;  // off-grid proposal: rejected, stream already advanced
+      const double proposal_energy = energy(evaluate(proposal));
+      const double delta = proposal_energy - current_energy;
+      if (delta <= 0.0 ||
+          rng.next_double() < std::exp(-delta / temperature)) {
+        state = proposal;
+        current_energy = proposal_energy;
+      }
+    }
+  });
+
+  // Merge in restart order (deterministic), then canonicalize.
+  std::vector<EvaluatedDesign> merged;
+  for (AnnealChain& chain : chains) {
+    result.stats.evaluated += chain.evaluated;
+    result.stats.moves += chain.moves;
+    for (EvaluatedDesign& member : chain.archive)
+      merged.push_back(std::move(member));
+  }
+  result.frontier = pareto_frontier(std::move(merged));
+  return result;
+}
+
+}  // namespace sos::optimize

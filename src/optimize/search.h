@@ -1,0 +1,72 @@
+// The two frontier searchers.
+//
+// exhaustive_search is the exactness reference: it scores the whole grid in
+// cost-sorted chunks, pruning each chunk with a cheap-but-sound branch-and-
+// bound step before paying for the full split sweep. The bound exploits the
+// grid structure of the objective: the pure-congestion split (fraction 0) is
+// one point of the split grid, so its P_S upper-bounds the worst case; any
+// candidate whose bound is already matched by a strictly cheaper evaluated
+// design is strictly dominated and can be skipped without affecting the
+// frontier. Chunk boundaries and pruning decisions depend only on the
+// canonical cost order, never on thread scheduling, so the search (including
+// its statistics) is bit-identical at any worker count.
+//
+// anneal_search scales to spaces too large to enumerate profitably: R
+// independently-seeded restarts walk the (L, n, mapping, distribution) grid
+// under geometric cooling, each restart scalarizing the two objectives with
+// its own weight (so the restart family spreads across the frontier instead
+// of piling onto one knee). Restarts run in parallel with slot-per-restart
+// archives merged in restart order — same determinism contract. On a space
+// the exhaustive searcher can enumerate, a seeded SA run with a generous
+// restart schedule recovers the exact frontier (pinned by tests).
+#pragma once
+
+#include <cstdint>
+
+#include "optimize/design_space.h"
+#include "optimize/objective.h"
+#include "optimize/pareto.h"
+
+namespace sos::common {
+class ThreadPool;
+}  // namespace sos::common
+
+namespace sos::optimize {
+
+struct SearchStats {
+  long long space_size = 0;    // grid points after degenerate skips
+  long long evaluated = 0;     // full split-sweep evaluations
+  long long bounded = 0;       // cheap bound-only evaluations (B&B)
+  long long pruned = 0;        // candidates skipped via the bound
+  long long moves = 0;         // SA proposals (accepted + rejected)
+};
+
+struct SearchResult {
+  std::vector<EvaluatedDesign> frontier;  // canonical order
+  SearchStats stats;
+};
+
+struct ExhaustiveOptions {
+  bool bound = true;     // false = score every point (pure reference)
+  int chunk = 256;       // candidates per prune-evaluate round
+  common::ThreadPool* pool = nullptr;
+};
+
+SearchResult exhaustive_search(const DesignSpace& space, const CostModel& cost,
+                               const AttackerObjective& objective,
+                               const ExhaustiveOptions& options = {});
+
+struct AnnealOptions {
+  int restarts = 8;
+  int iterations = 400;        // proposals per restart
+  double t_initial = 0.25;     // in scalarized-energy units
+  double t_final = 1e-3;
+  std::uint64_t seed = 0x505e;
+  common::ThreadPool* pool = nullptr;
+};
+
+SearchResult anneal_search(const DesignSpace& space, const CostModel& cost,
+                           const AttackerObjective& objective,
+                           const AnnealOptions& options = {});
+
+}  // namespace sos::optimize

@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "sim/thread_pool.h"
+#include "common/thread_pool.h"
 #include "sim/trial_engine.h"
 
 namespace sos::sim {

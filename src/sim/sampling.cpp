@@ -7,7 +7,7 @@
 
 #include "attack/one_burst_attacker.h"
 #include "common/mathx.h"
-#include "sim/thread_pool.h"
+#include "common/thread_pool.h"
 #include "sim/trial_engine.h"
 
 namespace sos::sim::sampling {

@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "sim/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace sos::sim {
 

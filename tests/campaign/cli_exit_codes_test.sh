@@ -2,10 +2,13 @@
 # Pins the sos_campaign exit-code contract (documented in `sos_campaign
 # help`):
 #
-#   run:    0 complete, 3 completed degraded (quarantined points),
-#           4 fleet unreachable (--distributed with no workers)
-#   serve:  4 fleet unreachable (no coordinator to connect to)
-#   status: 0 complete, 2 pending points remain, 3 quarantined present
+#   run:      0 complete, 3 completed degraded (quarantined points),
+#             4 fleet unreachable (--distributed with no workers)
+#   serve:    4 fleet unreachable (no coordinator to connect to)
+#   status:   0 complete, 2 pending points remain, 3 quarantined present
+#   optimize: 0 frontier validated, 2 unvalidated winners pending
+#             (--search-only / --status before validation), 3 winner
+#             validation quarantined (degraded)
 #
 # Scripts (run_all.sh --supervised, CI gates) branch on these numbers, so
 # they are API: this test drives the real binary through complete, pending
@@ -148,6 +151,72 @@ expect_rc 2 $? "serve without --connect (usage error)"
 expect_rc 0 $? "distributed run that retries past network chaos"
 "$cli" status "$work/dist-chaos" > /dev/null 2>&1
 expect_rc 0 $? "status after distributed chaos recovery"
+
+# --- The optimize subcommand's contract. ---
+
+# A tiny design-space search with a light validation load.
+ospec="$work/tiny.optimize"
+cat > "$ospec" <<'EOF'
+optimize = clifrontier
+n = 1000
+filters = 8
+layers = 2, 3
+sos = 24
+mappings = one-to-one, one-to-all
+distributions = even
+attacker = one-burst
+budget_total = 300
+budget_break_in_cost = 4
+budget_congestion_cost = 1
+split_steps = 11
+validate_trials = 8
+mc_walks = 2
+seed = 7
+EOF
+
+# Usage / hard errors mirror run's.
+"$cli" optimize > /dev/null 2>&1
+expect_rc 2 $? "optimize without a spec (usage error)"
+"$cli" optimize "$work/no-such.optimize" > /dev/null 2>&1
+expect_rc 1 $? "optimize with a missing spec file"
+
+# --search-only computes the frontier but validates nothing: exit 2, and
+# --status over the same store still sees every winner pending.
+"$cli" optimize "$ospec" --store="$work/opt" --results="$work/results" \
+  --search-only > /dev/null 2>&1
+expect_rc 2 $? "optimize --search-only (winners pending)"
+"$cli" optimize "$ospec" --store="$work/opt" --results="$work/results" \
+  --status > /dev/null 2>&1
+expect_rc 2 $? "optimize --status before validation"
+
+# A full run validates every winner through the store: exit 0; the rerun
+# and --status are warm and also 0.
+"$cli" optimize "$ospec" --store="$work/opt" --results="$work/results" \
+  > "$work/opt_run.txt" 2>&1
+expect_rc 0 $? "optimize run with validated frontier"
+grep -q "frontier:" "$work/opt_run.txt" || {
+  echo "FAIL: optimize run does not report the frontier" >&2
+  failures=$((failures + 1))
+}
+"$cli" optimize "$ospec" --store="$work/opt" --results="$work/results" \
+  --status > /dev/null 2>&1
+expect_rc 0 $? "optimize --status of a validated store"
+[[ -f "$work/results/clifrontier_frontier.csv" ]] || {
+  echo "FAIL: optimize did not write the frontier CSV" >&2
+  failures=$((failures + 1))
+}
+
+# Supervised validation whose workers always die quarantines the winners:
+# exit 3, and a clean supervised rerun recovers to 0.
+"$cli" optimize "$ospec" --store="$work/opt-degraded" \
+  --results="$work/results" --supervised --max-retries=1 \
+  --backoff-base=0.01 --backoff-max=0.05 \
+  --chaos-bad-exit=1.0 --chaos-max-fires=0 > /dev/null 2>&1
+expect_rc 3 $? "optimize with quarantined winner validation"
+"$cli" optimize "$ospec" --store="$work/opt-degraded" \
+  --results="$work/results" --supervised \
+  --backoff-base=0.01 --backoff-max=0.05 > /dev/null 2>&1
+expect_rc 0 $? "optimize supervised rerun recovers the quarantine"
 
 if [[ "$failures" != 0 ]]; then
   echo "$failures exit-code contract violation(s)" >&2

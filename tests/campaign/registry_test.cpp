@@ -55,6 +55,7 @@ TEST(FigureRegistry, PinsTheLegacySuite) {
       {"ext_faults", "ext_fault_tolerance", 0},
       {"ext_scale", "ext_scale_curve", 8},
       {"ext_sampling", "ext_sampling_curve", 2048},
+      {"ext_frontier", "ext_design_frontier", 48},
   };
   const auto& registry = figure_registry();
   ASSERT_EQ(registry.size(), expected.size());

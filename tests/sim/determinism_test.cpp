@@ -7,7 +7,7 @@
 #include "attack/successive_attacker.h"
 #include "sim/monte_carlo.h"
 #include "sim/sweep.h"
-#include "sim/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace sos::sim {
 namespace {

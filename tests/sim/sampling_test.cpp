@@ -16,7 +16,7 @@
 #include "attack/one_burst_attacker.h"
 #include "common/stats.h"
 #include "sim/monte_carlo.h"
-#include "sim/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace sos::sim::sampling {
 namespace {

@@ -1,4 +1,4 @@
-#include "sim/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 #include <set>
 #include <vector>
 
-namespace sos::sim {
+namespace sos::common {
 namespace {
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
@@ -79,4 +79,4 @@ TEST(ThreadPool, SharedPoolIsACrossCallSingleton) {
 }
 
 }  // namespace
-}  // namespace sos::sim
+}  // namespace sos::common
