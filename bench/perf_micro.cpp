@@ -644,6 +644,83 @@ BENCHMARK(BM_DistributedWarmSweep)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// --- Store integrity + authenticated transport: the survivability tax ---
+//
+// BM_IntegritySealedFrameRoundTrip prices the v2 transport's per-frame
+// work in isolation: seal (length-bound SipHash-2-4 MAC) plus verify-and
+// -open, over inner messages from heartbeat-sized to a large result frame.
+// BM_IntegrityFsckScan prices a full fsck pass over the primed 48-object
+// store — the at-rest scan run_all.sh --fsck adds after a --resume sweep.
+// BM_IntegrityWarmVerifiedSweep reruns the distributed warm sweep, where
+// every cached point re-verifies its container checksum and the handshake
+// is sealed; its acceptance is staying within ~10% of
+// BM_DistributedWarmSweep (the integrity layer must be noise on a warm
+// rerun). scripts/bench_baseline records all three in BENCH_integrity.json.
+
+void BM_IntegritySealedFrameRoundTrip(benchmark::State& state) {
+  const auto base = campaign::load_base_key("");
+  const auto key = common::derive_session_key(base, 0x5ea1edf8a3e5u);
+  const std::string inner(static_cast<std::size_t>(state.range(0)), 'r');
+  for (auto _ : state) {
+    const auto sealed = campaign::seal_frame(inner, key);
+    auto opened = campaign::open_frame(sealed, key);
+    benchmark::DoNotOptimize(opened->size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inner.size()));
+}
+BENCHMARK(BM_IntegritySealedFrameRoundTrip)
+    ->Arg(1)        // heartbeat: tag only
+    ->Arg(64)       // assignment batch
+    ->Arg(16384);   // result frame
+
+void BM_IntegrityFsckScan(benchmark::State& state) {
+  const auto spec = bench_campaign_spec();
+  const auto store_dir = bench_store_dir("integrity_fsck");
+  std::filesystem::remove_all(store_dir);
+  campaign::CampaignOptions options;
+  options.store_dir = store_dir;
+  campaign::CampaignRunner{spec, options}.run();  // prime the store
+  const campaign::ResultStore store{store_dir};
+  std::size_t objects = store.object_digests().size();
+  for (auto _ : state) {
+    const auto findings = store.fsck();
+    benchmark::DoNotOptimize(findings.size());
+  }
+  std::filesystem::remove_all(store_dir);
+  state.counters["objects/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(objects),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IntegrityFsckScan)->Unit(benchmark::kMillisecond);
+
+void BM_IntegrityWarmVerifiedSweep(benchmark::State& state) {
+  const auto spec = bench_campaign_spec();
+  const auto store = bench_store_dir("integrity_warm");
+  std::filesystem::remove_all(store);
+  {
+    campaign::RemotePoolOptions prime;
+    prime.store_dir = store;
+    campaign::RemoteWorkerPool{spec, prime}.run();  // prime the store
+  }
+  std::size_t points = 0;
+  for (auto _ : state) {
+    campaign::RemotePoolOptions options;
+    options.store_dir = store;
+    campaign::RemoteWorkerPool pool{spec, options};
+    const auto report = pool.run();
+    points = report.total;
+    benchmark::DoNotOptimize(report.cached);
+  }
+  std::filesystem::remove_all(store);
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(points),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IntegrityWarmVerifiedSweep)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // --- Design-space optimizer: batched scoring + store-routed frontiers ---
 //
 // BM_OptimizerEvaluateDesigns is the BENCH_optimizer.json headline: the

@@ -52,6 +52,14 @@
 # supervised quarantine) followed by the bench/perf_micro BM_Optimizer*
 # microbenches (batched design scoring throughput and cold-vs-warm
 # frontier runs, the BENCH_optimizer.json workload).
+#
+# Pass --fsck to run the store-integrity pass: the integrity-smoke
+# acceptance tests (`ctest -L integrity-smoke`: checksummed containers,
+# fsck scan/quarantine/heal, coordinator crash-recovery, authenticated
+# transport) followed by the bench/perf_micro BM_Integrity* microbenches
+# (sealed-transport campaign throughput, the BENCH_integrity.json
+# workload); with --resume, the suite store is additionally fscked after
+# the figure sweep so at-rest corruption fails the script (exit 3).
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -66,6 +74,7 @@ scale=0
 sampling=0
 distributed=0
 optimize=0
+fsck=0
 filtered=()
 for arg in "$@"; do
   case "$arg" in
@@ -77,6 +86,7 @@ for arg in "$@"; do
     --sampling) sampling=1 ;;
     --distributed) distributed=1 ;;
     --optimize) optimize=1 ;;
+    --fsck) fsck=1 ;;
     *) filtered+=("$arg") ;;
   esac
 done
@@ -151,6 +161,17 @@ if [[ "$optimize" == 1 ]]; then
   fi
 fi
 
+if [[ "$fsck" == 1 ]]; then
+  echo "== integrity-smoke acceptance tests ($build_dir)"
+  ctest --test-dir "$build_dir" -L integrity-smoke --output-on-failure
+  micro="$build_dir/bench/perf_micro"
+  if [[ -x "$micro" ]]; then
+    echo "== perf_micro (BM_Integrity*)"
+    "$micro" --benchmark_filter='BM_Integrity' \
+      | tee "$results_dir/perf_integrity.txt" >/dev/null || true
+  fi
+fi
+
 if [[ "$resume" == 1 ]]; then
   campaign_cli="$build_dir/tools/sos_campaign"
   if [[ ! -x "$campaign_cli" ]]; then
@@ -172,6 +193,16 @@ if [[ "$resume" == 1 ]]; then
     || campaign_rc=$?
   if [[ "$campaign_rc" != 0 && "$campaign_rc" != 3 ]]; then
     exit "$campaign_rc"
+  fi
+  if [[ "$fsck" == 1 ]]; then
+    echo "== fsck over the suite store ($results_dir/.campaign)"
+    fsck_rc=0
+    "$campaign_cli" fsck "$results_dir/.campaign" || fsck_rc=$?
+    if [[ "$fsck_rc" != 0 ]]; then
+      echo "suite store is corrupt; rerun to recompute the damaged" \
+           "figures" >&2
+      exit 3
+    fi
   fi
   run_perf_micro  # perf_micro takes google-benchmark flags, not sweep flags
   grep -hE '\[(PASS|FAIL)\]' "$results_dir"/*.txt || true

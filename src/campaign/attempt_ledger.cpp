@@ -51,6 +51,59 @@ AttemptLedger::Clock::time_point AttemptLedger::eligible_at(int index) const {
   return state_.at(static_cast<std::size_t>(index)).eligible_at;
 }
 
+std::string AttemptLedger::render_journal() const {
+  std::string out = "sos-attempt-ledger v1\n";
+  out += "retried = " + std::to_string(retried_) + "\n";
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i].failures == 0) continue;
+    out += "failures = " + std::to_string(i) + " " +
+           std::to_string(state_[i].failures) + "\n";
+  }
+  return out;
+}
+
+bool AttemptLedger::restore_journal(const std::string& text) {
+  const std::string_view header{"sos-attempt-ledger v1\n"};
+  if (text.size() < header.size() ||
+      text.compare(0, header.size(), header) != 0)
+    return false;
+  int restored_retried = 0;
+  std::vector<State> restored(state_.size());
+  bool saw_retried = false;
+  for (const auto& line : common::split(text.substr(header.size()), '\n')) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string_view::npos) return false;
+    const std::string field{line.substr(0, eq)};
+    const std::string value{line.substr(eq + 3)};
+    try {
+      if (field == "retried") {
+        restored_retried = std::stoi(value);
+        if (restored_retried < 0) return false;
+        saw_retried = true;
+      } else if (field == "failures") {
+        const std::size_t space = value.find(' ');
+        if (space == std::string::npos) return false;
+        const int index = std::stoi(value.substr(0, space));
+        const int count = std::stoi(value.substr(space + 1));
+        if (index < 0 || static_cast<std::size_t>(index) >= restored.size() ||
+            count < 1)
+          return false;
+        restored[static_cast<std::size_t>(index)].failures = count;
+        // eligible_at stays at the epoch: immediately eligible.
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  if (!saw_retried) return false;
+  state_ = std::move(restored);
+  retried_ = restored_retried;
+  return true;
+}
+
 AttemptLedger::Clock::duration AttemptLedger::backoff_for(int failure_count) {
   double delay = policy_.backoff_base_s *
                  std::pow(2.0, std::max(0, failure_count - 1));

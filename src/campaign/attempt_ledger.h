@@ -76,6 +76,20 @@ class AttemptLedger {
 
   const RetryPolicy& policy() const noexcept { return policy_; }
 
+  /// Round-trippable snapshot of the charge state ("sos-attempt-ledger v1"
+  /// header, the retry tally, then one "failures = <index> <count>" line
+  /// per charged point). This is what the coordinator journals through
+  /// common::write_file_atomic so a SIGKILLed coordinator restarted with
+  /// --resume charges each point from where it left off instead of
+  /// granting every poison point a fresh retry budget.
+  std::string render_journal() const;
+
+  /// Rebuilds charge state from render_journal() output. Restored points
+  /// are immediately eligible (their backoff expired with the dead
+  /// coordinator). Returns false — leaving the ledger untouched — on a
+  /// malformed journal or one whose indices do not fit this ledger.
+  bool restore_journal(const std::string& text);
+
  private:
   Clock::duration backoff_for(int failure_count);
 

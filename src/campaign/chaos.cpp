@@ -24,6 +24,8 @@ void ChaosConfig::validate() const {
   check_prob("net_partition", net_partition);
   check_prob("net_torn", net_torn);
   check_prob("net_duplicate", net_duplicate);
+  check_prob("coordinator_kill", coordinator_kill);
+  check_prob("object_bitflip", object_bitflip);
   if (!(net_partition_s > 0.0))
     throw std::invalid_argument(
         "ChaosConfig: bad net_partition_s '" +
@@ -62,6 +64,10 @@ ChaosAction chaos_action(const ChaosConfig& chaos, int point_index,
   if (roll < acc) return ChaosAction::kNetTorn;
   acc += chaos.net_duplicate;
   if (roll < acc) return ChaosAction::kNetDuplicate;
+  acc += chaos.coordinator_kill;
+  if (roll < acc) return ChaosAction::kCoordinatorKill;
+  acc += chaos.object_bitflip;
+  if (roll < acc) return ChaosAction::kObjectBitflip;
   return ChaosAction::kNone;
 }
 

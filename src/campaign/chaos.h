@@ -17,6 +17,12 @@
 //     the executor's own transport: link loss, partitions and duplicate
 //     delivery. Only the TCP executor has a network, so the Supervisor's
 //     pipe workers treat them as inert.
+//   * Coordinator faults (coordinator_kill/object_bitflip) — PR 10's
+//     survivability drills, acted on by the *coordinator* when a result
+//     arrives: SIGKILL itself mid-run (crash-recovery under --resume), or
+//     flip one bit in the just-written store object (at-rest corruption
+//     for fsck to find). Workers treat them as inert, so both sides of a
+//     shared (seed, point, attempt) draw agree on which family fires.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +50,13 @@ struct ChaosConfig {
   double net_duplicate = 0.0;  // deliver the result frame twice
   double net_partition_s = 0.3;  // blackhole duration for net_partition
 
+  // --- Coordinator faults (acted on by the coordinator at result
+  // arrival; inert for workers). ---
+  double coordinator_kill = 0.0;  // charge the point, persist the journal,
+                                  // raise(SIGKILL) — resume must recover
+  double object_bitflip = 0.0;    // flip one deterministic bit in the
+                                  // freshly written store object
+
   /// Faults fire on at most this many attempts per point (so a chaotic
   /// point deterministically succeeds once retried past them). 0 means
   /// unlimited: every attempt re-rolls, and a certain fault (p=1.0) drives
@@ -53,7 +66,7 @@ struct ChaosConfig {
   bool enabled() const noexcept {
     return sigkill > 0 || hang > 0 || bad_exit > 0 || truncate > 0 ||
            net_drop > 0 || net_partition > 0 || net_torn > 0 ||
-           net_duplicate > 0;
+           net_duplicate > 0 || coordinator_kill > 0 || object_bitflip > 0;
   }
 
   /// Throws std::invalid_argument ("(accepted:)" style) on out-of-range
@@ -64,8 +77,9 @@ struct ChaosConfig {
 
 /// Which fault (if any) fires for this (point, attempt) under `chaos`.
 /// The network actions extend the draw chain *after* the process faults,
-/// so a config with zero network probabilities replays PR 5 schedules
-/// byte-for-byte.
+/// and the coordinator actions extend it after the network ones, so a
+/// config with zero probabilities in the newer families replays older
+/// schedules byte-for-byte.
 enum class ChaosAction {
   kNone,
   kSigkill,
@@ -76,6 +90,8 @@ enum class ChaosAction {
   kNetPartition,
   kNetTorn,
   kNetDuplicate,
+  kCoordinatorKill,
+  kObjectBitflip,
 };
 
 ChaosAction chaos_action(const ChaosConfig& chaos, int point_index,

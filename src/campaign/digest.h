@@ -20,7 +20,8 @@ namespace sos::campaign {
 /// on-disk object container format. Stale objects are then simply never
 /// matched again; `sos_campaign clean` reclaims the space.
 /// v2: objects gained the validated length+sentinel container.
-inline constexpr std::string_view kCodeVersionSalt = "sos-campaign-v2";
+/// v3: the container carries an fnv1a64 payload checksum (store integrity).
+inline constexpr std::string_view kCodeVersionSalt = "sos-campaign-v3";
 
 /// FNV-1a 64-bit over the bytes of `data`.
 std::uint64_t fnv1a64(std::string_view data) noexcept;

@@ -11,14 +11,20 @@
 #include <cstdio>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "campaign/digest.h"
 #include "campaign/remote_protocol.h"
+#include "common/files.h"
+#include "common/logging.h"
+#include "common/mac.h"
 #include "common/proc.h"
+#include "common/rng.h"
 #include "common/strings.h"
 
 namespace sos::campaign {
@@ -42,7 +48,27 @@ void write_torn_frame(int fd, const std::string& payload) {
   [[maybe_unused]] const ::ssize_t n = ::write(fd, wire.data(), wire.size());
 }
 
+/// The chaos "object bitflip" fault: flip one deterministic bit (derived
+/// from the digest) of the freshly written store object, in place —
+/// simulating at-rest damage that bypasses the atomic-write protocol.
+void flip_object_bit(const std::string& path, const std::string& digest) {
+  auto bytes = common::read_file(path);
+  if (!bytes || bytes->empty()) return;
+  const std::uint64_t bit =
+      common::mix64(fnv1a64(digest)) % (bytes->size() * 8);
+  (*bytes)[bit / 8] = static_cast<char>(
+      static_cast<unsigned char>((*bytes)[bit / 8]) ^ (1u << (bit % 8)));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+}
+
+constexpr const char* kJournalHeader = "sos-coordinator-journal v1\n";
+
 }  // namespace
+
+std::string coordinator_journal_path(const std::string& store_dir) {
+  return (std::filesystem::path(store_dir) / "coordinator.journal").string();
+}
 
 void RemotePoolOptions::validate() const {
   if (local_workers < 0)
@@ -83,12 +109,47 @@ RemoteWorkerPool::RemoteWorkerPool(ScenarioSpec spec, RemotePoolOptions options)
 CampaignReport RemoteWorkerPool::run() {
   common::ignore_sigpipe();
 
+  const common::MacKey base_key = load_base_key(options_.key_file);
+
   const ResultStore& store = runner_.store();
   store.write_manifest(runner_.manifest_text());
 
   const int total = static_cast<int>(runner_.points().size());
 
   AttemptLedger ledger{total, options_.retry};
+
+  // --- Coordinator crash-recovery journal. Every ledger mutation is
+  // persisted atomically; a resume restart restores the charge state, so a
+  // poison point keeps its spent attempts across coordinator deaths
+  // instead of looping forever on a fresh budget. ---
+  const std::string journal_path = coordinator_journal_path(store.dir());
+  const std::string spec_digest = salted_digest(runner_.spec().canonical());
+  const auto persist_journal = [&]() {
+    common::write_file_atomic(journal_path,
+                              std::string(kJournalHeader) +
+                                  "spec_digest = " + spec_digest + "\n" +
+                                  ledger.render_journal());
+  };
+  if (options_.resume) {
+    if (const auto text = common::read_file(journal_path)) {
+      const std::string_view header{kJournalHeader};
+      const std::string expected =
+          std::string(header) + "spec_digest = " + spec_digest + "\n";
+      if (text->size() >= expected.size() &&
+          text->compare(0, expected.size(), expected) == 0 &&
+          ledger.restore_journal(text->substr(expected.size()))) {
+        SOS_LOG_INFO() << "RemoteWorkerPool: resumed coordinator journal ("
+                       << ledger.retried() << " retries charged so far)";
+      } else {
+        SOS_LOG_WARN() << "RemoteWorkerPool: ignoring malformed or "
+                          "mismatched coordinator journal at "
+                       << journal_path;
+      }
+    }
+  } else {
+    std::error_code ignored;
+    std::filesystem::remove(journal_path, ignored);  // stale journal: fresh run
+  }
 
   std::vector<char> done(static_cast<std::size_t>(total), 0);
   std::vector<char> quarantined(static_cast<std::size_t>(total), 0);
@@ -120,6 +181,7 @@ CampaignReport RemoteWorkerPool::run() {
     common::FrameBuffer frames;
     SessionState state = SessionState::kRegistering;
     std::uint64_t pid = 0;
+    common::MacKey session_key;    // derived from the HELLO challenge
     std::vector<int> outstanding;  // assigned, undelivered, in compute order
     Clock::time_point last_heard;
     bool dead = false;
@@ -137,16 +199,25 @@ CampaignReport RemoteWorkerPool::run() {
     config.heartbeat_interval_s = options_.heartbeat_interval_s;
     config.connect_timeout_s = options_.registration_timeout_s;
     config.chaos = options_.chaos;
+    config.key_file = options_.key_file;
+    // The child inherits the listening fd across fork; close it so an
+    // orphaned worker (coordinator SIGKILLed) cannot keep the port bound
+    // and block the crash-recovery restart from rebinding it.
+    const int listener_fd = listener_.fd();
     children.push_back(common::Subprocess::spawn(
-        [config](int) { return run_remote_worker(config); }));
+        [config, listener_fd](int) {
+          ::close(listener_fd);
+          return run_remote_worker(config);
+        }));
   };
 
   const auto heartbeat_budget = to_duration(options_.heartbeat_timeout_s);
   const auto beat_every = to_duration(options_.heartbeat_interval_s);
   const auto registration_budget = to_duration(options_.registration_timeout_s);
 
-  const std::string welcome = encode_welcome(runner_.spec().canonical());
-  const std::string heartbeat = encode_heartbeat();
+  // Inner (unsealed) messages; every send seals under the session's key.
+  const std::string welcome_inner = encode_welcome(runner_.spec().canonical());
+  const std::string heartbeat_inner = encode_heartbeat();
 
   // Requeues indices at the queue front preserving their order, skipping
   // anything finished, quarantined, or already queued.
@@ -174,7 +245,9 @@ CampaignReport RemoteWorkerPool::run() {
     session.outstanding.clear();
     if (!unfinished.empty()) {
       const int culprit = unfinished.front();
-      if (ledger.charge(culprit, now) == AttemptLedger::Verdict::kQuarantine) {
+      const auto verdict = ledger.charge(culprit, now);
+      persist_journal();
+      if (verdict == AttemptLedger::Verdict::kQuarantine) {
         PointFailure failure;
         failure.index = culprit;
         failure.key = runner_.points()[static_cast<std::size_t>(culprit)].key;
@@ -220,7 +293,23 @@ CampaignReport RemoteWorkerPool::run() {
                               session.outstanding.end(), result->index);
     if (it != session.outstanding.end()) session.outstanding.erase(it);
     if (done[slot]) return true;  // duplicate delivery: already durable
+    // Coordinator-side chaos shares the worker's draw chain (same
+    // (seed, point, attempt) stream), keyed on the point's current charge
+    // count; each side acts only on its own fault family.
+    const ChaosAction coordinator_fault = chaos_action(
+        options_.chaos, result->index, ledger.failures(result->index));
+    if (coordinator_fault == ChaosAction::kCoordinatorKill) {
+      // The survivability drill: charge the point (so the resumed
+      // coordinator's draw advances past this fire), persist the journal,
+      // die without storing the result. `--resume` must recover.
+      (void)ledger.charge(result->index, Clock::now());
+      persist_journal();
+      ::raise(SIGKILL);
+    }
     store.put(runner_.digest(result->index), result->bytes);
+    if (coordinator_fault == ChaosAction::kObjectBitflip)
+      flip_object_bit(store.object_path(runner_.digest(result->index)),
+                      runner_.digest(result->index));
     if (quarantined[slot]) {
       quarantined[slot] = 0;  // store.put cleared the stale record
       --quarantine_count;
@@ -234,46 +323,78 @@ CampaignReport RemoteWorkerPool::run() {
     return true;
   };
 
-  const auto on_frame = [&](Session& session, const std::string& frame) {
+  // Typed eviction reason for a protocol violation, set by on_frame when it
+  // knows better than the generic one.
+  std::string violation;
+
+  const auto on_frame = [&](Session& session, const std::string& raw) {
     session.last_heard = Clock::now();
-    if (session.state == SessionState::kSuspended)
-      session.state = SessionState::kLive;  // it speaks: revived
-    const auto type = message_type(frame);
-    if (!type) return false;
-    switch (*type) {
-      case MessageType::kHello: {
-        if (session.state != SessionState::kRegistering) return false;
-        const auto hello = parse_hello(frame);
-        if (!hello) return false;
-        if (hello->version != kRemoteProtocolVersion) {
-          (void)common::write_frame(
-              session.sock.fd(),
-              encode_reject("protocol version mismatch: coordinator speaks " +
-                            std::to_string(kRemoteProtocolVersion) +
-                            ", worker spoke " +
-                            std::to_string(hello->version)));
+    if (session.state == SessionState::kRegistering) {
+      // First frame must be a HELLO: a sealed v2 one under the base key, or
+      // a legacy v1 one (13 unsealed bytes) that earns a readable REJECT.
+      const auto inspection = inspect_hello(raw, base_key);
+      switch (inspection.verdict) {
+        case HelloVerdict::kOk:
+          break;
+        case HelloVerdict::kVersionMismatch: {
+          const std::string reject = encode_reject(
+              reject_version_mismatch(inspection.spoken_version));
+          // A v1 peer cannot open a sealed frame; its REJECT goes out raw.
+          (void)common::write_frame(session.sock.fd(),
+                                    inspection.legacy_unsealed
+                                        ? reject
+                                        : seal_frame(reject, base_key));
           session.sock.close();
           session.dead = true;
           return true;
         }
-        session.pid = hello->pid;
-        session.state = SessionState::kLive;
-        if (!common::write_frame(session.sock.fd(), welcome)) {
+        case HelloVerdict::kBadMac: {
+          // Wrong pre-shared key. The peer cannot verify this REJECT (no
+          // shared key to verify under) but surfaces the reason via its
+          // unverified peek before exiting.
+          (void)common::write_frame(
+              session.sock.fd(),
+              seal_frame(encode_reject(kRejectBadHelloMac), base_key));
           session.sock.close();
           session.dead = true;
+          return true;
         }
-        return true;
+        case HelloVerdict::kMalformed:
+          violation = "malformed registration frame";
+          return false;
       }
+      session.pid = inspection.hello.pid;
+      session.session_key =
+          common::derive_session_key(base_key, inspection.hello.challenge);
+      session.state = SessionState::kLive;
+      if (!common::write_frame(
+              session.sock.fd(),
+              seal_frame(welcome_inner, session.session_key))) {
+        session.sock.close();
+        session.dead = true;
+      }
+      return true;
+    }
+    const auto frame = open_frame(raw, session.session_key);
+    if (!frame) {
+      violation = std::string(kBadFrameMacReason);
+      return false;
+    }
+    if (session.state == SessionState::kSuspended)
+      session.state = SessionState::kLive;  // it speaks (verified): revived
+    const auto type = message_type(*frame);
+    if (!type) return false;
+    switch (*type) {
       case MessageType::kResult:
-        return session.state != SessionState::kRegistering &&
-               on_result(session, frame);
+        return on_result(session, *frame);
       case MessageType::kHeartbeat:
         return true;  // last_heard already refreshed
+      case MessageType::kHello:
       case MessageType::kWelcome:
       case MessageType::kReject:
       case MessageType::kAssign:
       case MessageType::kShutdown:
-        return false;  // coordinator-to-worker messages from a worker
+        return false;  // not worker-to-coordinator traffic mid-session
     }
     return false;
   };
@@ -297,7 +418,9 @@ CampaignReport RemoteWorkerPool::run() {
     for (auto it = waiting.rbegin(); it != waiting.rend(); ++it)
       queue.push_front(*it);
     if (shard.empty()) return;
-    if (!common::write_frame(session.sock.fd(), encode_assign(shard))) {
+    if (!common::write_frame(
+            session.sock.fd(),
+            seal_frame(encode_assign(shard), session.session_key))) {
       // Peer vanished between frames: nothing was computed, nothing is
       // charged — the shard simply goes back.
       std::vector<int> indices;
@@ -361,7 +484,9 @@ CampaignReport RemoteWorkerPool::run() {
     if (now >= next_beat) {
       for (auto& session : sessions)
         if (!session.dead && session.state == SessionState::kLive)
-          if (!common::write_frame(session.sock.fd(), heartbeat))
+          if (!common::write_frame(
+                  session.sock.fd(),
+                  seal_frame(heartbeat_inner, session.session_key)))
             evict(session, "connection lost", /*suspend=*/false);
       next_beat = now + beat_every;
     }
@@ -428,6 +553,7 @@ CampaignReport RemoteWorkerPool::run() {
         break;
       }
       bool protocol_ok = true;
+      violation.clear();
       while (auto frame = session.frames.next_frame()) {
         if (!on_frame(session, *frame)) {
           protocol_ok = false;
@@ -437,7 +563,9 @@ CampaignReport RemoteWorkerPool::run() {
       }
       if (session.dead) continue;
       if (!protocol_ok || session.frames.corrupt()) {
-        evict(session, "corrupt result frame stream", /*suspend=*/false);
+        evict(session,
+              violation.empty() ? "corrupt result frame stream" : violation,
+              /*suspend=*/false);
       } else if (closed) {
         // EOF with work outstanding charges the in-flight point (worker
         // death or a chaos connection drop); a clean goodbye charges
@@ -482,24 +610,37 @@ CampaignReport RemoteWorkerPool::run() {
   // receive buffer would turn into a TCP reset that destroys the buffered
   // SHUTDOWN on the worker's side, stranding it. Bounded by the grace
   // deadline so a wedged worker cannot wedge the coordinator.
-  const std::string shutdown_frame = encode_shutdown();
-  const auto say_goodbye = [&shutdown_frame](common::Socket& sock) {
+  {
+    // Settled: the journal has served its purpose; a later fresh run must
+    // not inherit these charges.
+    std::error_code ignored;
+    std::filesystem::remove(journal_path, ignored);
+  }
+  const std::string shutdown_inner = encode_shutdown();
+  const auto say_goodbye = [&](common::Socket& sock,
+                               const common::MacKey& key) {
     if (!sock.valid()) return;
-    (void)common::write_frame(sock.fd(), shutdown_frame);
+    (void)common::write_frame(sock.fd(), seal_frame(shutdown_inner, key));
     ::shutdown(sock.fd(), SHUT_WR);
   };
   std::vector<common::Socket> draining;
   for (auto& session : sessions) {
     if (session.dead || !session.sock.valid()) continue;
-    say_goodbye(session.sock);
+    // A peer whose HELLO we never processed has no session key yet; its
+    // goodbye rides the base key like a late reconnect's.
+    say_goodbye(session.sock, session.state == SessionState::kRegistering
+                                  ? base_key
+                                  : session.session_key);
     draining.push_back(std::move(session.sock));
   }
   const auto grace_deadline = Clock::now() + std::chrono::seconds(2);
   while (!draining.empty() && Clock::now() < grace_deadline) {
     // A worker that noticed its old connection die may be reconnecting at
-    // this very moment; its fresh socket deserves the goodbye too.
+    // this very moment; its fresh socket deserves the goodbye too. No
+    // handshake has happened on it, so the goodbye is sealed under the
+    // base key; the worker accepts base-sealed SHUTDOWN/REJECT only.
     while (auto late = listener_.accept()) {
-      say_goodbye(*late);
+      say_goodbye(*late, base_key);
       draining.push_back(std::move(*late));
     }
     std::vector<::pollfd> waiters;
@@ -569,8 +710,26 @@ long long steady_ns(Clock::time_point t) {
 int run_remote_worker(const RemoteWorkerConfig& config) {
   common::ignore_sigpipe();
 
-  WorkerLink link;
+  common::MacKey base_key;
+  try {
+    base_key = load_base_key(config.key_file);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sos_campaign serve: %s\n", error.what());
+    return 1;
+  }
 
+  WorkerLink link;
+  // The session key changes on every (re)connect — fresh challenge, fresh
+  // key — and is read by both the compute loop and the beater thread, so
+  // all access rides the write mutex the socket swap already takes.
+  common::MacKey session_key;
+  common::Rng challenge_rng{
+      common::mix64(static_cast<std::uint64_t>(::getpid())) ^
+      static_cast<std::uint64_t>(steady_ns(Clock::now()))};
+
+  // Connects AND registers: the HELLO goes out under the same mutex hold
+  // that installs the socket, so the beater thread can never slip a
+  // session-sealed heartbeat in front of the handshake.
   const auto connect_once = [&]() -> bool {
     const auto deadline = Clock::now() + to_duration(config.connect_timeout_s);
     for (;;) {
@@ -578,16 +737,25 @@ int run_remote_worker(const RemoteWorkerConfig& config) {
               common::Socket::connect_ipv4(config.host, config.port)) {
         std::lock_guard<std::mutex> lock(link.write_mutex);
         link.sock = std::move(*sock);
-        return true;
+        Hello hello;
+        hello.pid = static_cast<std::uint64_t>(::getpid());
+        hello.challenge = challenge_rng.next();
+        session_key = common::derive_session_key(base_key, hello.challenge);
+        if (common::write_frame(link.sock.fd(),
+                                seal_frame(encode_hello(hello), base_key)))
+          return true;
+        link.sock.close();  // peer vanished instantly; retry until deadline
       }
       if (Clock::now() >= deadline) return false;
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   };
 
-  const auto send = [&](const std::string& frame) {
+  const auto send = [&](const std::string& inner) {
     std::lock_guard<std::mutex> lock(link.write_mutex);
-    return link.sock.valid() && common::write_frame(link.sock.fd(), frame);
+    return link.sock.valid() &&
+           common::write_frame(link.sock.fd(),
+                               seal_frame(inner, session_key));
   };
 
   const auto drop_connection = [&]() {
@@ -595,20 +763,14 @@ int run_remote_worker(const RemoteWorkerConfig& config) {
     link.sock.close();
   };
 
-  Hello hello;
-  hello.pid = static_cast<std::uint64_t>(::getpid());
-  const std::string hello_frame = encode_hello(hello);
-
   if (!connect_once()) return kExitFleetUnreachable;
 
   int reconnects = 0;
   const auto reconnect = [&]() {
     drop_connection();
     if (++reconnects > config.max_reconnects) return false;
-    return connect_once() && send(hello_frame);
+    return connect_once();
   };
-
-  if (!send(hello_frame) && !reconnect()) return kExitFleetUnreachable;
 
   // Heartbeats ride a dedicated thread so a long point computation (or a
   // partition sleep) cannot read as death — unless chaos wants it to.
@@ -620,8 +782,9 @@ int run_remote_worker(const RemoteWorkerConfig& config) {
       std::this_thread::sleep_for(beat_every);
       if (steady_ns(Clock::now()) < link.blackhole_until_ns.load()) continue;
       std::lock_guard<std::mutex> lock(link.write_mutex);
-      if (link.sock.valid())
-        (void)common::write_frame(link.sock.fd(), beat);  // EOF comes later
+      if (link.sock.valid())  // EOF comes later; session_key guarded by lock
+        (void)common::write_frame(link.sock.fd(),
+                                  seal_frame(beat, session_key));
     }
   });
 
@@ -661,11 +824,15 @@ int run_remote_worker(const RemoteWorkerConfig& config) {
           exit_code = kChaosBadExitCode;
           return;
         case ChaosAction::kTruncate: {
-          // The lying worker: half a result frame, then a "clean" exit.
+          // The lying worker: half a (sealed) result frame, then a "clean"
+          // exit. Tearing happens above the MAC layer, so the coordinator
+          // sees exactly a worker dying mid-result.
           const std::string payload =
               encode_result(assignment.index, "chaos-torn-frame");
           std::lock_guard<std::mutex> lock(link.write_mutex);
-          if (link.sock.valid()) write_torn_frame(link.sock.fd(), payload);
+          if (link.sock.valid())
+            write_torn_frame(link.sock.fd(),
+                             seal_frame(payload, session_key));
           exit_code = 0;
           return;
         }
@@ -693,8 +860,10 @@ int run_remote_worker(const RemoteWorkerConfig& config) {
           {
             std::lock_guard<std::mutex> lock(link.write_mutex);
             if (link.sock.valid())
-              write_torn_frame(link.sock.fd(),
-                               encode_result(assignment.index, payload));
+              write_torn_frame(
+                  link.sock.fd(),
+                  seal_frame(encode_result(assignment.index, payload),
+                             session_key));
           }
           need_reconnect = true;
           drop_connection();
@@ -707,6 +876,10 @@ int run_remote_worker(const RemoteWorkerConfig& config) {
           if (need_reconnect) return;
           continue;
         }
+        case ChaosAction::kCoordinatorKill:
+        case ChaosAction::kObjectBitflip:
+          // Coordinator-family faults: the worker's half of the shared
+          // draw is to behave normally — the coordinator acts on arrival.
         case ChaosAction::kNone:
           compute_and_send(assignment.index);
           if (need_reconnect) return;
@@ -798,8 +971,35 @@ int run_remote_worker(const RemoteWorkerConfig& config) {
     }
     last_heard = Clock::now();
     frames.feed(buffer, static_cast<std::size_t>(n));
-    while (auto frame = frames.next_frame()) {
-      on_frame(*frame);
+    while (auto raw = frames.next_frame()) {
+      // session_key is only rewritten by this same loop (via reconnect), so
+      // reading it here without the write mutex is safe.
+      if (auto frame = open_frame(*raw, session_key)) {
+        on_frame(*frame);
+      } else if (auto control = open_frame(*raw, base_key);
+                 control && (message_type(*control) == MessageType::kReject ||
+                             message_type(*control) ==
+                                 MessageType::kShutdown)) {
+        // Base-sealed control traffic: a REJECT before any session key is
+        // agreed, or the SHUTDOWN a settling coordinator sends to a
+        // reconnect it never handshook with.
+        on_frame(*control);
+      } else {
+        const std::string peeked{peek_frame_unverified(*raw)};
+        if (message_type(peeked) == MessageType::kReject) {
+          // Sealed under a key this worker does not share (pre-shared key
+          // mismatch): the reason cannot be verified, but it is the only
+          // diagnostic the operator will ever get — print it and give up,
+          // since registration can never succeed.
+          const auto reason = parse_reject(peeked);
+          std::fprintf(stderr,
+                       "sos_campaign serve: rejected (unverified): %s\n",
+                       reason ? reason->c_str() : "(malformed reject)");
+          exit_code = 1;
+        } else {
+          need_reconnect = true;  // unauthenticated bytes: not our peer
+        }
+      }
       if (exit_code >= 0 || need_reconnect) break;
     }
     if (exit_code < 0 && frames.corrupt()) need_reconnect = true;

@@ -40,6 +40,18 @@
 //     respawned while unfinished work remains; a child whose session is
 //     evicted for heartbeat silence (SIGSTOP hang) is SIGKILLed first.
 //
+//   * Transport is authenticated (remote_protocol v2): every frame both
+//     directions is sealed under a SipHash-2-4 MAC. The handshake runs
+//     under the pre-shared base key, everything after under a per-session
+//     key seeded by the HELLO challenge. v1 peers and wrong-key peers get
+//     typed REJECTs; a mid-session MAC failure evicts the session.
+//   * The coordinator itself is crash-recoverable: every ledger mutation
+//     is journaled atomically into the store
+//     (<store>/coordinator.journal), so a SIGKILLed coordinator restarted
+//     on the same port with resume=true picks up charges where it died,
+//     surviving workers reconnect, and the settled store is byte-identical
+//     to an uninterrupted run. The journal is removed on settle.
+//
 // If no worker is registered for `registration_timeout_s` while work
 // remains, run() throws FleetUnreachableError; the CLI maps it (and a
 // serve worker that can never connect) to exit code 4.
@@ -90,7 +102,23 @@ struct RemotePoolOptions {
   double registration_timeout_s = 10.0;
 
   /// TCP port to listen on; 0 = kernel-assigned (read back via port()).
+  /// A crash-recovery restart must pass the *same fixed port* so surviving
+  /// workers' reconnect loops find the new coordinator.
   std::uint16_t listen_port = 0;
+
+  /// Pre-shared key file for the v2 authenticated transport; empty selects
+  /// the built-in default material (loopback fleets work out of the box).
+  /// Forked loopback workers inherit it; external serve workers must pass
+  /// the same file via --key-file.
+  std::string key_file;
+
+  /// Load the coordinator journal (attempt/charge state persisted into the
+  /// store on every ledger mutation) left by a crashed coordinator, so the
+  /// restarted run resumes charging where the dead one stopped instead of
+  /// granting every poison point a fresh retry budget. A missing or
+  /// mismatched journal is ignored (fresh ledger); the journal is removed
+  /// once the campaign settles.
+  bool resume = false;
 
   /// Retry/backoff/quarantine charging — the same AttemptLedger the
   /// Supervisor uses, so the two executors cannot drift.
@@ -160,8 +188,17 @@ struct RemoteWorkerConfig {
   /// This worker's fault schedule. Draws key on (seed, point, attempt)
   /// exactly as under the Supervisor.
   ChaosConfig chaos;
+
+  /// Pre-shared key file (must match the coordinator's); empty selects the
+  /// built-in default material.
+  std::string key_file;
 };
 
 int run_remote_worker(const RemoteWorkerConfig& config);
+
+/// Where a coordinator journals its attempt/charge state inside a store
+/// directory ("<store_dir>/coordinator.journal"). Exposed so the CLI and
+/// tests can check for leftover journals without hardcoding the name.
+std::string coordinator_journal_path(const std::string& store_dir);
 
 }  // namespace sos::campaign

@@ -1,5 +1,8 @@
 #include "campaign/remote_protocol.h"
 
+#include <stdexcept>
+
+#include "common/files.h"
 #include "common/proc.h"
 
 namespace sos::campaign {
@@ -20,6 +23,14 @@ std::uint64_t read_u64le(const char* bytes) {
          static_cast<std::uint64_t>(common::read_u32le(bytes + 4)) << 32;
 }
 
+std::uint64_t frame_mac(std::string_view inner, const common::MacKey& key) {
+  std::string material;
+  material.reserve(4 + inner.size());
+  common::append_u32le(material, static_cast<std::uint32_t>(inner.size()));
+  material += inner;
+  return common::siphash24(key, material);
+}
+
 /// The body of a frame whose tag matches `expected`; nullopt otherwise.
 std::optional<std::string_view> body_of(const std::string& frame,
                                         MessageType expected) {
@@ -27,7 +38,81 @@ std::optional<std::string_view> body_of(const std::string& frame,
   return std::string_view{frame}.substr(1);
 }
 
+// A v1 HELLO was exactly tag + u32 version + u64 pid = 13 unsealed bytes. A
+// sealed v2 HELLO is 8 (MAC) + 21 (inner) = 29 bytes, so the shapes never
+// collide.
+constexpr std::size_t kLegacyHelloBytes = 13;
+
 }  // namespace
+
+std::string seal_frame(std::string_view inner, const common::MacKey& key) {
+  std::string sealed;
+  sealed.reserve(kFrameMacBytes + inner.size());
+  append_u64le(sealed, frame_mac(inner, key));
+  sealed += inner;
+  return sealed;
+}
+
+std::optional<std::string> open_frame(const std::string& sealed,
+                                      const common::MacKey& key) {
+  if (sealed.size() < kFrameMacBytes) return std::nullopt;
+  const std::uint64_t claimed = read_u64le(sealed.data());
+  const std::string_view inner =
+      std::string_view{sealed}.substr(kFrameMacBytes);
+  if (frame_mac(inner, key) != claimed) return std::nullopt;
+  return std::string{inner};
+}
+
+std::string_view peek_frame_unverified(const std::string& sealed) {
+  if (sealed.size() < kFrameMacBytes) return {};
+  return std::string_view{sealed}.substr(kFrameMacBytes);
+}
+
+common::MacKey load_base_key(const std::string& key_file) {
+  if (key_file.empty())
+    return common::derive_mac_key(kDefaultKeyMaterial);
+  const auto material = common::read_file(key_file);
+  if (!material)
+    throw std::runtime_error("cannot read key file '" + key_file + "'");
+  return common::derive_mac_key(*material);
+}
+
+HelloInspection inspect_hello(const std::string& raw_frame,
+                              const common::MacKey& base_key) {
+  HelloInspection inspection;
+  // Legacy v1 HELLO: unsealed, fixed 13-byte shape, tag byte first.
+  if (raw_frame.size() == kLegacyHelloBytes &&
+      message_type(raw_frame) == MessageType::kHello) {
+    inspection.verdict = HelloVerdict::kVersionMismatch;
+    inspection.spoken_version = common::read_u32le(raw_frame.data() + 1);
+    inspection.legacy_unsealed = true;
+    return inspection;
+  }
+  const auto inner = open_frame(raw_frame, base_key);
+  if (!inner) {
+    inspection.verdict = HelloVerdict::kBadMac;
+    return inspection;
+  }
+  const auto hello = parse_hello(*inner);
+  if (!hello) {
+    inspection.verdict = HelloVerdict::kMalformed;
+    return inspection;
+  }
+  if (hello->version != kRemoteProtocolVersion) {
+    inspection.verdict = HelloVerdict::kVersionMismatch;
+    inspection.spoken_version = hello->version;
+    return inspection;
+  }
+  inspection.verdict = HelloVerdict::kOk;
+  inspection.hello = *hello;
+  return inspection;
+}
+
+std::string reject_version_mismatch(std::uint32_t worker_version) {
+  return "protocol version mismatch: coordinator speaks " +
+         std::to_string(kRemoteProtocolVersion) + ", worker spoke " +
+         std::to_string(worker_version);
+}
 
 std::optional<MessageType> message_type(const std::string& frame) {
   if (frame.empty()) return std::nullopt;
@@ -42,15 +127,17 @@ std::string encode_hello(const Hello& hello) {
   std::string frame = tagged(MessageType::kHello);
   common::append_u32le(frame, hello.version);
   append_u64le(frame, hello.pid);
+  append_u64le(frame, hello.challenge);
   return frame;
 }
 
 std::optional<Hello> parse_hello(const std::string& frame) {
   const auto body = body_of(frame, MessageType::kHello);
-  if (!body || body->size() != 12) return std::nullopt;
+  if (!body || body->size() != 20) return std::nullopt;
   Hello hello;
   hello.version = common::read_u32le(body->data());
   hello.pid = read_u64le(body->data() + 4);
+  hello.challenge = read_u64le(body->data() + 12);
   return hello;
 }
 

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "campaign/digest.h"
 #include "common/files.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -17,42 +18,69 @@ namespace {
 
 constexpr const char* kManifestName = "manifest.txt";
 
-// Object container: "<header> <payload length>\n" + payload + sentinel.
-// The explicit length plus end sentinel make truncation (any prefix cut)
-// and appended garbage both detectable with one read.
-constexpr const char* kObjectHeader = "sos-object v1 ";
+// Object container v2: "<header> <payload length> <checksum-hex16>\n" +
+// payload + sentinel. The explicit length plus end sentinel make truncation
+// (any prefix cut) and appended garbage both detectable with one read; the
+// fnv1a64 payload checksum catches in-place damage — a flipped bit at rest
+// that leaves the length intact.
+constexpr const char* kObjectHeader = "sos-object v2 ";
 constexpr const char* kObjectSentinel = "sos-object-end\n";
+constexpr const char* kCorruptSuffix = ".corrupt";
 
 constexpr const char* kFailureHeader = "sos-point-failure v1\n";
 
 std::string encode_object(const std::string& payload) {
-  std::string out = kObjectHeader + std::to_string(payload.size()) + "\n";
+  std::string out = kObjectHeader + std::to_string(payload.size()) + " " +
+                    to_hex16(fnv1a64(payload)) + "\n";
   out += payload;
   out += kObjectSentinel;
   return out;
 }
 
-/// Decodes a container; nullopt on any structural mismatch.
-std::optional<std::string> decode_object(const std::string& file) {
+/// Decodes a container; on failure returns nullopt and sets `reason` to a
+/// short human-readable cause (stable strings — tests and fsck output pin
+/// them).
+std::optional<std::string> decode_object(const std::string& file,
+                                         std::string* reason) {
   const std::string_view header{kObjectHeader};
   const std::string_view sentinel{kObjectSentinel};
-  if (file.size() < header.size() || file.compare(0, header.size(), header) != 0)
+  const auto fail = [&](const char* why) -> std::optional<std::string> {
+    if (reason) *reason = why;
     return std::nullopt;
+  };
+  if (file.size() < header.size() || file.compare(0, header.size(), header) != 0)
+    return fail("bad container header");
   const std::size_t newline = file.find('\n', header.size());
-  if (newline == std::string::npos) return std::nullopt;
+  if (newline == std::string::npos) return fail("truncated container");
+  const std::size_t space = file.find(' ', header.size());
+  if (space == std::string::npos || space >= newline)
+    return fail("bad container header");
   std::uint64_t length = 0;
-  for (std::size_t i = header.size(); i < newline; ++i) {
+  for (std::size_t i = header.size(); i < space; ++i) {
     const char c = file[i];
-    if (c < '0' || c > '9') return std::nullopt;
+    if (c < '0' || c > '9') return fail("bad container header");
     length = length * 10 + static_cast<std::uint64_t>(c - '0');
-    if (length > file.size()) return std::nullopt;  // early overflow guard
+    if (length > file.size()) return fail("truncated container");
+  }
+  const std::string_view checksum_hex{file.data() + space + 1,
+                                      newline - space - 1};
+  if (checksum_hex.size() != 16) return fail("bad container header");
+  std::uint64_t checksum = 0;
+  for (const char c : checksum_hex) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return fail("bad container header");
+    checksum = (checksum << 4) | static_cast<std::uint64_t>(digit);
   }
   const std::size_t payload_begin = newline + 1;
   if (file.size() != payload_begin + length + sentinel.size())
-    return std::nullopt;
+    return fail("truncated container");
   if (file.compare(payload_begin + length, sentinel.size(), sentinel) != 0)
-    return std::nullopt;
-  return file.substr(payload_begin, length);
+    return fail("missing end sentinel");
+  std::string payload = file.substr(payload_begin, length);
+  if (fnv1a64(payload) != checksum) return fail("payload checksum mismatch");
+  return payload;
 }
 
 bool looks_like_digest(const std::string& name) {
@@ -60,6 +88,12 @@ bool looks_like_digest(const std::string& name) {
   return std::all_of(name.begin(), name.end(), [](char c) {
     return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
   });
+}
+
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::error_code error;
+  const auto size = fs::file_size(path, error);
+  return error ? 0 : static_cast<std::uint64_t>(size);
 }
 
 }  // namespace
@@ -130,11 +164,19 @@ bool ResultStore::has(const std::string& digest) const {
 std::optional<std::string> ResultStore::load(const std::string& digest) const {
   const auto file = common::read_file(object_path(digest));
   if (!file) return std::nullopt;
-  auto payload = decode_object(*file);
+  std::string reason;
+  auto payload = decode_object(*file, &reason);
   if (!payload) {
-    SOS_LOG_WARN() << "ResultStore: object " << digest
-                   << " is truncated or corrupted (" << file->size()
-                   << " bytes) — treating as missing, point will recompute";
+    // Truncation and checksum mismatch take the same path: move the damaged
+    // bytes aside so the evidence survives, report loudly, and read as
+    // missing so the point recomputes.
+    SOS_LOG_WARN() << "ResultStore: object " << digest << " is corrupt ("
+                   << reason << ", " << file->size()
+                   << " bytes) — quarantined to " << corrupt_path(digest)
+                   << ", point will recompute";
+    std::error_code error;
+    fs::rename(object_path(digest), corrupt_path(digest), error);
+    if (error) fs::remove(object_path(digest), error);
     return std::nullopt;
   }
   return payload;
@@ -144,6 +186,7 @@ void ResultStore::put(const std::string& digest,
                       const std::string& content) const {
   common::write_file_atomic(object_path(digest), encode_object(content));
   clear_quarantine(digest);
+  clear_corrupt(digest);
 }
 
 std::string ResultStore::object_path(const std::string& digest) const {
@@ -164,10 +207,11 @@ std::optional<PointFailure> ResultStore::load_failure(
     const std::string& digest) const {
   const auto file = common::read_file(quarantine_path(digest));
   if (!file) return std::nullopt;
-  const auto payload = decode_object(*file);
+  std::string reason;
+  const auto payload = decode_object(*file, &reason);
   if (!payload) {
     SOS_LOG_WARN() << "ResultStore: quarantine record " << digest
-                   << " is truncated or corrupted — ignoring it";
+                   << " is corrupt (" << reason << ") — ignoring it";
     return std::nullopt;
   }
   return PointFailure::parse(*payload);
@@ -180,6 +224,71 @@ void ResultStore::clear_quarantine(const std::string& digest) const {
 
 std::string ResultStore::quarantine_path(const std::string& digest) const {
   return (fs::path(quarantine_dir_) / digest).string();
+}
+
+bool ResultStore::has_corrupt(const std::string& digest) const {
+  std::error_code error;
+  return fs::exists(corrupt_path(digest), error);
+}
+
+std::vector<std::string> ResultStore::corrupt_digests() const {
+  std::vector<std::string> digests;
+  const std::string_view suffix{kCorruptSuffix};
+  std::error_code error;
+  fs::directory_iterator it{quarantine_dir_, error};
+  if (error) return digests;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 16 + suffix.size()) continue;
+    if (name.compare(16, suffix.size(), suffix) != 0) continue;
+    const std::string digest = name.substr(0, 16);
+    if (looks_like_digest(digest)) digests.push_back(digest);
+  }
+  std::sort(digests.begin(), digests.end());
+  return digests;
+}
+
+void ResultStore::clear_corrupt(const std::string& digest) const {
+  std::error_code error;
+  fs::remove(corrupt_path(digest), error);
+}
+
+std::string ResultStore::corrupt_path(const std::string& digest) const {
+  return (fs::path(quarantine_dir_) / (digest + kCorruptSuffix)).string();
+}
+
+std::vector<CorruptObject> ResultStore::fsck() const {
+  std::vector<CorruptObject> findings;
+  for (const auto& digest : object_digests()) {
+    const auto file = common::read_file(object_path(digest));
+    if (!file) continue;  // raced with a concurrent clean(); nothing to check
+    std::string reason;
+    if (decode_object(*file, &reason)) {
+      // A valid object heals any stale marker left by an earlier scan.
+      clear_corrupt(digest);
+      continue;
+    }
+    std::error_code error;
+    fs::rename(object_path(digest), corrupt_path(digest), error);
+    if (error) fs::remove(object_path(digest), error);
+    findings.push_back({digest, reason, file->size()});
+  }
+  // Markers from earlier reads/scans that no clean recompute has replaced
+  // yet still make the store dirty — report them so fsck's verdict reflects
+  // the store state, not just this pass's discoveries.
+  for (const auto& digest : corrupt_digests()) {
+    const bool already =
+        std::any_of(findings.begin(), findings.end(),
+                    [&](const CorruptObject& c) { return c.digest == digest; });
+    if (already) continue;
+    findings.push_back({digest, "previously quarantined, not yet healed",
+                        file_size_or_zero(corrupt_path(digest))});
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const CorruptObject& a, const CorruptObject& b) {
+              return a.digest < b.digest;
+            });
+  return findings;
 }
 
 void ResultStore::write_manifest(const std::string& text) const {
@@ -204,7 +313,13 @@ int ResultStore::clean() const {
   if (!error) {
     for (const auto& entry : it) {
       const std::string name = entry.path().filename().string();
-      if (looks_like_digest(name) && fs::remove(entry.path(), error))
+      const std::string_view suffix{kCorruptSuffix};
+      const bool corrupt_marker =
+          name.size() == 16 + suffix.size() &&
+          name.compare(16, suffix.size(), suffix) == 0 &&
+          looks_like_digest(name.substr(0, 16));
+      if ((looks_like_digest(name) || corrupt_marker) &&
+          fs::remove(entry.path(), error))
         ++removed;
     }
   }

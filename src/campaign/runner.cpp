@@ -379,11 +379,19 @@ std::vector<std::string> CampaignRunner::sweep_headers() const {
 }
 
 std::string CampaignRunner::loaded(int index) const {
-  const auto content = store_.load(digests_.at(static_cast<std::size_t>(index)));
-  if (!content)
+  const std::string& digest = digests_.at(static_cast<std::size_t>(index));
+  const auto content = store_.load(digest);
+  if (!content) {
+    if (store_.has_corrupt(digest))
+      throw StoreCorruptError(
+          "CampaignRunner: result object for point '" +
+          points_[static_cast<std::size_t>(index)].key +
+          "' is corrupt and quarantined — run `sos_campaign fsck` then rerun "
+          "to recompute it");
     throw std::runtime_error(
         "CampaignRunner: missing result object for point '" +
         points_[static_cast<std::size_t>(index)].key + "' — run() first");
+  }
   return *content;
 }
 

@@ -20,10 +20,17 @@
 //       --distributed executes the points over TCP serve workers (forked
 //       loopback ones by default, plus any external `sos_campaign serve`
 //       processes that connect): heartbeat liveness, partition-tolerant
-//       charging, byte-identical store.
+//       charging, byte-identical store. The transport is authenticated
+//       (--key-file on both sides; default key for loopback), and the
+//       coordinator journals its charge state so a killed coordinator
+//       restarted with --resume (same --listen-port) recovers the run.
 //   sos_campaign serve --connect=HOST:PORT
 //       One remote worker: registers with a --distributed coordinator,
 //       computes assigned points, streams results, heartbeats.
+//   sos_campaign fsck <store-dir>
+//       Integrity scan: validates every store object's container and
+//       checksum, moves damaged objects to quarantine/<digest>.corrupt and
+//       reports them, so the next run recomputes exactly those points.
 //   sos_campaign optimize <spec|default> [flags]
 //       Pareto design-space search (docs/OPTIMIZER.md): runs the spec's
 //       searcher (exhaustive branch-and-bound or simulated annealing),
@@ -45,9 +52,11 @@
 //   1  hard error (bad spec, missing manifest, I/O failure)
 //   2  usage error; status: pending points remain
 //   3  quarantined points present (run completed degraded / status sees
-//      quarantine records)
+//      quarantine records / fsck found or reported corrupt objects)
 //   4  fleet unreachable (no worker registered with a --distributed
 //      coordinator in time / serve could not reach its coordinator)
+//   5  store corrupt (output assembly or status hit an object that failed
+//      integrity verification; run fsck, then rerun to recompute)
 #include <signal.h>
 #include <unistd.h>
 
@@ -94,10 +103,15 @@ int usage(std::FILE* out) {
                "[--chaos-net-partition=P] [--chaos-net-torn=P]\n"
                "                    [--chaos-net-duplicate=P] "
                "[--chaos-net-partition-s=SECONDS]\n"
+               "                    [--chaos-coordinator-kill=P] "
+               "[--chaos-object-bitflip=P]\n"
+               "                    [--key-file=PATH] [--resume]\n"
                "       sos_campaign serve --connect=HOST:PORT "
                "[--heartbeat-interval=SECONDS]\n"
                "                    [--connect-timeout=SECONDS] "
                "[--max-reconnects=N] [--chaos-*]\n"
+               "                    [--key-file=PATH]\n"
+               "       sos_campaign fsck <store-dir>\n"
                "       sos_campaign optimize <spec-file|default> "
                "[--store=DIR] [--results=DIR]\n"
                "                    [--search-only] [--status] "
@@ -116,16 +130,23 @@ int usage(std::FILE* out) {
                "  2  usage error; status/optimize: pending points or "
                "unvalidated winners\n"
                "  3  quarantined points present (degraded run / status sees\n"
-               "     quarantine records / optimize winner quarantined)\n"
+               "     quarantine records / optimize winner quarantined / fsck "
+               "found or\n"
+               "     reported corrupt objects)\n"
                "  4  fleet unreachable (coordinator saw no worker register "
                "in time /\n"
-               "     serve could not reach its coordinator)\n");
+               "     serve could not reach its coordinator)\n"
+               "  5  store corrupt (an object failed integrity verification; "
+               "run fsck,\n"
+               "     then rerun to recompute the damaged points)\n");
   return out == stdout ? 0 : 2;
 }
 
 /// Scriptable exit code for quarantine presence (documented in usage()).
 constexpr int kExitQuarantined = 3;
 constexpr int kExitPending = 2;
+/// Scriptable exit code for integrity failures (documented in usage()).
+constexpr int kExitStoreCorrupt = 5;
 
 int reject_unused(const common::Args& args) {
   const auto unused = args.unused_keys();
@@ -234,6 +255,8 @@ void apply_chaos_flags(const common::Args& args,
   chaos.net_duplicate = args.get_double("chaos-net-duplicate", 0.0);
   chaos.net_partition_s =
       args.get_double("chaos-net-partition-s", chaos.net_partition_s);
+  chaos.coordinator_kill = args.get_double("chaos-coordinator-kill", 0.0);
+  chaos.object_bitflip = args.get_double("chaos-object-bitflip", 0.0);
   chaos.max_fires_per_point = static_cast<int>(
       args.get_int("chaos-max-fires", chaos.max_fires_per_point));
 }
@@ -278,6 +301,8 @@ int run_distributed(const campaign::ScenarioSpec& spec,
       args.get_double("registration-timeout", options.registration_timeout_s);
   options.listen_port = static_cast<std::uint16_t>(
       args.get_int("listen-port", options.listen_port));
+  options.key_file = args.get_string("key-file", "");
+  options.resume = args.get_bool("resume", false);
   apply_retry_flags(args, options.retry);
   apply_chaos_flags(args, options.chaos);
   if (const int rc = reject_unused(args); rc != 0) return rc;
@@ -325,6 +350,7 @@ int cmd_serve(const common::Args& args) {
       args.get_double("connect-timeout", config.connect_timeout_s);
   config.max_reconnects =
       static_cast<int>(args.get_int("max-reconnects", config.max_reconnects));
+  config.key_file = args.get_string("key-file", "");
   apply_chaos_flags(args, config.chaos);
   config.chaos.validate();
   if (const int rc = reject_unused(args); rc != 0) return rc;
@@ -480,6 +506,7 @@ int cmd_status(const common::Args& args) {
   int total = 0;
   int done = 0;
   std::vector<std::string> pending;
+  std::vector<std::string> corrupt;
   std::vector<campaign::PointFailure> quarantined;
   for (const auto& line : common::split(*manifest, '\n')) {
     const auto fields = common::split(line, '\t');
@@ -492,6 +519,10 @@ int cmd_status(const common::Args& args) {
     const std::string digest{fields[1]};
     if (store.has(digest)) {
       ++done;  // an object always wins over a stale quarantine record
+    } else if (store.has_corrupt(digest)) {
+      // has() just verified the container, so a freshly damaged object was
+      // quarantined by that very read; older markers count the same.
+      corrupt.push_back(std::string(fields[2]));
     } else if (auto failure = store.load_failure(digest)) {
       quarantined.push_back(std::move(*failure));
     } else {
@@ -501,16 +532,51 @@ int cmd_status(const common::Args& args) {
   std::printf("done %d/%d", done, total);
   if (!quarantined.empty())
     std::printf(" (%zu quarantined)", quarantined.size());
+  if (!corrupt.empty()) std::printf(" (%zu corrupt)", corrupt.size());
   std::printf("\n");
   for (const auto& key : pending) std::printf("  pending: %s\n", key.c_str());
+  for (const auto& key : corrupt)
+    std::printf("  corrupt: %s (object quarantined; rerun to recompute)\n",
+                key.c_str());
   for (const auto& failure : quarantined)
     std::printf("  quarantined: %s (attempts %d: %s)\n", failure.key.c_str(),
                 failure.attempts, failure.reason.c_str());
   // Scriptable: 0 complete, kExitPending pending, kExitQuarantined when
-  // quarantine records are present (quarantine outranks pending).
+  // quarantine records are present (quarantine outranks pending), and
+  // kExitStoreCorrupt when integrity damage was found (outranks both —
+  // silent corruption is the one state an operator must never miss).
+  if (!corrupt.empty()) return kExitStoreCorrupt;
   if (!quarantined.empty()) return kExitQuarantined;
   if (!pending.empty()) return kExitPending;
   return 0;
+}
+
+int cmd_fsck(const common::Args& args) {
+  if (args.positional().size() < 2) return usage(stderr);
+  if (const int rc = reject_unused(args); rc != 0) return rc;
+  const campaign::ResultStore store{args.positional()[1]};
+  const auto findings = store.fsck();
+  const auto objects = store.object_digests().size();
+  if (findings.empty()) {
+    std::printf("fsck %s: %zu object(s) verified, store clean\n",
+                store.dir().c_str(), objects);
+    return 0;
+  }
+  std::printf("fsck %s: %zu object(s) verified, %zu corrupt\n",
+              store.dir().c_str(), objects, findings.size());
+  for (const auto& finding : findings)
+    std::printf("  corrupt: %s (%s, %llu bytes) -> %s\n",
+                finding.digest.c_str(), finding.reason.c_str(),
+                static_cast<unsigned long long>(finding.bytes),
+                store.corrupt_path(finding.digest).c_str());
+  std::fprintf(stderr,
+               "sos_campaign: fsck found %zu corrupt object(s); damaged "
+               "bytes are quarantined — rerun the campaign to recompute "
+               "exactly those points\n",
+               findings.size());
+  // Scriptable contract: 0 clean, kExitQuarantined when anything corrupt
+  // was found or remains unhealed.
+  return kExitQuarantined;
 }
 
 int cmd_clean(const common::Args& args) {
@@ -537,10 +603,14 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "optimize") return cmd_optimize(args);
     if (command == "status") return cmd_status(args);
+    if (command == "fsck") return cmd_fsck(args);
     if (command == "clean") return cmd_clean(args);
     if (command == "help") return usage(stdout);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage(stderr);
+  } catch (const campaign::StoreCorruptError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return kExitStoreCorrupt;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -66,6 +66,10 @@ int worker_main(const CampaignRunner& runner, const ChaosConfig& chaos,
       case ChaosAction::kNetDuplicate:
         // Network faults need a network; pipe workers compute normally.
         break;
+      case ChaosAction::kCoordinatorKill:
+      case ChaosAction::kObjectBitflip:
+        // Coordinator-family faults; pipe workers compute normally.
+        break;
       case ChaosAction::kNone:
         break;
     }

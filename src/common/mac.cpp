@@ -1,0 +1,126 @@
+#include "common/mac.h"
+
+#include <cstddef>
+
+namespace sos::common {
+
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t value, int bits) noexcept {
+  return (value << bits) | (value >> (64 - bits));
+}
+
+inline std::uint64_t load_u64le(const unsigned char* p) noexcept {
+  return static_cast<std::uint64_t>(p[0]) |
+         static_cast<std::uint64_t>(p[1]) << 8 |
+         static_cast<std::uint64_t>(p[2]) << 16 |
+         static_cast<std::uint64_t>(p[3]) << 24 |
+         static_cast<std::uint64_t>(p[4]) << 32 |
+         static_cast<std::uint64_t>(p[5]) << 40 |
+         static_cast<std::uint64_t>(p[6]) << 48 |
+         static_cast<std::uint64_t>(p[7]) << 56;
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit SipState(const MacKey& key) noexcept
+      : v0(0x736f6d6570736575ULL ^ key.k0),
+        v1(0x646f72616e646f6dULL ^ key.k1),
+        v2(0x6c7967656e657261ULL ^ key.k0),
+        v3(0x7465646279746573ULL ^ key.k1) {}
+
+  inline void round() noexcept {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  }
+};
+
+// FNV-1a, local copy (campaign/digest.h has one too, but common must not
+// depend on campaign).
+std::uint64_t fnv1a64_local(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const MacKey& key, std::string_view data) noexcept {
+  SipState s{key};
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t blocks = data.size() / 8;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const std::uint64_t m = load_u64le(bytes + i * 8);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xff) << 56;
+  const unsigned char* tail = bytes + blocks * 8;
+  switch (data.size() & 7) {
+    case 7: last |= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: last |= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: last |= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: last |= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: last |= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: last |= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1: last |= static_cast<std::uint64_t>(tail[0]); break;
+    case 0: break;
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+MacKey derive_mac_key(std::string_view material) noexcept {
+  // Bootstrap a key from domain-separated FNV digests of the material, then
+  // run the result through SipHash itself so both output words depend on
+  // every input byte nonlinearly.
+  MacKey seed;
+  seed.k0 = fnv1a64_local("sos-mac-k0\n") ^ fnv1a64_local(material);
+  seed.k1 = fnv1a64_local("sos-mac-k1\n") ^
+            fnv1a64_local(material) * 0x9e3779b97f4a7c15ULL;
+  MacKey key;
+  key.k0 = siphash24(seed, material);
+  key.k1 = siphash24({seed.k1, seed.k0}, material);
+  return key;
+}
+
+MacKey derive_session_key(const MacKey& base,
+                          std::uint64_t challenge) noexcept {
+  char challenge_le[8];
+  for (int i = 0; i < 8; ++i)
+    challenge_le[i] = static_cast<char>((challenge >> (8 * i)) & 0xff);
+  const std::string_view c{challenge_le, sizeof(challenge_le)};
+  MacKey session;
+  session.k0 = siphash24({base.k0 ^ 0x73657373696f6e30ULL, base.k1}, c);
+  session.k1 = siphash24({base.k0, base.k1 ^ 0x73657373696f6e31ULL}, c);
+  return session;
+}
+
+}  // namespace sos::common

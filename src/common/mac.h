@@ -1,0 +1,48 @@
+// Keyed message authentication for the fleet transport.
+//
+// SipHash-2-4 (Aumasson & Bernstein) — a keyed 64-bit PRF designed exactly
+// for this job: authenticating short messages under a 128-bit secret key,
+// fast enough to run on every frame. Implemented here from the reference
+// algorithm so the tree stays dependency-free; the standard test vectors
+// are pinned in tests/common/mac_test.cpp.
+//
+// Key handling is deliberately two-level:
+//   - a *base* key derived from the operator's pre-shared key material
+//     (`derive_mac_key`) authenticates the handshake;
+//   - a *session* key derived from the base key and the HELLO challenge
+//     (`derive_session_key`) authenticates every subsequent frame, so two
+//     sessions under the same pre-shared key never share a MAC stream and
+//     a frame recorded from one session verifies in no other.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sos::common {
+
+/// A 128-bit MAC key as the two SipHash words.
+struct MacKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  friend bool operator==(const MacKey& a, const MacKey& b) noexcept {
+    return a.k0 == b.k0 && a.k1 == b.k1;
+  }
+  friend bool operator!=(const MacKey& a, const MacKey& b) noexcept {
+    return !(a == b);
+  }
+};
+
+/// SipHash-2-4 of `data` under `key`.
+std::uint64_t siphash24(const MacKey& key, std::string_view data) noexcept;
+
+/// Derives a base key from arbitrary pre-shared key material (the bytes of
+/// the operator's key file). Domain-separated so the two key words are
+/// independent even for short material.
+MacKey derive_mac_key(std::string_view material) noexcept;
+
+/// Derives the per-session key from the base key and the worker's HELLO
+/// challenge.
+MacKey derive_session_key(const MacKey& base, std::uint64_t challenge) noexcept;
+
+}  // namespace sos::common

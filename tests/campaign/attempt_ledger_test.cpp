@@ -121,5 +121,59 @@ TEST(AttemptLedger, ValidatesPolicyAndPointCount) {
   }
 }
 
+TEST(AttemptLedgerJournal, RoundTripsChargeStateAcrossLedgers) {
+  // The coordinator crash-recovery contract: render on one ledger,
+  // restore into a fresh one, and the charge counts (plus the retried
+  // total) survive — with every restored point immediately eligible, so
+  // the resumed coordinator can hand the poison point straight out.
+  AttemptLedger ledger{4, fast_policy()};
+  const auto now = Clock::now();
+  ledger.charge(1, now);
+  ledger.charge(3, now);
+  ledger.charge(3, now);
+  const std::string journal = ledger.render_journal();
+
+  AttemptLedger restored{4, fast_policy()};
+  ASSERT_TRUE(restored.restore_journal(journal));
+  EXPECT_EQ(restored.failures(0), 0);
+  EXPECT_EQ(restored.failures(1), 1);
+  EXPECT_EQ(restored.failures(2), 0);
+  EXPECT_EQ(restored.failures(3), 2);
+  EXPECT_EQ(restored.retried(), ledger.retried());
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(restored.eligible(i, Clock::now()));
+  // The next charge continues where the dead coordinator stopped:
+  // point 3 already spent both retries, so this one quarantines.
+  EXPECT_EQ(restored.charge(3, Clock::now()),
+            AttemptLedger::Verdict::kQuarantine);
+}
+
+TEST(AttemptLedgerJournal, FreshLedgerRendersAnEmptyChargeTable) {
+  AttemptLedger ledger{3, fast_policy()};
+  EXPECT_EQ(ledger.render_journal(), "sos-attempt-ledger v1\nretried = 0\n");
+  AttemptLedger restored{3, fast_policy()};
+  EXPECT_TRUE(restored.restore_journal(ledger.render_journal()));
+  EXPECT_EQ(restored.retried(), 0);
+}
+
+TEST(AttemptLedgerJournal, RestoreRejectsMalformedJournalsWithoutMutating) {
+  AttemptLedger ledger{2, fast_policy()};
+  ledger.charge(0, Clock::now());
+  const std::vector<std::string> bad{
+      "",                                          // empty
+      "sos-attempt-ledger v2\nretried = 0\n",      // wrong version
+      "sos-attempt-ledger v1\n",                   // missing retried
+      "sos-attempt-ledger v1\nretried = -1\n",     // negative total
+      "sos-attempt-ledger v1\nretried = 0\nfailures = 9 1\n",   // index OOB
+      "sos-attempt-ledger v1\nretried = 0\nfailures = 0 0\n",   // count < 1
+      "sos-attempt-ledger v1\nretried = 0\nfailures = x 1\n",   // non-numeric
+      "sos-attempt-ledger v1\nretried = 0\nunknown = 1\n",      // junk field
+  };
+  for (const auto& journal : bad) {
+    EXPECT_FALSE(ledger.restore_journal(journal)) << journal;
+    EXPECT_EQ(ledger.failures(0), 1) << "rejected restore mutated state";
+  }
+}
+
 }  // namespace
 }  // namespace sos::campaign

@@ -3,16 +3,19 @@
 # help`):
 #
 #   run:      0 complete, 3 completed degraded (quarantined points),
-#             4 fleet unreachable (--distributed with no workers)
+#             4 fleet unreachable (--distributed with no workers),
+#             5 store corrupt (output assembly refused a damaged object)
 #   serve:    4 fleet unreachable (no coordinator to connect to)
-#   status:   0 complete, 2 pending points remain, 3 quarantined present
+#   status:   0 complete, 2 pending points remain, 3 quarantined present,
+#             5 corrupt objects present
+#   fsck:     0 store clean, 3 corrupt objects found or unhealed
 #   optimize: 0 frontier validated, 2 unvalidated winners pending
 #             (--search-only / --status before validation), 3 winner
 #             validation quarantined (degraded)
 #
 # Scripts (run_all.sh --supervised, CI gates) branch on these numbers, so
-# they are API: this test drives the real binary through complete, pending
-# and quarantined stores and asserts each code.
+# they are API: this test drives the real binary through complete, pending,
+# quarantined, corrupted and crash-resumed stores and asserts each code.
 #
 # Usage: cli_exit_codes_test.sh <path-to-sos_campaign>
 set -uo pipefail
@@ -151,6 +154,87 @@ expect_rc 2 $? "serve without --connect (usage error)"
 expect_rc 0 $? "distributed run that retries past network chaos"
 "$cli" status "$work/dist-chaos" > /dev/null 2>&1
 expect_rc 0 $? "status after distributed chaos recovery"
+
+# --- Store integrity: fsck's 0/3 contract and run/status exit 5. ---
+
+# fsck on a clean complete store exits 0.
+"$cli" fsck "$work/store" > /dev/null 2>&1
+expect_rc 0 $? "fsck of a clean store"
+
+# A distributed run whose coordinator bit-flips every stored object
+# (object_bitflip chaos at p=1.0) refuses to assemble outputs: exit 5.
+"$cli" run "$spec" --store="$work/corrupt" --results="$work/results" \
+  --distributed --local-workers=2 --points-per-assign=2 \
+  --heartbeat-interval=0.02 --backoff-base=0.01 --backoff-max=0.05 \
+  --chaos-object-bitflip=1.0 --chaos-max-fires=1 > /dev/null 2>&1
+expect_rc 5 $? "run over a store corrupted at rest"
+
+# fsck finds and quarantines the damage: exit 3, and it names the objects.
+"$cli" fsck "$work/corrupt" > "$work/fsck.txt" 2>&1
+expect_rc 3 $? "fsck of a corrupted store"
+grep -q "corrupt:" "$work/fsck.txt" || {
+  echo "FAIL: fsck does not list the corrupt objects" >&2
+  failures=$((failures + 1))
+}
+
+# status over the quarantined-corrupt store reports it too: exit 5
+# (corrupt outranks quarantined outranks pending).
+"$cli" status "$work/corrupt" > /dev/null 2>&1
+expect_rc 5 $? "status with corrupt objects present"
+
+# One clean re-run recomputes exactly the damaged points and heals the
+# store to byte-identical with the plain run's.
+"$cli" run "$spec" --store="$work/corrupt" --results="$work/results" \
+  --distributed --local-workers=2 --points-per-assign=2 \
+  --heartbeat-interval=0.02 --backoff-base=0.01 --backoff-max=0.05 \
+  > /dev/null 2>&1
+expect_rc 0 $? "clean re-run heals the corrupted store"
+"$cli" fsck "$work/corrupt" > /dev/null 2>&1
+expect_rc 0 $? "fsck after healing"
+if ! diff <(cd "$work/store/objects" && ls -1 && cat ./*) \
+          <(cd "$work/corrupt/objects" && ls -1 && cat ./*) > /dev/null; then
+  echo "FAIL: healed store differs from the clean-run store" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: healed store is byte-identical to the clean-run store"
+fi
+
+# --- Coordinator crash-recovery: SIGKILL + --resume on a fixed port. ---
+
+# coordinator_kill chaos at p=1.0 (one fire per point) SIGKILLs the real
+# coordinator mid-run; each restart with --resume on the SAME port picks
+# up the journal and the surviving store. The loop must settle within
+# points+1 runs, and the final store must match the plain run's bytes.
+ckill_port=38917
+ckill_runs=0
+ckill_rc=-1
+while [[ $ckill_runs -lt 6 ]]; do
+  "$cli" run "$spec" --store="$work/ckill" --results="$work/results" \
+    --distributed --local-workers=2 --points-per-assign=1 \
+    --listen-port=$ckill_port --heartbeat-interval=0.02 \
+    --backoff-base=0.01 --backoff-max=0.05 \
+    --chaos-coordinator-kill=1.0 --chaos-max-fires=1 --resume \
+    > /dev/null 2>&1
+  ckill_rc=$?
+  ckill_runs=$((ckill_runs + 1))
+  [[ $ckill_rc -eq 0 ]] && break
+  if [[ $ckill_rc -ne 137 ]]; then
+    echo "FAIL: coordinator-kill run $ckill_runs: expected SIGKILL (137)" \
+         "or success, got $ckill_rc" >&2
+    failures=$((failures + 1))
+    break
+  fi
+done
+expect_rc 0 $ckill_rc "coordinator-kill campaign settles under --resume"
+"$cli" status "$work/ckill" > /dev/null 2>&1
+expect_rc 0 $? "status after coordinator crash-recovery"
+if ! diff <(cd "$work/store/objects" && ls -1 && cat ./*) \
+          <(cd "$work/ckill/objects" && ls -1 && cat ./*) > /dev/null; then
+  echo "FAIL: crash-recovered store differs from the clean-run store" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: crash-recovered store is byte-identical to the clean-run store"
+fi
 
 # --- The optimize subcommand's contract. ---
 

@@ -3,12 +3,21 @@
 // (wrong tag, short body, inconsistent count) with nullopt, and the tag
 // dispatch covers unknown bytes — the coordinator's "evict on protocol
 // violation" rule rests on these rejections.
+//
+// The v2 authentication layer gets the same treatment: seal/open round
+// trips survive the FrameBuffer at randomized split points, every
+// truncated or bit-flipped MAC (and every flipped payload byte) fails
+// verification, handshake inspection classifies v2/wrong-key/legacy-v1
+// peers, and the typed REJECT reasons are pinned as golden strings.
 #include "campaign/remote_protocol.h"
 
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
+
+#include "common/proc.h"
+#include "common/rng.h"
 
 namespace sos::campaign {
 namespace {
@@ -111,6 +120,193 @@ TEST(RemoteProtocol, AssignRejectsInconsistentCounts) {
   EXPECT_FALSE(parse_assign(frame).has_value());
   frame[1] = 1;
   EXPECT_FALSE(parse_assign(frame).has_value());
+}
+
+// --- The v2 authentication layer. ---
+
+TEST(RemoteProtocolV2, HelloCarriesTheSessionChallenge) {
+  Hello hello;
+  hello.pid = 42;
+  hello.challenge = 0xfeedfacecafebeefULL;
+  const auto parsed = parse_hello(encode_hello(hello));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, kRemoteProtocolVersion);
+  EXPECT_EQ(parsed->challenge, 0xfeedfacecafebeefULL);
+}
+
+TEST(RemoteProtocolV2, SealOpenRoundTripsEveryMessageShape) {
+  const common::MacKey key = common::derive_mac_key("test key\n");
+  const std::vector<std::string> inners{
+      encode_heartbeat(), encode_shutdown(), encode_welcome(""),
+      encode_welcome("campaign = tiny\nmode = sweep\n"),
+      encode_assign({{3, 0}, {1, 2}}), encode_result(7, std::string(300, '\xab')),
+      std::string(1, '\x00'),  // sealing is payload-agnostic
+  };
+  for (const auto& inner : inners) {
+    const std::string sealed = seal_frame(inner, key);
+    EXPECT_EQ(sealed.size(), inner.size() + kFrameMacBytes);
+    const auto opened = open_frame(sealed, key);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, inner);
+    EXPECT_EQ(peek_frame_unverified(sealed), inner);
+  }
+}
+
+TEST(RemoteProtocolV2, OpenRejectsTheWrongKey) {
+  const common::MacKey key = common::derive_mac_key("right\n");
+  const common::MacKey wrong = common::derive_mac_key("wrong\n");
+  const std::string sealed = seal_frame(encode_heartbeat(), key);
+  EXPECT_FALSE(open_frame(sealed, wrong).has_value());
+  EXPECT_TRUE(open_frame(sealed, key).has_value());
+}
+
+TEST(RemoteProtocolV2, EveryTruncationFailsVerification) {
+  // The MAC covers the inner length, so a sealed frame truncated at ANY
+  // byte — inside the MAC or inside the payload — must fail, never
+  // partially parse. This is the torn-frame defence.
+  const common::MacKey key = common::derive_mac_key("test key\n");
+  const std::string sealed = seal_frame(encode_result(5, "result bytes"), key);
+  for (std::size_t keep = 0; keep < sealed.size(); ++keep)
+    EXPECT_FALSE(open_frame(sealed.substr(0, keep), key).has_value())
+        << "truncation to " << keep << " bytes verified";
+  // Too-short frames also peek as empty (nothing to act on).
+  EXPECT_TRUE(peek_frame_unverified(sealed.substr(0, kFrameMacBytes - 1))
+                  .empty());
+}
+
+TEST(RemoteProtocolV2, EveryFlippedBitFailsVerification) {
+  // Flip one bit at a time through the whole sealed frame — all eight MAC
+  // bytes and every payload byte — and demand a MAC failure each time.
+  const common::MacKey key = common::derive_mac_key("test key\n");
+  const std::string sealed = seal_frame(encode_assign({{9, 1}}), key);
+  for (std::size_t byte = 0; byte < sealed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = sealed;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      EXPECT_FALSE(open_frame(damaged, key).has_value())
+          << "flip of byte " << byte << " bit " << bit << " verified";
+    }
+  }
+}
+
+TEST(RemoteProtocolV2, SealedFramesSurviveFrameBufferAtRandomSplits) {
+  // Property test: a stream of sealed frames pushed through the length-
+  // prefixed codec in randomly sized chunks reassembles to exactly the
+  // original frames, each verifying under the session key — regardless of
+  // where the TCP layer happens to split reads.
+  const common::MacKey key =
+      common::derive_session_key(common::derive_mac_key("test key\n"), 77);
+  std::vector<std::string> inners;
+  for (int i = 0; i < 12; ++i)
+    inners.push_back(encode_result(i, std::string(static_cast<std::size_t>(
+                                          17 * i + 1), static_cast<char>(i))));
+  std::string stream;
+  for (const auto& inner : inners) {
+    const std::string sealed = seal_frame(inner, key);
+    common::append_u32le(stream, static_cast<std::uint32_t>(sealed.size()));
+    stream += sealed;
+  }
+  common::Rng rng{0x5ea1ULL};
+  for (int round = 0; round < 50; ++round) {
+    common::FrameBuffer frames;
+    std::size_t cursor = 0;
+    std::size_t opened = 0;
+    while (cursor < stream.size() || opened < inners.size()) {
+      if (cursor < stream.size()) {
+        const std::size_t chunk = 1 + static_cast<std::size_t>(
+            rng.next_below(stream.size() - cursor));
+        frames.feed(stream.data() + cursor, chunk);
+        cursor += chunk;
+      }
+      while (auto sealed = frames.next_frame()) {
+        const auto inner = open_frame(*sealed, key);
+        ASSERT_TRUE(inner.has_value()) << "round " << round;
+        ASSERT_LT(opened, inners.size());
+        EXPECT_EQ(*inner, inners[opened]);
+        ++opened;
+      }
+    }
+    EXPECT_EQ(opened, inners.size());
+    EXPECT_FALSE(frames.mid_frame());
+    EXPECT_FALSE(frames.corrupt());
+  }
+}
+
+TEST(RemoteProtocolV2, InspectHelloAcceptsASealedV2Hello) {
+  const common::MacKey base = common::derive_mac_key("fleet key\n");
+  Hello hello;
+  hello.pid = 1234;
+  hello.challenge = 99;
+  const auto inspected = inspect_hello(seal_frame(encode_hello(hello), base),
+                                       base);
+  EXPECT_EQ(inspected.verdict, HelloVerdict::kOk);
+  EXPECT_FALSE(inspected.legacy_unsealed);
+  EXPECT_EQ(inspected.hello.pid, 1234u);
+  EXPECT_EQ(inspected.hello.challenge, 99u);
+}
+
+TEST(RemoteProtocolV2, InspectHelloFlagsTheWrongPreSharedKey) {
+  const common::MacKey base = common::derive_mac_key("fleet key\n");
+  const common::MacKey wrong = common::derive_mac_key("other key\n");
+  const auto inspected =
+      inspect_hello(seal_frame(encode_hello(Hello{}), wrong), base);
+  EXPECT_EQ(inspected.verdict, HelloVerdict::kBadMac);
+  EXPECT_FALSE(inspected.legacy_unsealed);
+}
+
+TEST(RemoteProtocolV2, InspectHelloClassifiesALegacyV1Peer) {
+  // A v1 worker's HELLO was exactly 13 unsealed bytes:
+  // [tag][u32 version = 1][u64 pid]. The coordinator must answer with an
+  // UNSEALED reject so the legacy peer can actually read the reason.
+  const common::MacKey base = common::derive_mac_key("fleet key\n");
+  std::string legacy(1, '\x01');
+  common::append_u32le(legacy, 1);
+  for (int i = 0; i < 8; ++i) legacy.push_back('\x00');
+  ASSERT_EQ(legacy.size(), 13u);
+  const auto inspected = inspect_hello(legacy, base);
+  EXPECT_EQ(inspected.verdict, HelloVerdict::kVersionMismatch);
+  EXPECT_TRUE(inspected.legacy_unsealed);
+  EXPECT_EQ(inspected.spoken_version, 1u);
+}
+
+TEST(RemoteProtocolV2, InspectHelloFlagsAFutureVersionAndGarbage) {
+  const common::MacKey base = common::derive_mac_key("fleet key\n");
+  Hello future;
+  future.version = 3;
+  const auto mismatch =
+      inspect_hello(seal_frame(encode_hello(future), base), base);
+  EXPECT_EQ(mismatch.verdict, HelloVerdict::kVersionMismatch);
+  EXPECT_FALSE(mismatch.legacy_unsealed);
+  EXPECT_EQ(mismatch.spoken_version, 3u);
+
+  // A correctly sealed non-HELLO message is malformed registration.
+  const auto not_hello =
+      inspect_hello(seal_frame(encode_heartbeat(), base), base);
+  EXPECT_EQ(not_hello.verdict, HelloVerdict::kMalformed);
+
+  // Raw garbage that is neither legacy-shaped nor verifiable.
+  EXPECT_EQ(inspect_hello("garbage", base).verdict, HelloVerdict::kBadMac);
+  EXPECT_EQ(inspect_hello("", base).verdict, HelloVerdict::kBadMac);
+}
+
+TEST(RemoteProtocolV2, GoldenRejectReasonsArePinned) {
+  // These strings are operator-facing API: the downgrade test, the docs
+  // failure matrix, and the serve worker's stderr all quote them.
+  EXPECT_EQ(reject_version_mismatch(1),
+            "protocol version mismatch: coordinator speaks 2, worker spoke 1");
+  EXPECT_EQ(reject_version_mismatch(3),
+            "protocol version mismatch: coordinator speaks 2, worker spoke 3");
+  EXPECT_EQ(std::string(kRejectBadHelloMac),
+            "authentication failed: HELLO MAC invalid (pre-shared key "
+            "mismatch)");
+  EXPECT_EQ(std::string(kBadFrameMacReason), "bad frame MAC");
+}
+
+TEST(RemoteProtocolV2, SessionKeysNeverMatchTheBaseKey) {
+  const common::MacKey base = load_base_key("");  // built-in default material
+  const common::MacKey session = common::derive_session_key(base, 0);
+  EXPECT_NE(session, base);  // even a zero challenge re-keys the session
+  EXPECT_THROW(load_base_key("/no/such/key/file"), std::runtime_error);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -117,7 +118,8 @@ TEST_F(ResultStoreTest, TruncatedObjectCountsAsMissing) {
 
   // Hand-truncate the object on disk — the power-loss/bad-disk case the
   // container check exists for. The point must read as missing (so resume
-  // recomputes it), never as garbage bytes.
+  // recomputes it), never as garbage bytes; the damaged bytes go to the
+  // quarantine path (pinned separately by StoreIntegrity).
   const auto path = store.object_path(digest);
   const auto full = *common::read_file(path);
   std::ofstream{path, std::ios::binary | std::ios::trunc}
@@ -189,6 +191,151 @@ TEST_F(ResultStoreTest, PointFailureParseRejectsTruncatedRecords) {
   EXPECT_FALSE(PointFailure::parse(text.substr(0, text.size() / 2))
                    .has_value());
   EXPECT_FALSE(PointFailure::parse("not a record").has_value());
+}
+
+// --- Store integrity: the v2 checksummed container and fsck. ---
+// Selectable as `ctest -L integrity-smoke` via the StoreIntegrity filter.
+
+class StoreIntegrity : public ResultStoreTest {
+ protected:
+  /// Flips one bit inside the payload region of a stored object.
+  void flip_payload_bit(const ResultStore& store, const std::string& digest) {
+    const auto path = store.object_path(digest);
+    auto bytes = *common::read_file(path);
+    const auto header_end = bytes.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    bytes[header_end + 1] = static_cast<char>(bytes[header_end + 1] ^ 0x10);
+    std::ofstream{path, std::ios::binary | std::ios::trunc} << bytes;
+  }
+};
+
+TEST_F(StoreIntegrity, ContainerCarriesLengthAndChecksum) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "payload bytes\n");
+  const auto raw = *common::read_file(store.object_path(digest));
+  // "sos-object v2 <length> <checksum-hex16>\n" + payload + end sentinel.
+  EXPECT_EQ(raw.rfind("sos-object v2 14 ", 0), 0u);
+  EXPECT_NE(raw.find("payload bytes\n"), std::string::npos);
+  EXPECT_EQ(raw.substr(raw.size() - 15), "sos-object-end\n");
+  const auto header_end = raw.find('\n');
+  // 14 + space + 16 hex digits between the version token and the newline.
+  EXPECT_EQ(header_end, std::string("sos-object v2 14 ").size() + 16);
+}
+
+TEST_F(StoreIntegrity, BitflipIsDetectedAndQuarantinedOnRead) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "0,500,one-to-one,3,0.5120\n");
+  flip_payload_bit(store, digest);
+
+  // The read detects the damage, moves the bytes aside, and reports the
+  // point as missing so the next run recomputes exactly this point.
+  EXPECT_FALSE(store.has(digest));
+  EXPECT_TRUE(store.has_corrupt(digest));
+  EXPECT_TRUE(fs::exists(store.corrupt_path(digest)));
+  EXPECT_FALSE(fs::exists(store.object_path(digest)));
+
+  // A recompute heals both the object and the marker.
+  store.put(digest, "0,500,one-to-one,3,0.5120\n");
+  EXPECT_TRUE(store.has(digest));
+  EXPECT_FALSE(store.has_corrupt(digest));
+  EXPECT_FALSE(fs::exists(store.corrupt_path(digest)));
+}
+
+TEST_F(StoreIntegrity, TruncationFeedsTheSameQuarantinePath) {
+  // The old behaviour — warn and treat as missing, bytes left in place —
+  // hid the evidence. Truncation now quarantines exactly like a checksum
+  // mismatch: damaged bytes preserved under quarantine/, marker visible
+  // to fsck and status.
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "0,500,one-to-one,3,0.5120\n");
+  const auto path = store.object_path(digest);
+  const auto full = *common::read_file(path);
+  std::ofstream{path, std::ios::binary | std::ios::trunc}
+      << full.substr(0, full.size() / 2);
+
+  EXPECT_FALSE(store.load(digest).has_value());
+  EXPECT_TRUE(store.has_corrupt(digest));
+  EXPECT_TRUE(fs::exists(store.corrupt_path(digest)));
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(StoreIntegrity, FsckScansQuarantinesAndReportsSorted) {
+  ResultStore store{dir()};
+  const auto good = salted_digest("good");
+  const auto flipped = salted_digest("flipped");
+  const auto torn = salted_digest("torn");
+  store.put(good, "intact payload");
+  store.put(flipped, "will be bit-flipped");
+  store.put(torn, "will be truncated");
+  flip_payload_bit(store, flipped);
+  const auto torn_path = store.object_path(torn);
+  const auto torn_full = *common::read_file(torn_path);
+  std::ofstream{torn_path, std::ios::binary | std::ios::trunc}
+      << torn_full.substr(0, torn_full.size() / 3);
+
+  const auto findings = store.fsck();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(findings.begin(), findings.end(),
+                             [](const CorruptObject& a,
+                                const CorruptObject& b) {
+                               return a.digest < b.digest;
+                             }));
+  for (const auto& finding : findings) {
+    EXPECT_TRUE(finding.digest == flipped || finding.digest == torn);
+    EXPECT_GT(finding.bytes, 0u);
+    EXPECT_TRUE(store.has_corrupt(finding.digest));
+    EXPECT_FALSE(fs::exists(store.object_path(finding.digest)));
+    if (finding.digest == flipped)
+      EXPECT_EQ(finding.reason, "payload checksum mismatch");
+    else
+      EXPECT_EQ(finding.reason, "truncated container");
+  }
+  // The intact object is untouched.
+  EXPECT_TRUE(store.has(good));
+  EXPECT_FALSE(store.has_corrupt(good));
+
+  // A second scan finds nothing new but keeps reporting the unhealed
+  // markers — the store is still dirty until a recompute replaces them.
+  const auto rescan = store.fsck();
+  ASSERT_EQ(rescan.size(), 2u);
+  for (const auto& finding : rescan)
+    EXPECT_EQ(finding.reason, "previously quarantined, not yet healed");
+
+  // Recomputes heal; the third scan is clean.
+  store.put(flipped, "will be bit-flipped");
+  store.put(torn, "will be truncated");
+  EXPECT_TRUE(store.fsck().empty());
+}
+
+TEST_F(StoreIntegrity, FsckClearsAStaleMarkerWhenTheObjectIsValidAgain) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "payload");
+  const auto valid_bytes = *common::read_file(store.object_path(digest));
+  flip_payload_bit(store, digest);
+  EXPECT_FALSE(store.load(digest).has_value());  // quarantines, leaves marker
+  ASSERT_TRUE(store.has_corrupt(digest));
+
+  // Restore valid bytes out-of-band (an operator recovering from backup).
+  std::ofstream{store.object_path(digest), std::ios::binary | std::ios::trunc}
+      << valid_bytes;
+  EXPECT_TRUE(store.fsck().empty());
+  EXPECT_FALSE(store.has_corrupt(digest));
+  EXPECT_EQ(*store.load(digest), "payload");
+}
+
+TEST_F(StoreIntegrity, CleanRemovesCorruptMarkers) {
+  ResultStore store{dir()};
+  const auto digest = salted_digest("point");
+  store.put(digest, "payload");
+  flip_payload_bit(store, digest);
+  EXPECT_FALSE(store.load(digest).has_value());
+  ASSERT_TRUE(store.has_corrupt(digest));
+  EXPECT_EQ(store.clean(), 1);  // the marker is store-owned state
+  EXPECT_FALSE(store.has_corrupt(digest));
 }
 
 TEST(WriteFileAtomic, WritesAndLeavesNoTempFiles) {

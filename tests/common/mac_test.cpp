@@ -1,0 +1,73 @@
+// SipHash-2-4 keyed MAC: the fleet transport's authentication primitive.
+// The implementation is pinned against the official reference test vectors
+// (Aumasson & Bernstein), so any drift in the compression/finalization
+// rounds — which would silently break cross-version fleets — fails here
+// first. Key derivation is then pinned for determinism and independence:
+// the same material always derives the same key, different material or a
+// different challenge never collides.
+#include "common/mac.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace sos::common {
+namespace {
+
+TEST(SipHash, MatchesTheOfficialReferenceVectors) {
+  // Reference vectors from the SipHash paper's test program: key bytes
+  // 00..0f (little-endian words below), message byte i at position i,
+  // lengths 0..15. One transposed round or a wrong finalization constant
+  // breaks every row.
+  const std::uint64_t expected[16] = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+      0x9e0082df0ba9e4b0ULL, 0x7a5dbbc594ddb9f3ULL, 0xf4b32f46226bada7ULL,
+      0x751e8fbc860ee5fbULL, 0x14ea5627c0843d90ULL, 0xf723ca908e7af2eeULL,
+      0xa129ca6149be45e5ULL};
+  const MacKey key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  std::string message;
+  for (int length = 0; length < 16; ++length) {
+    EXPECT_EQ(siphash24(key, message), expected[length])
+        << "vector length " << length;
+    message.push_back(static_cast<char>(length));
+  }
+}
+
+TEST(SipHash, KeyAndMessageBothChangeTheMac) {
+  const MacKey key{1, 2};
+  const MacKey other{1, 3};
+  EXPECT_NE(siphash24(key, "frame"), siphash24(other, "frame"));
+  EXPECT_NE(siphash24(key, "frame"), siphash24(key, "framf"));
+  // Length matters even when the bytes are a prefix.
+  EXPECT_NE(siphash24(key, "frame"), siphash24(key, "fram"));
+}
+
+TEST(DeriveMacKey, IsDeterministicAndMaterialSensitive) {
+  const MacKey a = derive_mac_key("shared secret\n");
+  EXPECT_EQ(a, derive_mac_key("shared secret\n"));
+  EXPECT_NE(a, derive_mac_key("shared secret"));   // trailing byte matters
+  EXPECT_NE(a, derive_mac_key(""));                // empty material is a key too
+  EXPECT_NE(a.k0, a.k1);  // domain separation: words are independent
+}
+
+TEST(DeriveSessionKey, ChallengeSeparatesSessionsUnderOneBaseKey) {
+  const MacKey base = derive_mac_key("shared secret\n");
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  seen.insert({base.k0, base.k1});
+  for (std::uint64_t challenge : {0ULL, 1ULL, 2ULL, 0xdeadbeefULL,
+                                  0xffffffffffffffffULL}) {
+    const MacKey session = derive_session_key(base, challenge);
+    EXPECT_EQ(session, derive_session_key(base, challenge));
+    EXPECT_TRUE(seen.insert({session.k0, session.k1}).second)
+        << "session key collision for challenge " << challenge;
+  }
+  // A different base key never reaches the same session key.
+  const MacKey other = derive_session_key(derive_mac_key("other\n"), 7);
+  EXPECT_NE(other, derive_session_key(base, 7));
+}
+
+}  // namespace
+}  // namespace sos::common
